@@ -1,0 +1,53 @@
+//! Criterion: real multi-threaded ring all-reduce throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use apf_distsim::allreduce::ring_allreduce_mean;
+use apf_distsim::tree_allreduce::tree_allreduce_mean;
+
+fn inputs(workers: usize, n: usize) -> Vec<Vec<f32>> {
+    (0..workers)
+        .map(|r| (0..n).map(|i| ((r * 7 + i) % 13) as f32).collect())
+        .collect()
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_allreduce");
+    group.sample_size(10);
+    for workers in [2usize, 4, 8] {
+        for n in [1 << 16usize, 1 << 20] {
+            let bufs = inputs(workers, n);
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{}", workers), n),
+                &n,
+                |b, _| {
+                    b.iter(|| ring_allreduce_mean(bufs.clone()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    // The ring-vs-tree tradeoff: at large buffers the ring's (P-1)/P
+    // bandwidth term should win, matching the analytic fabric model.
+    let mut group = c.benchmark_group("tree_allreduce");
+    group.sample_size(10);
+    for workers in [2usize, 4, 8] {
+        for n in [1 << 16usize, 1 << 20] {
+            let bufs = inputs(workers, n);
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{}", workers), n),
+                &n,
+                |b, _| {
+                    b.iter(|| tree_allreduce_mean(bufs.clone()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_tree);
+criterion_main!(benches);

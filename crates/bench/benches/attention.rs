@@ -1,0 +1,63 @@
+//! Criterion: dense attention cost vs sequence length — the quantity APF
+//! attacks. Includes a paired uniform-vs-APF comparison at the sequence
+//! lengths each patching yields on the same image.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
+use apf_imaging::paip::{PaipConfig, PaipGenerator};
+use apf_models::params::ParamSet;
+use apf_models::transformer::MultiHeadAttention;
+use apf_tensor::prelude::*;
+
+fn forward(attn: &MultiHeadAttention, ps: &ParamSet, x: &Tensor) {
+    let mut g = Graph::new();
+    let bp = ps.bind(&mut g);
+    let xv = g.constant(x.clone());
+    let _ = attn.forward(&mut g, &bp, xv);
+}
+
+fn bench_attention_scaling(c: &mut Criterion) {
+    let dim = 64;
+    let mut ps = ParamSet::new();
+    let attn = MultiHeadAttention::new(&mut ps, "a", dim, 4, 1);
+    let mut group = c.benchmark_group("dense_attention_fwd");
+    group.sample_size(10);
+    for seq in [128usize, 512, 2048] {
+        let x = Tensor::rand_uniform([1, seq, dim], -1.0, 1.0, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(seq), &seq, |b, _| {
+            b.iter(|| forward(&attn, &ps, &x));
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniform_vs_apf_sequence(c: &mut Criterion) {
+    // Same 256^2 image, same attention layer: sequence from uniform 4x4
+    // patching vs from APF. This is the headline comparison.
+    let res = 256;
+    let img = PaipGenerator::new(PaipConfig::at_resolution(res)).generate(0).image;
+    let patcher = AdaptivePatcher::new(PatcherConfig::for_resolution(res).with_patch_size(4));
+    let apf_seq = patcher.patchify(&img);
+    let uniform_n = (res / 4) * (res / 4);
+    let apf_n = apf_seq.len();
+
+    let dim = 64;
+    let mut ps = ParamSet::new();
+    let attn = MultiHeadAttention::new(&mut ps, "a", dim, 4, 1);
+    let x_uniform = Tensor::rand_uniform([1, uniform_n, dim], -1.0, 1.0, 3);
+    let x_apf = Tensor::rand_uniform([1, apf_n, dim], -1.0, 1.0, 4);
+
+    let mut group = c.benchmark_group("uniform_vs_apf_attention");
+    group.sample_size(10);
+    group.bench_function(format!("uniform_n{}", uniform_n), |b| {
+        b.iter(|| forward(&attn, &ps, &x_uniform));
+    });
+    group.bench_function(format!("apf_n{}", apf_n), |b| {
+        b.iter(|| forward(&attn, &ps, &x_apf));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention_scaling, bench_uniform_vs_apf_sequence);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion: Gaussian blur, Canny, and area resize throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use apf_imaging::canny::{canny, CannyConfig};
+use apf_imaging::filter::gaussian_blur;
+use apf_imaging::paip::{PaipConfig, PaipGenerator};
+use apf_imaging::resize::resize_area;
+
+fn bench_blur(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_blur");
+    for res in [256usize, 512] {
+        let img = PaipGenerator::new(PaipConfig::at_resolution(res)).generate(0).image;
+        for k in [3usize, 7] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{}", k), res),
+                &res,
+                |b, _| b.iter(|| gaussian_blur(&img, k, 0.0)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_canny(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canny");
+    group.sample_size(20);
+    for res in [256usize, 512] {
+        let img = PaipGenerator::new(PaipConfig::at_resolution(res)).generate(0).image;
+        let blurred = gaussian_blur(&img, 3, 0.0);
+        group.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, _| {
+            b.iter(|| canny(&blurred, CannyConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let img = PaipGenerator::new(PaipConfig::at_resolution(512)).generate(0).image;
+    let mut group = c.benchmark_group("resize_area");
+    group.bench_function("512_to_64", |b| b.iter(|| resize_area(&img, 64, 64)));
+    group.bench_function("512_to_4", |b| b.iter(|| resize_area(&img, 4, 4)));
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paip_generate");
+    group.sample_size(10);
+    for res in [128usize, 256] {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
+        group.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, _| {
+            b.iter(|| gen.generate(0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blur, bench_canny, bench_resize, bench_generation);
+criterion_main!(benches);

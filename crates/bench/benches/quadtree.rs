@@ -1,0 +1,71 @@
+//! Criterion: quadtree build and full APF pre-processing throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
+use apf_core::quadtree::{QuadTree, QuadTreeConfig, SplitCriterion};
+use apf_imaging::paip::{PaipConfig, PaipGenerator};
+
+fn bench_quadtree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadtree_build");
+    for res in [128usize, 256, 512] {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
+        let sample = gen.generate(0);
+        let edges = apf_imaging::canny::canny(
+            &apf_imaging::filter::gaussian_blur(&sample.image, 3, 0.0),
+            apf_imaging::canny::CannyConfig::default(),
+        );
+        let cfg = QuadTreeConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, _| {
+            b.iter(|| QuadTree::build(&edges, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apf_pipeline");
+    group.sample_size(20);
+    for res in [128usize, 256, 512] {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
+        let sample = gen.generate(0);
+        let patcher = AdaptivePatcher::new(PatcherConfig::for_resolution(res).with_patch_size(4));
+        group.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, _| {
+            b.iter(|| patcher.patchify(&sample.image));
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_criteria(c: &mut Criterion) {
+    // Ablation: edge-count vs variance split rule at equal resolution.
+    let gen = PaipGenerator::new(PaipConfig::at_resolution(256));
+    let sample = gen.generate(0);
+    let edges = apf_imaging::canny::canny(
+        &apf_imaging::filter::gaussian_blur(&sample.image, 3, 0.0),
+        apf_imaging::canny::CannyConfig::default(),
+    );
+    let mut group = c.benchmark_group("split_criterion");
+    group.bench_function("edge_count", |b| {
+        let cfg = QuadTreeConfig {
+            criterion: SplitCriterion::EdgeCount { split_value: 100.0 },
+            max_depth: 9,
+            min_leaf: 2,
+            balance_2to1: false,
+        };
+        b.iter(|| QuadTree::build(&edges, &cfg));
+    });
+    group.bench_function("variance", |b| {
+        let cfg = QuadTreeConfig {
+            criterion: SplitCriterion::Variance { threshold: 0.01 },
+            max_depth: 9,
+            min_leaf: 2,
+            balance_2to1: false,
+        };
+        b.iter(|| QuadTree::build(&sample.image, &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quadtree_build, bench_full_pipeline, bench_split_criteria);
+criterion_main!(benches);

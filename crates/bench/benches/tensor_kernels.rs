@@ -1,0 +1,52 @@
+//! Criterion: GEMM and convolution kernel throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use apf_tensor::kernels::conv::{conv2d, ConvGeom};
+use apf_tensor::kernels::gemm::matmul;
+use apf_tensor::tensor::Tensor;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let a = Tensor::rand_uniform([n, n], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform([n, n], -1.0, 1.0, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_matmul(c: &mut Criterion) {
+    // Attention-shaped batched product: [B*H, L, Dh] x [B*H, Dh, L].
+    let mut group = c.benchmark_group("batched_matmul_attention_shape");
+    group.sample_size(20);
+    for l in [64usize, 256] {
+        let q = Tensor::rand_uniform([8, l, 16], -1.0, 1.0, 3);
+        let k = Tensor::rand_uniform([8, 16, l], -1.0, 1.0, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |bench, _| {
+            bench.iter(|| matmul(&q, &k));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_3x3");
+    group.sample_size(20);
+    for hw in [32usize, 64] {
+        let x = Tensor::rand_uniform([2, 16, hw, hw], -1.0, 1.0, 5);
+        let w = Tensor::rand_uniform([16, 16, 3, 3], -0.5, 0.5, 6);
+        let b = Tensor::rand_uniform([16], -0.1, 0.1, 7);
+        let g = ConvGeom { kernel: 3, stride: 1, pad: 1 };
+        group.bench_with_input(BenchmarkId::from_parameter(hw), &hw, |bench, _| {
+            bench.iter(|| conv2d(&x, &w, Some(&b), g));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_batched_matmul, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Minimal `--key value` CLI parsing for the experiment binaries (std-only,
+//! no extra dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (for tests).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        values.insert(key.to_string(), iter.next().expect("peeked"));
+                    }
+                    _ => flags.push(key.to_string()),
+                }
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Typed lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag presence (`--quick`).
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn values_and_defaults() {
+        let a = parse("--res 256 --epochs 10");
+        assert_eq!(a.get("res", 64usize), 256);
+        assert_eq!(a.get("epochs", 3usize), 10);
+        assert_eq!(a.get("missing", 7usize), 7);
+    }
+
+    #[test]
+    fn flags_detected() {
+        let a = parse("--quick --res 128");
+        assert!(a.flag("quick"));
+        assert!(!a.flag("slow"));
+        assert_eq!(a.get("res", 0usize), 128);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse("--res 32 --verbose");
+        assert!(a.flag("verbose"));
+        assert_eq!(a.get("res", 0usize), 32);
+    }
+}

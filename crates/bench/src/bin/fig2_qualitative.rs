@@ -1,0 +1,119 @@
+//! Figure 2 reproduction: qualitative segmentation masks.
+//!
+//! Trains U-Net, uniform UNETR, and APF-UNETR on generated pathology images
+//! and renders input / ground truth / per-model predictions as PGM/PPM
+//! files under `results/fig2/` for visual comparison (red overlay marks the
+//! predicted lesion).
+//!
+//! Usage: `cargo run --release -p apf-bench --bin fig2_qualitative
+//!         [--res 128] [--samples 8] [--epochs 8] [--quick]`
+
+use apf_bench::harness::{apf_unetr_setup, paip_pairs, run_training, uniform_unetr_setup};
+use apf_bench::report::results_dir;
+use apf_bench::{save_json, Args};
+use apf_core::patchify::reconstruct_mask;
+use apf_imaging::image::GrayImage;
+use apf_imaging::io::{write_pgm, write_ppm_overlay};
+use apf_models::unet::{UNet, UnetConfig};
+use apf_train::imageseg::{stack_images, ImageSegTrainer};
+use apf_train::metrics::dice_score;
+use apf_train::optim::AdamWConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    model: String,
+    dice_on_rendered_sample: f64,
+    file: String,
+}
+
+fn threshold(img: &GrayImage) -> GrayImage {
+    GrayImage::from_raw(
+        img.width(),
+        img.height(),
+        img.data().iter().map(|&v| if v > 0.5 { 1.0 } else { 0.0 }).collect(),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let res = args.get("res", if quick { 64 } else { 128 });
+    let samples = args.get("samples", if quick { 4 } else { 16 });
+    let epochs = args.get("epochs", if quick { 2 } else { 20 });
+    let lr = 3e-3f32;
+    let split = samples - 1; // render the held-out last sample
+    let pairs = paip_pairs(res, samples);
+    let (probe_img, probe_mask) = pairs.last().expect("samples >= 1").clone();
+
+    let dir = results_dir().join("fig2");
+    std::fs::create_dir_all(&dir).expect("create fig2 dir");
+    write_pgm(&probe_img, dir.join("input.pgm")).expect("write input");
+    write_ppm_overlay(&probe_img, &probe_mask, dir.join("ground_truth.ppm")).expect("write gt");
+
+    let mut out = Vec::new();
+
+    // U-Net.
+    println!("training U-Net ...");
+    {
+        let model = UNet::new(UnetConfig::small(1, 1), 7);
+        let mut tr = ImageSegTrainer::new(model, AdamWConfig { lr, ..Default::default() });
+        for _ in 0..epochs {
+            for pair in &pairs[..split] {
+                tr.step_binary(&stack_images(&[&pair.0]), &stack_images(&[&pair.1]));
+            }
+        }
+        let pred = threshold(&tr.predict_binary(&probe_img));
+        let d = dice_score(&pred, &probe_mask, 0.5);
+        let file = dir.join("pred_unet.ppm");
+        write_ppm_overlay(&probe_img, &pred, &file).expect("write");
+        out.push(Out { model: "U-Net".into(), dice_on_rendered_sample: d, file: file.display().to_string() });
+    }
+
+    // Uniform UNETR at the large patch the budget allows.
+    println!("training uniform UNETR ...");
+    {
+        let patch = (res / 8).max(8);
+        let mut setup = uniform_unetr_setup(&pairs, res, patch, split, lr, 7);
+        run_training(&mut setup, epochs, 2, 101.0);
+        let sample = &setup.val.samples[setup.val.len() - 1];
+        let probs = setup.trainer.predict(&sample.tokens);
+        let pred = threshold(&reconstruct_mask(&sample.seq, &probs));
+        let d = dice_score(&pred, &probe_mask, 0.5);
+        let file = dir.join(format!("pred_unetr{}.ppm", patch));
+        write_ppm_overlay(&probe_img, &pred, &file).expect("write");
+        out.push(Out {
+            model: format!("UNETR-{}", patch),
+            dice_on_rendered_sample: d,
+            file: file.display().to_string(),
+        });
+    }
+
+    // APF-UNETR at the small patch.
+    println!("training APF-UNETR ...");
+    {
+        let mut setup = apf_unetr_setup(&pairs, res, 4, split, lr, 7);
+        run_training(&mut setup, epochs, 2, 101.0);
+        let sample = &setup.val.samples[setup.val.len() - 1];
+        let probs = setup.trainer.predict(&sample.tokens);
+        let pred = threshold(&reconstruct_mask(&sample.seq, &probs));
+        let d = dice_score(&pred, &probe_mask, 0.5);
+        let file = dir.join("pred_apf_unetr4.ppm");
+        write_ppm_overlay(&probe_img, &pred, &file).expect("write");
+        out.push(Out {
+            model: "APF-UNETR-4".into(),
+            dice_on_rendered_sample: d,
+            file: file.display().to_string(),
+        });
+    }
+
+    println!("\nFig. 2 renders written to {}:", dir.display());
+    for o in &out {
+        println!("  {:<14} dice {:.1}%  -> {}", o.model, o.dice_on_rendered_sample, o.file);
+    }
+    println!(
+        "Paper claim: at high resolution, uniform patching is forced to coarse patches and loses \
+         boundary detail; APF keeps fine patches in detailed regions and traces boundaries better."
+    );
+    save_json("fig2_qualitative", &out);
+}

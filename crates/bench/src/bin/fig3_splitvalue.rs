@@ -1,0 +1,105 @@
+//! Figure 3 reproduction: the quadtree split value `v` controls the average
+//! patch size and the sequence length approximately linearly.
+//!
+//! Paper series (PAIP): split values [20, 50, 100] give average patch sizes
+//! [9.37, 20.21, 30.73] and average sequence lengths [677.7, 286.9, 127.5].
+//!
+//! Usage: `cargo run --release -p apf-bench --bin fig3_splitvalue
+//!         [--res 512] [--samples 8] [--quick]`
+
+use apf_bench::{print_table, save_json, Args};
+use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
+use apf_core::stats::PatchStats;
+use apf_imaging::paip::{PaipConfig, PaipGenerator};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    split_value: f64,
+    avg_patch_size: f64,
+    avg_seq_len: f64,
+    paper_patch_size: f64,
+    paper_seq_len: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let res = args.get("res", if quick { 128 } else { 512 });
+    let samples = args.get("samples", if quick { 2 } else { 8 });
+
+    println!("Fig. 3: split value sweep on {} PAIP-like images at {}^2", samples, res);
+    let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
+    let images: Vec<_> = (0..samples).map(|i| gen.generate(i).image).collect();
+
+    // Paper reference series at 512^2.
+    let paper: &[(f64, f64, f64)] = &[(20.0, 9.37, 677.7), (50.0, 20.21, 286.9), (100.0, 30.73, 127.5)];
+
+    let mut rows = Vec::new();
+    let mut out_rows = Vec::new();
+    for &(v, p_size, p_len) in paper {
+        let patcher = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(res).with_split_value(v),
+        );
+        let mut sizes = Vec::new();
+        let mut lens = Vec::new();
+        let mut hist_example = None;
+        for img in &images {
+            let tree = patcher.tree(img);
+            let stats = PatchStats::from_tree(&tree);
+            sizes.push(stats.average_patch_size);
+            lens.push(stats.sequence_length as f64);
+            hist_example.get_or_insert(stats.size_histogram);
+        }
+        let avg_size = apf_core::stats::mean(&sizes);
+        let avg_len = apf_core::stats::mean(&lens);
+        rows.push(vec![
+            format!("{}", v),
+            format!("{:.2}", avg_size),
+            format!("{:.1}", avg_len),
+            format!("{:.2}", p_size),
+            format!("{:.1}", p_len),
+        ]);
+        out_rows.push(Row {
+            split_value: v,
+            avg_patch_size: avg_size,
+            avg_seq_len: avg_len,
+            paper_patch_size: p_size,
+            paper_seq_len: p_len,
+        });
+        if let Some(h) = hist_example {
+            let total: usize = h.iter().map(|(_, c)| *c).sum();
+            let hist_str: Vec<String> = h
+                .iter()
+                .map(|(s, c)| format!("{}px:{:.0}%", s, 100.0 * *c as f64 / total as f64))
+                .collect();
+            println!("  v={:>5}: patch-size distribution  {}", v, hist_str.join("  "));
+        }
+    }
+
+    print_table(
+        "Fig. 3 — split value vs avg patch size / sequence length",
+        &["v", "avg patch", "avg seq len", "paper patch", "paper seq len"],
+        &rows,
+    );
+
+    // The linearity claims: halving v should roughly halve the average
+    // patch size, and seq length grows roughly linearly as patch shrinks.
+    let r01 = out_rows[0].avg_patch_size / out_rows[1].avg_patch_size;
+    let r12 = out_rows[1].avg_patch_size / out_rows[2].avg_patch_size;
+    println!(
+        "\npatch-size ratios across v halvings: {:.2}, {:.2} (paper: {:.2}, {:.2})",
+        r01,
+        r12,
+        9.37 / 20.21,
+        20.21 / 30.73
+    );
+    let grow = out_rows[0].avg_seq_len / out_rows[2].avg_seq_len;
+    println!(
+        "sequence growth v=20 vs v=100: {:.1}x (paper: {:.1}x)",
+        grow,
+        677.7 / 127.5
+    );
+
+    save_json("fig3_splitvalue", &out_rows);
+}

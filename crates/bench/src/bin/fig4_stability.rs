@@ -1,0 +1,141 @@
+//! Figure 4 reproduction: training and validation stability.
+//!
+//! (Top, a-c) At one resolution and matched model complexity, APF lets the
+//! same UNETR use a much smaller patch size; its loss curve converges lower
+//! and more stably than U-Net and large-patch uniform UNETR.
+//! (Bottom, d-f) Uniform UNETR with patch sizes {small, medium, large}:
+//! smaller patches converge more stably.
+//!
+//! Usage: `cargo run --release -p apf-bench --bin fig4_stability
+//!         [--res 128] [--samples 8] [--epochs 8] [--quick]`
+
+use apf_bench::harness::{apf_unetr_setup, paip_pairs, run_training, uniform_unetr_setup};
+use apf_bench::{print_table, save_json, Args};
+use apf_models::unet::{UNet, UnetConfig};
+use apf_train::imageseg::{stack_images, ImageSegTrainer};
+use apf_train::optim::AdamWConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    label: String,
+    train_loss: Vec<f64>,
+    val_loss: Vec<f64>,
+    val_dice: Vec<f64>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let res = args.get("res", if quick { 64 } else { 128 });
+    let samples = args.get("samples", if quick { 4 } else { 16 });
+    let epochs = args.get("epochs", if quick { 3 } else { 15 });
+    let lr = 3e-3f32;
+    let split = samples - (samples / 4).max(1);
+    let pairs = paip_pairs(res, samples);
+    let mut all = Vec::new();
+
+    // ---- (a-c) model comparison ----
+    println!("Fig. 4 (top): U-Net vs uniform UNETR-{} vs APF-UNETR-2 at {}^2", res / 8, res);
+
+    // U-Net (per-epoch loop over image batches).
+    {
+        let model = UNet::new(UnetConfig::small(1, 1), 5);
+        let mut tr = ImageSegTrainer::new(model, AdamWConfig { lr, ..Default::default() });
+        let mut series = Series {
+            label: "U-Net".into(),
+            train_loss: vec![],
+            val_loss: vec![],
+            val_dice: vec![],
+        };
+        for _ in 0..epochs {
+            let mut tl = 0.0;
+            for pair in &pairs[..split] {
+                let x = stack_images(&[&pair.0]);
+                let y = stack_images(&[&pair.1]);
+                tl += tr.step_binary(&x, &y);
+            }
+            series.train_loss.push(tl / split as f64);
+            let val: Vec<_> = pairs[split..].to_vec();
+            series.val_dice.push(tr.evaluate_binary(&val));
+            series.val_loss.push(0.0); // combo loss on val omitted for U-Net
+        }
+        all.push(series);
+    }
+
+    // Uniform UNETR with a large patch (what the compute budget allows).
+    {
+        let big_patch = (res / 8).max(8);
+        let mut setup = uniform_unetr_setup(&pairs, res, big_patch, split, lr, 5);
+        let out = run_training(&mut setup, epochs, 2, 101.0);
+        all.push(Series {
+            label: format!("UNETR-{} (uniform)", big_patch),
+            train_loss: out.history.iter().map(|h| h.train_loss).collect(),
+            val_loss: out.history.iter().map(|h| h.val_loss).collect(),
+            val_dice: out.history.iter().map(|h| h.val_dice).collect(),
+        });
+    }
+
+    // APF-UNETR with the minimum patch.
+    {
+        let mut setup = apf_unetr_setup(&pairs, res, 2, split, lr, 5);
+        let out = run_training(&mut setup, epochs, 2, 101.0);
+        all.push(Series {
+            label: "APF-UNETR-2".into(),
+            train_loss: out.history.iter().map(|h| h.train_loss).collect(),
+            val_loss: out.history.iter().map(|h| h.val_loss).collect(),
+            val_dice: out.history.iter().map(|h| h.val_dice).collect(),
+        });
+    }
+
+    // ---- (d-f) patch-size sweep on uniform UNETR ----
+    let sweep: Vec<usize> = if quick { vec![8, 16] } else { vec![4, 8, 16] };
+    println!("Fig. 4 (bottom): uniform UNETR patch sweep {:?}", sweep);
+    for p in sweep {
+        let mut setup = uniform_unetr_setup(&pairs, res, p, split, lr, 9);
+        let out = run_training(&mut setup, epochs, 2, 101.0);
+        all.push(Series {
+            label: format!("UNETR-{} sweep", p),
+            train_loss: out.history.iter().map(|h| h.train_loss).collect(),
+            val_loss: out.history.iter().map(|h| h.val_loss).collect(),
+            val_dice: out.history.iter().map(|h| h.val_dice).collect(),
+        });
+    }
+
+    // ---- Report ----
+    let mut rows = Vec::new();
+    for s in &all {
+        let first = s.train_loss.first().copied().unwrap_or(0.0);
+        let last = s.train_loss.last().copied().unwrap_or(0.0);
+        // Stability: mean absolute epoch-to-epoch change over the last half.
+        let tail = &s.train_loss[s.train_loss.len() / 2..];
+        let jitter = tail
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / tail.len().max(2) as f64;
+        rows.push(vec![
+            s.label.clone(),
+            format!("{:.4}", first),
+            format!("{:.4}", last),
+            format!("{:.4}", jitter),
+            format!("{:.1}", s.val_dice.last().copied().unwrap_or(0.0)),
+        ]);
+    }
+    print_table(
+        "Fig. 4 — convergence and stability summary",
+        &["series", "loss@0", "loss@end", "tail jitter", "final dice %"],
+        &rows,
+    );
+
+    println!("\nPer-epoch train loss curves:");
+    for s in &all {
+        let curve: Vec<String> = s.train_loss.iter().map(|v| format!("{:.3}", v)).collect();
+        println!("  {:<22} {}", s.label, curve.join(" "));
+    }
+    println!(
+        "\nPaper claim: APF-UNETR (small patch) converges lower and more stably than U-Net and \
+         large-patch UNETR; smaller uniform patches converge more stably than larger ones."
+    );
+    save_json("fig4_stability", &all);
+}

@@ -1,0 +1,231 @@
+//! Table IV reproduction: BTCV-style multi-organ segmentation — dice and
+//! end-to-end time for U-Net, TransUNet, UNETR, Swin UNETR, and APF-UNETR.
+//!
+//! Following the paper, APF is applied to each 2D slice and slice-wise
+//! predictions are reassembled into the subject's 3D volume; dice is the
+//! mean over the 13 organ classes. All models train from scratch on the
+//! same generated slices (our Swin UNETR is NOT pre-trained, unlike the
+//! paper's — expect it closer to UNETR here, as the paper itself attributes
+//! Swin's edge to pre-training).
+//!
+//! Usage: `cargo run --release -p apf-bench --bin table4_btcv
+//!         [--res 64] [--subjects 3] [--slices 6] [--epochs 8] [--quick]`
+
+use apf_bench::harness::grid_side_for;
+use apf_bench::{print_table, save_json, Args};
+use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
+use apf_core::uniform::uniform_patches;
+use apf_imaging::btcv::{BtcvConfig, BtcvGenerator, NUM_ORGANS};
+use apf_imaging::image::GrayImage;
+use apf_models::rearrange::GridOrder;
+use apf_models::swin::SwinUnetr;
+use apf_models::transunet::{TransUnet, TransUnetConfig};
+use apf_models::unet::{UNet, UnetConfig};
+use apf_models::unetr::{Unetr2d, UnetrConfig};
+use apf_train::imageseg::{stack_images, ImageSegTrainer};
+use apf_train::mcseg::{adaptive_mc_samples, mc_batch, McSample, McSegTrainer};
+use apf_train::optim::AdamWConfig;
+use apf_train::trainer::TokenSegModel;
+use serde::Serialize;
+use std::time::Instant;
+
+const CLASSES: usize = NUM_ORGANS + 1; // 13 organs + background
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    patch: String,
+    time_s: f64,
+    dice: f64,
+}
+
+/// Builds uniform multi-class samples (labels are exact crops, no resize).
+fn uniform_mc_samples(pairs: &[(GrayImage, Vec<u8>)], patch: usize) -> Vec<McSample> {
+    pairs
+        .iter()
+        .map(|(img, labels)| {
+            let lab_img = GrayImage::from_raw(
+                img.width(),
+                img.height(),
+                labels.iter().map(|&l| l as f32).collect(),
+            );
+            let xs = uniform_patches(img, patch);
+            let ys = uniform_patches(&lab_img, patch);
+            McSample {
+                tokens: xs.to_tensor(),
+                label_tokens: ys.to_tensor(),
+                seq: xs,
+                full_labels: labels.clone(),
+                resolution: img.width(),
+            }
+        })
+        .collect()
+}
+
+fn train_token_model<M: TokenSegModel>(
+    model: M,
+    train: &[McSample],
+    val: &[McSample],
+    epochs: usize,
+    lr: f32,
+) -> (f64, f64) {
+    let mut tr = McSegTrainer::new(model, CLASSES, AdamWConfig { lr, ..Default::default() });
+    let t0 = Instant::now();
+    for _ in 0..epochs {
+        for i in 0..train.len() {
+            let (x, y) = mc_batch(train, &[i]);
+            tr.step(&x, &y);
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, tr.evaluate(val))
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let res = args.get("res", if quick { 32 } else { 64 });
+    let subjects = args.get("subjects", if quick { 2 } else { 4 });
+    let slices = args.get("slices", if quick { 3 } else { 6 });
+    let epochs = args.get("epochs", if quick { 2 } else { 15 });
+    let lr = 3e-3f32;
+
+    println!(
+        "Table IV: BTCV-like multi-organ segmentation at {}^2, {} subjects x {} slices",
+        res, subjects, slices
+    );
+    let gen = BtcvGenerator::new(BtcvConfig::small(res, slices));
+    let mut pairs: Vec<(GrayImage, Vec<u8>)> = Vec::new();
+    for s in 0..subjects {
+        for z in 0..slices {
+            let sl = gen.slice(s, z);
+            pairs.push((sl.image, sl.labels));
+        }
+    }
+    // Last subject's slices are the validation volume (slice-wise inference
+    // re-assembled into 3D = mean over its slices).
+    let split = (subjects - 1) * slices;
+    let mut out: Vec<Row> = Vec::new();
+
+    // ---- APF-UNETR (patch 2, the paper's headline config) ----
+    {
+        let patch = 2usize;
+        println!("training APF-UNETR-{} ...", patch);
+        let probe = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(res)
+                .with_patch_size(patch)
+                .with_split_value(apf_bench::harness::QUALITY_SPLIT_VALUE),
+        );
+        let max_len = pairs.iter().map(|(i, _)| probe.tree(i).len()).max().unwrap();
+        let side = grid_side_for(max_len);
+        let patcher = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(res)
+                .with_patch_size(patch)
+                .with_split_value(apf_bench::harness::QUALITY_SPLIT_VALUE)
+                .with_target_len(side * side),
+        );
+        let samples = adaptive_mc_samples(&pairs, &patcher);
+        let cfg = UnetrConfig::small(side, patch, GridOrder::Morton).with_out_channels(CLASSES);
+        let (t, dice) = train_token_model(
+            Unetr2d::new(cfg, 3),
+            &samples[..split],
+            &samples[split..],
+            epochs,
+            lr,
+        );
+        out.push(Row { model: "APF-UNETR".into(), patch: "2".into(), time_s: t, dice });
+    }
+
+    // ---- Uniform UNETR ----
+    {
+        let patch = if quick { 8 } else { 4 };
+        println!("training UNETR-{} (uniform) ...", patch);
+        let samples = uniform_mc_samples(&pairs, patch);
+        let side = res / patch;
+        let cfg = UnetrConfig::small(side, patch, GridOrder::RowMajor).with_out_channels(CLASSES);
+        let (t, dice) = train_token_model(
+            Unetr2d::new(cfg, 3),
+            &samples[..split],
+            &samples[split..],
+            epochs,
+            lr,
+        );
+        out.push(Row { model: "UNETR".into(), patch: patch.to_string(), time_s: t, dice });
+    }
+
+    // ---- Swin UNETR (not pre-trained) ----
+    {
+        let patch = if quick { 8 } else { 4 };
+        println!("training Swin UNETR-{} (from scratch) ...", patch);
+        let samples = uniform_mc_samples(&pairs, patch);
+        let side = res / patch;
+        let cfg = UnetrConfig::small(side, patch, GridOrder::RowMajor).with_out_channels(CLASSES);
+        let window = if side % 4 == 0 { 4 } else { 2 };
+        let (t, dice) = train_token_model(
+            SwinUnetr::new(cfg, window, 3),
+            &samples[..split],
+            &samples[split..],
+            epochs,
+            lr,
+        );
+        out.push(Row { model: "Swin UNETR*".into(), patch: patch.to_string(), time_s: t, dice });
+    }
+
+    // ---- TransUNet & U-Net (image models, multiclass heads) ----
+    for name in ["TransUNet", "U-Net"] {
+        println!("training {} ...", name);
+        let t0 = Instant::now();
+        let (t, dice) = match name {
+            "TransUNet" => {
+                let model = TransUnet::new(TransUnetConfig::small(1, CLASSES, res), 3);
+                let mut tr = ImageSegTrainer::new(model, AdamWConfig { lr, ..Default::default() });
+                for _ in 0..epochs {
+                    for (img, labels) in &pairs[..split] {
+                        tr.step_multiclass(&stack_images(&[img]), labels, CLASSES);
+                    }
+                }
+                let t = t0.elapsed().as_secs_f64();
+                (t, tr.evaluate_multiclass(&pairs[split..], CLASSES))
+            }
+            _ => {
+                let model = UNet::new(UnetConfig::small(1, CLASSES), 3);
+                let mut tr = ImageSegTrainer::new(model, AdamWConfig { lr, ..Default::default() });
+                for _ in 0..epochs {
+                    for (img, labels) in &pairs[..split] {
+                        tr.step_multiclass(&stack_images(&[img]), labels, CLASSES);
+                    }
+                }
+                let t = t0.elapsed().as_secs_f64();
+                (t, tr.evaluate_multiclass(&pairs[split..], CLASSES))
+            }
+        };
+        out.push(Row { model: name.into(), patch: "-".into(), time_s: t, dice });
+    }
+
+    // ---- Report ----
+    let apf_time = out[0].time_s;
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.patch.clone(),
+                format!("{:.1}", r.time_s),
+                format!("{:.2}x", r.time_s / apf_time),
+                format!("{:.2}", r.dice),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table IV — BTCV-like multi-organ segmentation (measured)",
+        &["model", "patch", "time s", "rel. time", "mean organ dice %"],
+        &rows,
+    );
+    println!("\n* our Swin UNETR trains from scratch; the paper's is pre-trained on 5 datasets.");
+    println!(
+        "Paper: U-Net 80.2 (0.79x) / TransUNet 83.8 (2.91x) / UNETR-4 89.1 (7.85x) / \
+         Swin UNETR 91.8 (6.19x) / APF-UNETR-2 89.7 (1x, 1067.9s). Expected shape: \
+         APF-UNETR reaches transformer-class dice at a fraction of the transformer baselines' time."
+    );
+    save_json("table4_btcv", &out);
+}

@@ -1,0 +1,31 @@
+//! # apf-bench
+//!
+//! The experiment harness reproducing every table and figure of the APF
+//! paper. One binary per experiment (see DESIGN.md §3 for the index):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1_complexity` | Table I (method/complexity taxonomy, measured) |
+//! | `table2_speedup` | Table II (end-to-end speedup at iso-quality) |
+//! | `table3_quality` | Table III (dice vs baselines per resolution) |
+//! | `table4_btcv` | Table IV (BTCV multi-organ) |
+//! | `table5_classification` | Table V (ViT vs HIPT vs APF-ViT) |
+//! | `fig1_overview` | Fig. 1 (patch reduction walk-through) |
+//! | `fig2_qualitative` | Fig. 2 (qualitative masks, PPM renders) |
+//! | `fig3_splitvalue` | Fig. 3 (split value vs patch size/seq len) |
+//! | `fig4_stability` | Fig. 4 (training stability) |
+//! | `overhead` | §IV-G.3 (pre-processing overhead) |
+//! | `scaling` | strong scaling: thread engine + cluster model |
+//! | `ablation_order` | token ordering / decoder folding ablation |
+//! | `ablation_droprate` | fixed-length L (pad vs drop) ablation |
+//!
+//! Every binary accepts `--quick` for a smoke-test-scale run plus
+//! experiment-specific `--key value` overrides, prints paper-vs-measured
+//! tables, and archives JSON rows under `results/`.
+
+pub mod args;
+pub mod harness;
+pub mod report;
+
+pub use args::Args;
+pub use report::{print_table, save_json};

@@ -1,0 +1,116 @@
+//! Table rendering and JSON result archiving for the experiment binaries.
+//!
+//! Every experiment prints an aligned text table (paper values next to
+//! measured values) and archives machine-readable rows under
+//! `results/<experiment>.json` for EXPERIMENTS.md.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Renders an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n=== {} ===\n", title));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{:>width$}", c, width = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(title, headers, rows));
+}
+
+/// Directory where experiment outputs are archived.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("APF_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Saves a serializable value as pretty JSON under `results/<name>.json`.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {}", path.display(), e);
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {}: {}", name, e),
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{:.*}", digits, x)
+}
+
+/// Formats a speedup like the paper (`6.9x`).
+pub fn speedup(x: f64) -> String {
+    format!("{:.2}x", x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = render_table(
+            "T",
+            &["a", "longheader"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "20000".into()],
+            ],
+        );
+        assert!(s.contains("=== T ==="));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        // All data lines equal length.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(speedup(6.9), "6.90x");
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        std::env::set_var("APF_RESULTS_DIR", std::env::temp_dir().join("apf_results_test"));
+        save_json("unit_test", &vec![1, 2, 3]);
+        let p = results_dir().join("unit_test.json");
+        assert!(p.exists());
+        std::env::remove_var("APF_RESULTS_DIR");
+    }
+}

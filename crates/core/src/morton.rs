@@ -1,0 +1,91 @@
+//! Morton (Z-order) space-filling curve encoding.
+//!
+//! After the quadtree is built, leaf patches are ordered along a Morton
+//! Z-curve (paper §III-A, steps 4-5): sorting aligned quadrants by the Morton
+//! code of their corner pixel yields a sequence in which geometrically nearby
+//! patches stay nearby — the property the paper wants the token sequence to
+//! have — and children of one parent stay contiguous.
+
+/// Spreads the low 32 bits of `v` so there is a zero bit between every
+/// original bit (the classic "part 1 by 1" bit trick).
+#[inline]
+fn part1by1(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`part1by1`]: compacts every other bit.
+#[inline]
+fn compact1by1(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Interleaves `(x, y)` into a Morton code (x in even bits, y in odd bits).
+#[inline]
+pub fn morton_encode(x: u32, y: u32) -> u64 {
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Inverse of [`morton_encode`].
+#[inline]
+pub fn morton_decode(code: u64) -> (u32, u32) {
+    (compact1by1(code), compact1by1(code >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_codes() {
+        // The canonical Z pattern over a 2x2 grid: (0,0) (1,0) (0,1) (1,1).
+        assert_eq!(morton_encode(0, 0), 0);
+        assert_eq!(morton_encode(1, 0), 1);
+        assert_eq!(morton_encode(0, 1), 2);
+        assert_eq!(morton_encode(1, 1), 3);
+        // Second-level quadrant: (2,0) starts the next Z block.
+        assert_eq!(morton_encode(2, 0), 4);
+    }
+
+    #[test]
+    fn round_trip_exhaustive_small() {
+        for y in 0..32u32 {
+            for x in 0..32u32 {
+                assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_large_coords() {
+        for &(x, y) in &[(0xFFFF_FFFFu32, 0), (0, 0xFFFF_FFFF), (123_456_789, 987_654_321)] {
+            assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn quadrant_blocks_are_contiguous() {
+        // All 4 cells of the top-left 2x2 quadrant precede every cell of the
+        // top-right quadrant — the recursive-locality property.
+        let max_tl = (0..2)
+            .flat_map(|y| (0..2).map(move |x| morton_encode(x, y)))
+            .max()
+            .unwrap();
+        let min_tr = (0..2)
+            .flat_map(|y| (2..4).map(move |x| morton_encode(x, y)))
+            .min()
+            .unwrap();
+        assert!(max_tl < min_tr);
+    }
+}

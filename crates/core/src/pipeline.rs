@@ -1,0 +1,298 @@
+//! The Adaptive Patch Framework pipeline (Algorithm 1, lines 3-6):
+//! Gaussian blur -> Canny edges -> quadtree -> Z-order patch extraction ->
+//! optional pad/drop to a fixed sequence length.
+
+use std::time::Instant;
+
+use apf_imaging::canny::{canny, CannyConfig};
+use apf_imaging::filter::gaussian_blur;
+use apf_imaging::image::GrayImage;
+use serde::{Deserialize, Serialize};
+
+use crate::patchify::{extract_patches, PatchSequence};
+use crate::quadtree::{QuadTree, QuadTreeConfig, SplitCriterion};
+
+/// The paper's per-resolution hyper-parameter table (§III-A and §IV-B):
+/// resolutions, Gaussian kernel sizes, and quadtree depth limits.
+pub const PAPER_RESOLUTIONS: [usize; 7] = [512, 1024, 4096, 8192, 16384, 32768, 65536];
+/// Gaussian kernel size per [`PAPER_RESOLUTIONS`] entry.
+pub const PAPER_KERNELS: [usize; 7] = [3, 3, 5, 7, 9, 11, 13];
+/// Quadtree depth limit `H` per [`PAPER_RESOLUTIONS`] entry.
+pub const PAPER_DEPTHS: [u8; 7] = [9, 10, 12, 13, 14, 15, 16];
+
+/// Full configuration of the APF pre-processing pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatcherConfig {
+    /// Gaussian blur kernel size `k` (odd; paper uses 3-13 by resolution).
+    pub kernel: usize,
+    /// Gaussian sigma; 0 derives it from `k` (the paper's `sigma = 0`).
+    pub sigma: f32,
+    /// Canny hysteresis thresholds (paper: `[100, 200]`).
+    pub canny: CannyConfig,
+    /// Quadtree split rule, depth limit, and minimum leaf.
+    pub quadtree: QuadTreeConfig,
+    /// Minimal patch size `P_m` every leaf is projected to.
+    pub patch_size: usize,
+    /// If set, pad/drop the sequence to exactly this length `L`.
+    pub target_len: Option<usize>,
+    /// Seed for the random drop in [`PatchSequence::fixed_length`].
+    pub drop_seed: u64,
+}
+
+impl PatcherConfig {
+    /// The paper's hyper-parameters for a given resolution (nearest table
+    /// entry at or below `resolution`), with `P_m = 4` and no fixed length.
+    pub fn for_resolution(resolution: usize) -> Self {
+        let idx = PAPER_RESOLUTIONS
+            .iter()
+            .rposition(|&r| r <= resolution)
+            .unwrap_or(0);
+        PatcherConfig {
+            kernel: PAPER_KERNELS[idx],
+            sigma: 0.0,
+            canny: CannyConfig::default(),
+            quadtree: QuadTreeConfig {
+                criterion: SplitCriterion::EdgeCount { split_value: 100.0 },
+                max_depth: PAPER_DEPTHS[idx],
+                min_leaf: 2,
+                balance_2to1: false,
+            },
+            patch_size: 4,
+            target_len: None,
+            drop_seed: 0,
+        }
+    }
+
+    /// Sets the projected patch size `P_m`.
+    pub fn with_patch_size(mut self, pm: usize) -> Self {
+        self.patch_size = pm;
+        self
+    }
+
+    /// Sets the fixed sequence length `L`.
+    pub fn with_target_len(mut self, len: usize) -> Self {
+        self.target_len = Some(len);
+        self
+    }
+
+    /// Sets the quadtree split value `v`.
+    pub fn with_split_value(mut self, v: f64) -> Self {
+        self.quadtree.criterion = SplitCriterion::EdgeCount { split_value: v };
+        self
+    }
+
+    /// Sets the quadtree depth limit `H`.
+    pub fn with_max_depth(mut self, h: u8) -> Self {
+        self.quadtree.max_depth = h;
+        self
+    }
+}
+
+/// Wall-clock breakdown of one pre-processing run (overhead experiment,
+/// §IV-G.3).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PreprocessTiming {
+    /// Gaussian blur seconds.
+    pub blur_s: f64,
+    /// Canny seconds.
+    pub canny_s: f64,
+    /// Quadtree build seconds.
+    pub quadtree_s: f64,
+    /// Patch projection seconds.
+    pub extract_s: f64,
+}
+
+impl PreprocessTiming {
+    /// Total pre-processing seconds.
+    pub fn total_s(&self) -> f64 {
+        self.blur_s + self.canny_s + self.quadtree_s + self.extract_s
+    }
+}
+
+/// The APF pre-processor: turns images into mixed-scale patch sequences.
+///
+/// Stateless and cheap to clone; one instance can serve a whole dataset.
+#[derive(Debug, Clone)]
+pub struct AdaptivePatcher {
+    cfg: PatcherConfig,
+}
+
+impl AdaptivePatcher {
+    /// Creates a patcher from a configuration.
+    pub fn new(cfg: PatcherConfig) -> Self {
+        assert!(cfg.kernel % 2 == 1, "blur kernel must be odd");
+        assert!(cfg.patch_size >= 1);
+        AdaptivePatcher { cfg }
+    }
+
+    /// The patcher's configuration.
+    pub fn config(&self) -> &PatcherConfig {
+        &self.cfg
+    }
+
+    /// Runs blur -> Canny -> quadtree and returns the tree (no patch
+    /// extraction). Useful for statistics-only passes (Fig. 3, Table II
+    /// sequence lengths).
+    pub fn tree(&self, img: &GrayImage) -> QuadTree {
+        let blurred = gaussian_blur(img, self.cfg.kernel, self.cfg.sigma);
+        let edges = canny(&blurred, self.cfg.canny);
+        QuadTree::build(&edges, &self.cfg.quadtree)
+    }
+
+    /// Full Algorithm-1 pre-processing of one image.
+    pub fn patchify(&self, img: &GrayImage) -> PatchSequence {
+        let tree = self.tree(img);
+        let seq = extract_patches(img, &tree.leaves, self.cfg.patch_size);
+        match self.cfg.target_len {
+            Some(len) => seq.fixed_length(len, self.cfg.drop_seed),
+            None => seq,
+        }
+    }
+
+    /// Pre-processes an image together with its ground-truth mask: both are
+    /// patched over the *same* leaves, so token `i` of the image sequence
+    /// aligns with token `i` of the mask sequence.
+    pub fn patchify_with_mask(&self, img: &GrayImage, mask: &GrayImage) -> (PatchSequence, PatchSequence) {
+        assert_eq!(img.width(), mask.width());
+        assert_eq!(img.height(), mask.height());
+        let tree = self.tree(img);
+        let xs = extract_patches(img, &tree.leaves, self.cfg.patch_size);
+        let ys = extract_patches(mask, &tree.leaves, self.cfg.patch_size);
+        match self.cfg.target_len {
+            Some(len) => (
+                xs.fixed_length(len, self.cfg.drop_seed),
+                ys.fixed_length(len, self.cfg.drop_seed),
+            ),
+            None => (xs, ys),
+        }
+    }
+
+    /// Like [`AdaptivePatcher::patchify_with_mask`] but samples the mask
+    /// with nearest-neighbour projection, preserving integer class labels
+    /// (multi-class segmentation, e.g. BTCV organ maps).
+    pub fn patchify_with_labels(&self, img: &GrayImage, labels: &GrayImage) -> (PatchSequence, PatchSequence) {
+        assert_eq!(img.width(), labels.width());
+        assert_eq!(img.height(), labels.height());
+        let tree = self.tree(img);
+        let xs = extract_patches(img, &tree.leaves, self.cfg.patch_size);
+        let ys = crate::patchify::extract_patches_nearest(labels, &tree.leaves, self.cfg.patch_size);
+        match self.cfg.target_len {
+            Some(len) => (
+                xs.fixed_length(len, self.cfg.drop_seed),
+                ys.fixed_length(len, self.cfg.drop_seed),
+            ),
+            None => (xs, ys),
+        }
+    }
+
+    /// Like [`AdaptivePatcher::patchify`] but returns a stage-by-stage
+    /// wall-clock breakdown (the paper's overhead experiment).
+    pub fn timed_patchify(&self, img: &GrayImage) -> (PatchSequence, PreprocessTiming) {
+        let mut t = PreprocessTiming::default();
+        let t0 = Instant::now();
+        let blurred = gaussian_blur(img, self.cfg.kernel, self.cfg.sigma);
+        t.blur_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let edges = canny(&blurred, self.cfg.canny);
+        t.canny_s = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let tree = QuadTree::build(&edges, &self.cfg.quadtree);
+        t.quadtree_s = t2.elapsed().as_secs_f64();
+
+        let t3 = Instant::now();
+        let seq = extract_patches(img, &tree.leaves, self.cfg.patch_size);
+        let seq = match self.cfg.target_len {
+            Some(len) => seq.fixed_length(len, self.cfg.drop_seed),
+            None => seq,
+        };
+        t.extract_s = t3.elapsed().as_secs_f64();
+        (seq, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apf_imaging::paip::{PaipConfig, PaipGenerator};
+
+    #[test]
+    fn paper_hyperparameters_lookup() {
+        let c = PatcherConfig::for_resolution(512);
+        assert_eq!(c.kernel, 3);
+        assert_eq!(c.quadtree.max_depth, 9);
+        let c = PatcherConfig::for_resolution(4096);
+        assert_eq!(c.kernel, 5);
+        assert_eq!(c.quadtree.max_depth, 12);
+        let c = PatcherConfig::for_resolution(65536);
+        assert_eq!(c.kernel, 13);
+        assert_eq!(c.quadtree.max_depth, 16);
+        // In-between resolutions round down.
+        let c = PatcherConfig::for_resolution(2048);
+        assert_eq!(c.kernel, 3);
+    }
+
+    #[test]
+    fn apf_shortens_pathology_sequences() {
+        // The headline property: far fewer patches than the uniform grid at
+        // the same minimal patch size.
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(256));
+        let sample = gen.generate(0);
+        let patcher = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(256).with_patch_size(4),
+        );
+        let seq = patcher.patchify(&sample.image);
+        let uniform = (256 / 4) * (256 / 4);
+        assert!(
+            seq.len() * 2 < uniform,
+            "APF {} vs uniform {}",
+            seq.len(),
+            uniform
+        );
+    }
+
+    #[test]
+    fn mask_sequence_aligns_with_image_sequence() {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(128));
+        let s = gen.generate(1);
+        let patcher = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(128)
+                .with_patch_size(4)
+                .with_target_len(128),
+        );
+        let (xs, ys) = patcher.patchify_with_mask(&s.image, &s.mask);
+        assert_eq!(xs.len(), 128);
+        assert_eq!(ys.len(), 128);
+        for (a, b) in xs.patches.iter().zip(ys.patches.iter()) {
+            assert_eq!(a.region, b.region);
+        }
+    }
+
+    #[test]
+    fn timed_patchify_reports_positive_times() {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(128));
+        let s = gen.generate(2);
+        let patcher = AdaptivePatcher::new(PatcherConfig::for_resolution(128));
+        let (seq, timing) = patcher.timed_patchify(&s.image);
+        assert!(!seq.is_empty());
+        assert!(timing.total_s() > 0.0);
+        assert!(timing.total_s() < 60.0);
+    }
+
+    #[test]
+    fn split_value_sweep_monotone_on_real_texture() {
+        // Fig. 3's driver property on a generated pathology slide.
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(256));
+        let s = gen.generate(3);
+        let mut lens = Vec::new();
+        for v in [20.0, 50.0, 100.0] {
+            let p = AdaptivePatcher::new(
+                PatcherConfig::for_resolution(256).with_split_value(v),
+            );
+            lens.push(p.tree(&s.image).len());
+        }
+        assert!(lens[0] >= lens[1] && lens[1] >= lens[2], "{:?}", lens);
+        assert!(lens[0] > lens[2], "{:?}", lens);
+    }
+}

@@ -1,0 +1,559 @@
+//! Quadtree partitioning of an image by detail density (Eq. 6 of the paper).
+//!
+//! A quadrant `Q_h` is subdivided into `{Q_NW, Q_NE, Q_SW, Q_SE}` while the
+//! detail measure inside it exceeds the split value `v` and the depth bound
+//! `H` has not been reached. With the paper's edge-count criterion the detail
+//! measure is the number of Canny edge pixels in the quadrant, evaluated in
+//! O(1) via an integral image.
+
+use apf_imaging::image::GrayImage;
+use apf_imaging::integral::IntegralImage;
+use serde::{Deserialize, Serialize};
+
+use crate::morton::morton_encode;
+
+/// When to subdivide a quadrant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplitCriterion {
+    /// Paper's Eq. 6: split while the quadrant contains more than
+    /// `split_value` detail pixels (Canny edge pixels).
+    EdgeCount {
+        /// The split value `v`.
+        split_value: f64,
+    },
+    /// Ablation criterion: split while the pixel-intensity variance inside
+    /// the quadrant exceeds `threshold`. Shows the framework is agnostic to
+    /// the detail measure.
+    Variance {
+        /// Variance threshold in intensity units².
+        threshold: f64,
+    },
+}
+
+/// Quadtree construction parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QuadTreeConfig {
+    /// Split rule (Eq. 6 uses edge counts).
+    pub criterion: SplitCriterion,
+    /// Maximum depth `H`; the root is depth 0.
+    pub max_depth: u8,
+    /// Smallest allowed leaf side in pixels (paper goes down to 2).
+    pub min_leaf: u32,
+    /// Enforce the AMR 2:1 balance rule (§II-A of the paper: "at most one
+    /// level of refinement difference is typically allowed between
+    /// neighboring quadrants"). APF itself does not require it — the
+    /// transformer consumes leaves at any size ratio — but balanced trees
+    /// bound the scale jump between sequence-adjacent patches.
+    pub balance_2to1: bool,
+}
+
+impl Default for QuadTreeConfig {
+    fn default() -> Self {
+        QuadTreeConfig {
+            criterion: SplitCriterion::EdgeCount { split_value: 100.0 },
+            max_depth: 9,
+            min_leaf: 2,
+            balance_2to1: false,
+        }
+    }
+}
+
+/// One leaf quadrant of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeafRegion {
+    /// Left pixel coordinate.
+    pub x: u32,
+    /// Top pixel coordinate.
+    pub y: u32,
+    /// Side length in pixels (always a power of two for power-of-two
+    /// images).
+    pub size: u32,
+    /// Depth at which the leaf sits (root = 0).
+    pub depth: u8,
+}
+
+impl LeafRegion {
+    /// Morton code of the leaf's corner pixel; aligned quadrants sorted by
+    /// this key follow the Z-curve.
+    #[inline]
+    pub fn morton(&self) -> u64 {
+        morton_encode(self.x, self.y)
+    }
+
+    /// Pixel area of the leaf.
+    #[inline]
+    pub fn area(&self) -> u64 {
+        self.size as u64 * self.size as u64
+    }
+}
+
+/// A built quadtree: Z-ordered leaves plus build statistics.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    /// Image side length the tree was built over.
+    pub resolution: usize,
+    /// Leaves in Morton (Z-curve) order.
+    pub leaves: Vec<LeafRegion>,
+    /// Deepest level that actually occurred.
+    pub max_depth_reached: u8,
+    /// Total quadrants examined during the build.
+    pub nodes_visited: usize,
+}
+
+impl QuadTree {
+    /// Builds the tree over a detail image (for [`SplitCriterion::EdgeCount`]
+    /// this is the binary Canny edge map; for variance it is the image
+    /// itself).
+    ///
+    /// # Panics
+    /// Panics if the image is not square or smaller than `2 * min_leaf`.
+    pub fn build(detail: &GrayImage, cfg: &QuadTreeConfig) -> QuadTree {
+        assert_eq!(detail.width(), detail.height(), "quadtree requires square images");
+        let z = detail.width();
+        assert!(z >= 2 * cfg.min_leaf as usize, "image too small for min_leaf");
+        assert!(cfg.min_leaf >= 1);
+
+        let sums = IntegralImage::new(detail);
+        // For the variance criterion we also need sums of squares.
+        let sq_sums = match cfg.criterion {
+            SplitCriterion::Variance { .. } => {
+                let sq = GrayImage::from_raw(
+                    z,
+                    z,
+                    detail.data().iter().map(|&v| v * v).collect(),
+                );
+                Some(IntegralImage::new(&sq))
+            }
+            SplitCriterion::EdgeCount { .. } => None,
+        };
+
+        let mut tree = QuadTree {
+            resolution: z,
+            leaves: Vec::new(),
+            max_depth_reached: 0,
+            nodes_visited: 0,
+        };
+        tree.subdivide(&sums, sq_sums.as_ref(), cfg, 0, 0, z as u32, 0);
+        if cfg.balance_2to1 {
+            tree.enforce_2to1_balance(cfg);
+        }
+        tree.leaves.sort_by_key(LeafRegion::morton);
+        tree
+    }
+
+    /// Repeatedly splits any leaf with an edge-adjacent neighbour more than
+    /// one refinement level finer, until the 2:1 invariant holds.
+    /// Terminates because every pass strictly refines and depth/min-size
+    /// bounds cap refinement.
+    fn enforce_2to1_balance(&mut self, cfg: &QuadTreeConfig) {
+        loop {
+            // Coverage grid at the tree's finest granularity: cell (cx, cy)
+            // holds the size of the leaf covering it.
+            let gran = self.leaves.iter().map(|l| l.size).min().unwrap_or(1).max(1);
+            let g = (self.resolution as u32 / gran) as usize;
+            assert!(
+                g * g <= 1 << 26,
+                "2:1 balancing needs a {}x{} coverage grid; disable balance_2to1 at this scale",
+                g,
+                g
+            );
+            let mut size_at = vec![0u32; g * g];
+            for l in &self.leaves {
+                let cells = (l.size / gran) as usize;
+                let cx0 = (l.x / gran) as usize;
+                let cy0 = (l.y / gran) as usize;
+                for cy in cy0..cy0 + cells {
+                    for cx in cx0..cx0 + cells {
+                        size_at[cy * g + cx] = l.size;
+                    }
+                }
+            }
+            let finer_than = |cx: i64, cy: i64, threshold: u32| -> bool {
+                if cx < 0 || cy < 0 || cx >= g as i64 || cy >= g as i64 {
+                    return false;
+                }
+                let s = size_at[cy as usize * g + cx as usize];
+                s > 0 && s < threshold
+            };
+
+            let mut to_split = Vec::new();
+            for (i, l) in self.leaves.iter().enumerate() {
+                if l.size < 2 * cfg.min_leaf || l.depth >= cfg.max_depth {
+                    continue;
+                }
+                let threshold = l.size / 2;
+                let cx0 = (l.x / gran) as i64;
+                let cy0 = (l.y / gran) as i64;
+                let cells = (l.size / gran) as i64;
+                let mut violates = false;
+                for t in 0..cells {
+                    if finer_than(cx0 - 1, cy0 + t, threshold)
+                        || finer_than(cx0 + cells, cy0 + t, threshold)
+                        || finer_than(cx0 + t, cy0 - 1, threshold)
+                        || finer_than(cx0 + t, cy0 + cells, threshold)
+                    {
+                        violates = true;
+                        break;
+                    }
+                }
+                if violates {
+                    to_split.push(i);
+                }
+            }
+            if to_split.is_empty() {
+                return;
+            }
+            to_split.sort_unstable_by(|a, b| b.cmp(a));
+            for i in to_split {
+                let l = self.leaves.swap_remove(i);
+                let half = l.size / 2;
+                for (dx, dy) in [(0, 0), (half, 0), (0, half), (half, half)] {
+                    self.leaves.push(LeafRegion {
+                        x: l.x + dx,
+                        y: l.y + dy,
+                        size: half,
+                        depth: l.depth + 1,
+                    });
+                }
+                self.max_depth_reached = self.max_depth_reached.max(l.depth + 1);
+            }
+        }
+    }
+
+    /// Verifies the AMR 2:1 invariant: no leaf has an edge-adjacent leaf
+    /// smaller than half its side.
+    pub fn validate_2to1_balance(&self) -> Result<(), String> {
+        for a in &self.leaves {
+            for b in &self.leaves {
+                if b.size >= a.size / 2 {
+                    continue;
+                }
+                // Edge adjacency: share a border segment.
+                let horizontally_adjacent = (b.x + b.size == a.x || a.x + a.size == b.x)
+                    && b.y < a.y + a.size
+                    && a.y < b.y + b.size;
+                let vertically_adjacent = (b.y + b.size == a.y || a.y + a.size == b.y)
+                    && b.x < a.x + a.size
+                    && a.x < b.x + b.size;
+                if horizontally_adjacent || vertically_adjacent {
+                    return Err(format!("2:1 violation: {:?} touches much finer {:?}", a, b));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn subdivide(
+        &mut self,
+        sums: &IntegralImage,
+        sq_sums: Option<&IntegralImage>,
+        cfg: &QuadTreeConfig,
+        x: u32,
+        y: u32,
+        size: u32,
+        depth: u8,
+    ) {
+        self.nodes_visited += 1;
+        self.max_depth_reached = self.max_depth_reached.max(depth);
+
+        let can_split = depth < cfg.max_depth && size >= 2 * cfg.min_leaf && size >= 2;
+        let wants_split = can_split && self.detail_exceeds(sums, sq_sums, cfg, x, y, size);
+        if !wants_split {
+            self.leaves.push(LeafRegion { x, y, size, depth });
+            return;
+        }
+        let half = size / 2;
+        // NW, NE, SW, SE — recursion order is irrelevant; leaves are
+        // Z-sorted afterwards.
+        self.subdivide(sums, sq_sums, cfg, x, y, half, depth + 1);
+        self.subdivide(sums, sq_sums, cfg, x + half, y, half, depth + 1);
+        self.subdivide(sums, sq_sums, cfg, x, y + half, half, depth + 1);
+        self.subdivide(sums, sq_sums, cfg, x + half, y + half, size - half, depth + 1);
+    }
+
+    fn detail_exceeds(
+        &self,
+        sums: &IntegralImage,
+        sq_sums: Option<&IntegralImage>,
+        cfg: &QuadTreeConfig,
+        x: u32,
+        y: u32,
+        size: u32,
+    ) -> bool {
+        let (x, y, s) = (x as usize, y as usize, size as usize);
+        match cfg.criterion {
+            SplitCriterion::EdgeCount { split_value } => sums.rect_sum(x, y, s, s) > split_value,
+            SplitCriterion::Variance { threshold } => {
+                let n = (s * s) as f64;
+                let mean = sums.rect_sum(x, y, s, s) / n;
+                let mean_sq = sq_sums
+                    .expect("variance criterion requires squared integral")
+                    .rect_sum(x, y, s, s)
+                    / n;
+                (mean_sq - mean * mean).max(0.0) > threshold
+            }
+        }
+    }
+
+    /// Number of leaves (the adaptive sequence length before pad/drop).
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True if the tree has no leaves (never happens for valid builds).
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Mean leaf side length in pixels (reported in Fig. 3).
+    pub fn average_patch_size(&self) -> f64 {
+        if self.leaves.is_empty() {
+            return 0.0;
+        }
+        self.leaves.iter().map(|l| l.size as f64).sum::<f64>() / self.leaves.len() as f64
+    }
+
+    /// Verifies the partition invariant: leaves are disjoint and tile the
+    /// full image exactly. O(n log n); used by tests and debug assertions.
+    pub fn validate_partition(&self) -> Result<(), String> {
+        let total: u64 = self.leaves.iter().map(LeafRegion::area).sum();
+        let expect = (self.resolution * self.resolution) as u64;
+        if total != expect {
+            return Err(format!("leaf areas sum to {} != {}", total, expect));
+        }
+        for l in &self.leaves {
+            if l.x + l.size > self.resolution as u32 || l.y + l.size > self.resolution as u32 {
+                return Err(format!("leaf {:?} out of bounds", l));
+            }
+        }
+        // Exact disjointness via a coverage bitmap for sizes where the
+        // bitmap is affordable; combined with the exact area check above,
+        // "every pixel covered at most once" + "areas sum to the image"
+        // implies a perfect tiling.
+        if self.resolution <= 4096 {
+            let z = self.resolution;
+            let mut covered = vec![false; z * z];
+            for l in &self.leaves {
+                for y in l.y..l.y + l.size {
+                    let row = y as usize * z;
+                    for x in l.x..l.x + l.size {
+                        let i = row + x as usize;
+                        if covered[i] {
+                            return Err(format!("pixel ({}, {}) covered twice", x, y));
+                        }
+                        covered[i] = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_cross(z: usize) -> GrayImage {
+        // Edges along the two centre lines.
+        GrayImage::from_fn(z, z, |x, y| {
+            if x == z / 2 || y == z / 2 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn flat_image_yields_single_leaf() {
+        let img = GrayImage::new(64, 64);
+        let tree = QuadTree::build(&img, &QuadTreeConfig::default());
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.leaves[0].size, 64);
+        tree.validate_partition().unwrap();
+    }
+
+    #[test]
+    fn detail_forces_subdivision() {
+        let img = edge_cross(64);
+        let cfg = QuadTreeConfig {
+            criterion: SplitCriterion::EdgeCount { split_value: 4.0 },
+            max_depth: 6,
+            min_leaf: 2,
+            balance_2to1: false,
+        };
+        let tree = QuadTree::build(&img, &cfg);
+        assert!(tree.len() > 16, "expected many leaves, got {}", tree.len());
+        tree.validate_partition().unwrap();
+        // Small leaves hug the cross; large leaves fill the quiet corners.
+        let sizes: Vec<u32> = tree.leaves.iter().map(|l| l.size).collect();
+        assert!(sizes.iter().any(|&s| s == 2));
+        assert!(sizes.iter().any(|&s| s >= 8));
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let img = edge_cross(64);
+        for h in [1u8, 2, 3] {
+            let cfg = QuadTreeConfig {
+                criterion: SplitCriterion::EdgeCount { split_value: 0.5 },
+                max_depth: h,
+                min_leaf: 1,
+                balance_2to1: false,
+            };
+            let tree = QuadTree::build(&img, &cfg);
+            assert!(tree.leaves.iter().all(|l| l.depth <= h));
+            assert_eq!(tree.max_depth_reached, h);
+            tree.validate_partition().unwrap();
+        }
+    }
+
+    #[test]
+    fn min_leaf_is_respected() {
+        let img = edge_cross(64);
+        let cfg = QuadTreeConfig {
+            criterion: SplitCriterion::EdgeCount { split_value: 0.5 },
+            max_depth: 12,
+            min_leaf: 4,
+            balance_2to1: false,
+        };
+        let tree = QuadTree::build(&img, &cfg);
+        assert!(tree.leaves.iter().all(|l| l.size >= 4));
+    }
+
+    #[test]
+    fn split_value_controls_sequence_length() {
+        let img = edge_cross(128);
+        let len_at = |v: f64| {
+            let cfg = QuadTreeConfig {
+                criterion: SplitCriterion::EdgeCount { split_value: v },
+                max_depth: 10,
+                min_leaf: 2,
+                balance_2to1: false,
+            };
+            QuadTree::build(&img, &cfg).len()
+        };
+        // Halving the split value must not shorten the sequence.
+        assert!(len_at(20.0) >= len_at(50.0));
+        assert!(len_at(50.0) >= len_at(100.0));
+        assert!(len_at(20.0) > len_at(200.0));
+    }
+
+    #[test]
+    fn leaves_are_z_ordered() {
+        let img = edge_cross(64);
+        let tree = QuadTree::build(&img, &QuadTreeConfig::default());
+        for pair in tree.leaves.windows(2) {
+            assert!(pair[0].morton() < pair[1].morton());
+        }
+    }
+
+    #[test]
+    fn worst_case_uniform_detail_degenerates_to_grid() {
+        // Detail everywhere: quadtree == uniform grid at the depth bound
+        // (paper: "the worst case becomes like uniform grid patching").
+        let img = GrayImage::from_raw(32, 32, vec![1.0; 1024]);
+        let cfg = QuadTreeConfig {
+            criterion: SplitCriterion::EdgeCount { split_value: 3.0 },
+            max_depth: 3,
+            min_leaf: 1,
+            balance_2to1: false,
+        };
+        let tree = QuadTree::build(&img, &cfg);
+        assert_eq!(tree.len(), 64); // 4^3
+        assert!(tree.leaves.iter().all(|l| l.size == 4));
+    }
+
+    #[test]
+    fn variance_criterion_splits_textured_regions() {
+        let img = GrayImage::from_fn(64, 64, |x, y| {
+            if x < 32 {
+                0.5 // flat half
+            } else {
+                ((x + y) % 2) as f32 // checkerboard half
+            }
+        });
+        let cfg = QuadTreeConfig {
+            criterion: SplitCriterion::Variance { threshold: 0.01 },
+            max_depth: 4,
+            min_leaf: 2,
+            balance_2to1: false,
+        };
+        let tree = QuadTree::build(&img, &cfg);
+        tree.validate_partition().unwrap();
+        // Flat side keeps big leaves; textured side is shredded.
+        let left_max = tree.leaves.iter().filter(|l| l.x < 32).map(|l| l.size).max().unwrap();
+        let right_max = tree.leaves.iter().filter(|l| l.x >= 32).map(|l| l.size).max().unwrap();
+        assert!(left_max > right_max);
+    }
+
+    #[test]
+    fn unbalanced_tree_can_violate_2to1() {
+        // Detail concentrated in one corner produces a sharp size gradient.
+        let img = GrayImage::from_fn(64, 64, |x, y| {
+            if x < 8 && y < 8 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let cfg = QuadTreeConfig {
+            criterion: SplitCriterion::EdgeCount { split_value: 2.0 },
+            max_depth: 5,
+            min_leaf: 2,
+            balance_2to1: false,
+        };
+        let tree = QuadTree::build(&img, &cfg);
+        assert!(tree.validate_2to1_balance().is_err(), "expected an unbalanced tree");
+    }
+
+    #[test]
+    fn balance_2to1_restores_invariant_and_keeps_partition() {
+        let img = GrayImage::from_fn(64, 64, |x, y| {
+            if x < 8 && y < 8 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let cfg = QuadTreeConfig {
+            criterion: SplitCriterion::EdgeCount { split_value: 2.0 },
+            max_depth: 5,
+            min_leaf: 2,
+            balance_2to1: true,
+        };
+        let tree = QuadTree::build(&img, &cfg);
+        tree.validate_partition().unwrap();
+        tree.validate_2to1_balance().unwrap();
+        // Still Z-ordered after the balancing pass.
+        for w in tree.leaves.windows(2) {
+            assert!(w[0].morton() < w[1].morton());
+        }
+        // Balancing only refines: at least as many leaves as unbalanced.
+        let unbalanced = QuadTree::build(
+            &img,
+            &QuadTreeConfig { balance_2to1: false, ..cfg },
+        );
+        assert!(tree.len() >= unbalanced.len());
+    }
+
+    #[test]
+    fn balance_noop_on_already_balanced_trees() {
+        // A flat image (single leaf) and a uniform grid are both balanced.
+        let flat = QuadTree::build(
+            &GrayImage::new(32, 32),
+            &QuadTreeConfig { balance_2to1: true, ..QuadTreeConfig::default() },
+        );
+        assert_eq!(flat.len(), 1);
+        flat.validate_2to1_balance().unwrap();
+    }
+
+    #[test]
+    fn average_patch_size_single_leaf() {
+        let img = GrayImage::new(16, 16);
+        let tree = QuadTree::build(&img, &QuadTreeConfig::default());
+        assert_eq!(tree.average_patch_size(), 16.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Uniform grid patching — the ViT baseline APF is compared against.
+//!
+//! Divides a `Z x Z` image into `(Z/P)^2` non-overlapping `P x P` patches,
+//! concatenated row-major (the standard ViT order).
+
+use apf_imaging::image::GrayImage;
+use apf_tensor::tensor::Tensor;
+
+use crate::patchify::{Patch, PatchSequence};
+use crate::quadtree::LeafRegion;
+
+/// Sequence length of uniform patching: `(Z / P)^2`.
+pub fn uniform_sequence_length(resolution: usize, patch: usize) -> usize {
+    assert!(patch > 0 && resolution.is_multiple_of(patch), "patch must divide resolution");
+    let g = resolution / patch;
+    g * g
+}
+
+/// Extracts the uniform grid as a [`PatchSequence`] (row-major order).
+///
+/// Returned patches carry their grid region, so the same reconstruction and
+/// tensor paths as adaptive sequences apply.
+pub fn uniform_patches(img: &GrayImage, patch: usize) -> PatchSequence {
+    let z = img.width();
+    assert_eq!(img.width(), img.height(), "uniform patching requires square images");
+    assert!(patch > 0 && z.is_multiple_of(patch), "patch must divide resolution");
+    let g = z / patch;
+    let depth = (g as f32).log2() as u8;
+    let mut patches = Vec::with_capacity(g * g);
+    for gy in 0..g {
+        for gx in 0..g {
+            let crop = img.crop(gx * patch, gy * patch, patch, patch);
+            patches.push(Patch {
+                pixels: crop.data().to_vec(),
+                region: Some(LeafRegion {
+                    x: (gx * patch) as u32,
+                    y: (gy * patch) as u32,
+                    size: patch as u32,
+                    depth,
+                }),
+            });
+        }
+    }
+    PatchSequence {
+        patches,
+        patch_size: patch,
+        resolution: z,
+    }
+}
+
+/// Reassembles a row-major uniform patch tensor `[N, P*P]` into an image.
+pub fn uniform_reconstruct(preds: &Tensor, resolution: usize, patch: usize) -> GrayImage {
+    let g = resolution / patch;
+    assert_eq!(preds.numel(), g * g * patch * patch);
+    let mut out = GrayImage::new(resolution, resolution);
+    let d = patch * patch;
+    for (i, block) in preds.data().chunks_exact(d).enumerate() {
+        let gx = i % g;
+        let gy = i / g;
+        for yy in 0..patch {
+            for xx in 0..patch {
+                out.set(gx * patch + xx, gy * patch + yy, block[yy * patch + xx]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_length_formula() {
+        // The paper's example: Z = 512, P = 8 -> N = 4096.
+        assert_eq!(uniform_sequence_length(512, 8), 4096);
+        assert_eq!(uniform_sequence_length(64, 16), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn non_divisible_patch_panics() {
+        uniform_sequence_length(100, 7);
+    }
+
+    #[test]
+    fn patches_tile_image_row_major() {
+        let img = GrayImage::from_fn(8, 8, |x, y| (y * 8 + x) as f32);
+        let seq = uniform_patches(&img, 4);
+        assert_eq!(seq.len(), 4);
+        // Top-left patch first, then top-right.
+        assert_eq!(seq.patches[0].pixels[0], 0.0);
+        assert_eq!(seq.patches[1].pixels[0], 4.0);
+        assert_eq!(seq.patches[2].pixels[0], 32.0);
+    }
+
+    #[test]
+    fn round_trip_through_tensor() {
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * 3 + y * 5) % 11) as f32 / 10.0);
+        let seq = uniform_patches(&img, 4);
+        let rec = uniform_reconstruct(&seq.to_tensor(), 16, 4);
+        assert_eq!(rec.data(), img.data());
+    }
+}

@@ -1,0 +1,183 @@
+//! Ring all-reduce: an analytic cost model and a real multi-threaded
+//! implementation over crossbeam channels.
+//!
+//! The thread version implements the classic two-phase ring algorithm
+//! (reduce-scatter then all-gather, each `P - 1` steps over `1/P`-sized
+//! segments); it is what the data-parallel engine uses to average
+//! gradients, so gradient synchronization in this workspace is genuinely
+//! implemented rather than assumed.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::gpu::Fabric;
+
+/// Predicted seconds for a ring all-reduce of `bytes` over `gpus` devices.
+///
+/// Standard model: `2 * (P-1)/P * bytes` cross the bottleneck link, plus
+/// `2 * (P-1)` hop latencies.
+pub fn ring_allreduce_seconds(bytes: f64, gpus: usize, fabric: &Fabric) -> f64 {
+    if gpus <= 1 {
+        return 0.0;
+    }
+    let p = gpus as f64;
+    let bw = fabric.ring_bandwidth(gpus);
+    let lat = fabric.ring_latency(gpus);
+    2.0 * (p - 1.0) / p * bytes / bw + 2.0 * (p - 1.0) * lat
+}
+
+/// Real ring all-reduce across threads: every worker contributes one buffer
+/// and receives the elementwise **mean** of all buffers.
+///
+/// Buffers must share one length. Workers are OS threads connected in a
+/// ring of bounded channels; each runs reduce-scatter then all-gather on
+/// `P` segments.
+pub fn ring_allreduce_mean(mut buffers: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let p = buffers.len();
+    assert!(p > 0, "no buffers");
+    let n = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == n),
+        "all buffers must have equal length"
+    );
+    if p == 1 {
+        return buffers;
+    }
+    if n == 0 {
+        return buffers;
+    }
+
+    // Segment boundaries: P segments covering 0..n.
+    let bounds: Vec<(usize, usize)> = (0..p)
+        .map(|s| (s * n / p, (s + 1) * n / p))
+        .collect();
+
+    // Ring channels: worker i sends to (i + 1) % p.
+    let mut senders: Vec<Option<Sender<Vec<f32>>>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> = (0..p).map(|_| None).collect();
+    for i in 0..p {
+        let (tx, rx) = bounded::<Vec<f32>>(2);
+        senders.push(Some(tx));
+        receivers[(i + 1) % p] = Some(rx);
+    }
+
+    let inv_p = 1.0f32 / p as f32;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buffers
+            .drain(..)
+            .enumerate()
+            .map(|(rank, mut buf)| {
+                let tx = senders[rank].take().expect("sender");
+                let rx = receivers[rank].take().expect("receiver");
+                let bounds = bounds.clone();
+                scope.spawn(move || {
+                    // Phase 1: reduce-scatter. After step k, the segment
+                    // `(rank - k) mod p` we just received holds partial sums.
+                    for k in 0..p - 1 {
+                        let send_seg = (rank + p - k) % p;
+                        let (s0, s1) = bounds[send_seg];
+                        tx.send(buf[s0..s1].to_vec()).expect("ring send");
+                        let recv_seg = (rank + p - k - 1) % p;
+                        let (r0, r1) = bounds[recv_seg];
+                        let incoming = rx.recv().expect("ring recv");
+                        for (dst, src) in buf[r0..r1].iter_mut().zip(incoming.iter()) {
+                            *dst += src;
+                        }
+                    }
+                    // Rank now owns the fully-reduced segment (rank + 1) % p.
+                    // Scale it to a mean before circulating.
+                    {
+                        let own = (rank + 1) % p;
+                        let (s0, s1) = bounds[own];
+                        for v in &mut buf[s0..s1] {
+                            *v *= inv_p;
+                        }
+                    }
+                    // Phase 2: all-gather of the reduced segments.
+                    for k in 0..p - 1 {
+                        let send_seg = (rank + 1 + p - k) % p;
+                        let (s0, s1) = bounds[send_seg];
+                        tx.send(buf[s0..s1].to_vec()).expect("ring send");
+                        let recv_seg = (rank + p - k) % p;
+                        let (r0, r1) = bounds[recv_seg];
+                        let incoming = rx.recv().expect("ring recv");
+                        buf[r0..r1].copy_from_slice(&incoming);
+                    }
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expect_mean(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let p = inputs.len() as f32;
+        let n = inputs[0].len();
+        (0..n)
+            .map(|i| inputs.iter().map(|b| b[i]).sum::<f32>() / p)
+            .collect()
+    }
+
+    #[test]
+    fn allreduce_two_workers() {
+        let inputs = vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]];
+        let expect = expect_mean(&inputs);
+        let out = ring_allreduce_mean(inputs);
+        for o in &out {
+            for (a, b) in o.iter().zip(expect.iter()) {
+                assert!((a - b).abs() < 1e-6, "{:?} vs {:?}", o, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_mean_for_many_workers() {
+        for p in [2usize, 3, 4, 7, 8] {
+            let inputs: Vec<Vec<f32>> = (0..p)
+                .map(|r| (0..103).map(|i| ((r * 131 + i * 7) % 23) as f32 - 11.0).collect())
+                .collect();
+            let expect = expect_mean(&inputs);
+            let out = ring_allreduce_mean(inputs);
+            assert_eq!(out.len(), p);
+            for o in &out {
+                for (a, b) in o.iter().zip(expect.iter()) {
+                    assert!((a - b).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_single_worker_is_identity() {
+        let out = ring_allreduce_mean(vec![vec![1.0, 2.0]]);
+        assert_eq!(out, vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn allreduce_short_buffer_edge_case() {
+        // Fewer elements than workers: some segments are empty.
+        let inputs = vec![vec![4.0], vec![8.0], vec![0.0]];
+        let out = ring_allreduce_mean(inputs);
+        for o in &out {
+            assert!((o[0] - 4.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cost_model_monotonic_in_bytes_and_capped_factor() {
+        let f = Fabric::frontier();
+        let t1 = ring_allreduce_seconds(1e6, 8, &f);
+        let t2 = ring_allreduce_seconds(2e6, 8, &f);
+        assert!(t2 > t1);
+        // The (P-1)/P factor approaches 1: doubling GPUs at fixed bytes
+        // less-than-doubles the bandwidth term.
+        let t8 = ring_allreduce_seconds(1e9, 8, &f);
+        let t1024 = ring_allreduce_seconds(1e9, 1024, &f);
+        assert!(t1024 < t8 * 2.0);
+        assert_eq!(ring_allreduce_seconds(1e9, 1, &f), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Cluster-level performance prediction: sec/image for data-parallel
+//! training on a Frontier-like system.
+//!
+//! The model composes [`crate::cost::step_cost`] (per-image FLOPs from the
+//! sequence length) with the device model and the ring all-reduce cost. A
+//! single calibration constant aligns the absolute scale with the paper's
+//! measured 512² baseline row; every other prediction then follows from the
+//! model with no further fitting, so *shapes* (who wins, how speedups move
+//! with resolution) are genuine predictions.
+
+use serde::Serialize;
+
+use crate::allreduce::ring_allreduce_seconds;
+use crate::cost::{step_cost, ModelDims};
+use crate::gpu::{Fabric, GpuSpec};
+
+/// A modeled data-parallel training deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterModel {
+    /// Device model.
+    pub gpu: GpuSpec,
+    /// Interconnect model.
+    pub fabric: Fabric,
+    /// Per-GPU images per step (micro-batch).
+    pub per_gpu_batch: usize,
+}
+
+/// Prediction breakdown for one configuration.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Prediction {
+    /// Seconds of compute per image on one GPU.
+    pub compute_s: f64,
+    /// All-reduce seconds per step (amortized over the global batch in
+    /// `sec_per_image`).
+    pub comm_s: f64,
+    /// End-to-end seconds per image at the global scale.
+    pub sec_per_image: f64,
+    /// Whether the attention activations fit in one GPU's memory.
+    pub fits_memory: bool,
+}
+
+impl ClusterModel {
+    /// A Frontier-like deployment with per-GPU batch 1 (long sequences).
+    pub fn frontier() -> Self {
+        ClusterModel {
+            gpu: GpuSpec::mi250x(),
+            fabric: Fabric::frontier(),
+            per_gpu_batch: 1,
+        }
+    }
+
+    /// Predicts training throughput for a model processing sequences of
+    /// length `n` on `gpus` devices.
+    ///
+    /// `calibration` multiplies the compute time; calibrate once against a
+    /// measured row (see [`calibrate`]).
+    pub fn predict(&self, dims: &ModelDims, n: usize, gpus: usize, calibration: f64) -> Prediction {
+        let cost = step_cost(dims, n);
+        let compute_s = cost.total_flops() / self.gpu.sustained_flops() * calibration;
+        let comm_s = ring_allreduce_seconds(dims.param_bytes(), gpus, &self.fabric);
+        // Data parallel: each step processes gpus * per_gpu_batch images;
+        // compute is per image, comm amortizes over the per-GPU batch.
+        let sec_per_image = compute_s + comm_s / self.per_gpu_batch as f64;
+        let fits_memory = cost.attn_bytes * self.per_gpu_batch as f64 * 2.0 < self.gpu.mem_bytes;
+        Prediction {
+            compute_s,
+            comm_s,
+            sec_per_image,
+            fits_memory,
+        }
+    }
+}
+
+/// Solves for the calibration constant that makes `predict` reproduce a
+/// measured `sec_per_image` at a reference configuration.
+pub fn calibrate(
+    cluster: &ClusterModel,
+    dims: &ModelDims,
+    n: usize,
+    gpus: usize,
+    measured_sec_per_image: f64,
+) -> f64 {
+    let raw = cluster.predict(dims, n, gpus, 1.0);
+    let comm = raw.comm_s / cluster.per_gpu_batch as f64;
+    let target_compute = (measured_sec_per_image - comm).max(1e-9);
+    target_compute / raw.compute_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_reference_row() {
+        // Paper Table II: UNETR-4 on 512^2 (N = 16384) on 1 GPU measured
+        // 0.4863 s/image.
+        let cluster = ClusterModel::frontier();
+        let dims = ModelDims::vit_base(4);
+        let c = calibrate(&cluster, &dims, 16384, 1, 0.4863);
+        let p = cluster.predict(&dims, 16384, 1, c);
+        assert!((p.sec_per_image - 0.4863).abs() / 0.4863 < 0.01, "{}", p.sec_per_image);
+    }
+
+    #[test]
+    fn shorter_sequences_are_faster() {
+        let cluster = ClusterModel::frontier();
+        let dims = ModelDims::vit_base(4);
+        let long = cluster.predict(&dims, 16384, 1, 1.0);
+        let short = cluster.predict(&dims, 1024, 1, 1.0);
+        assert!(short.sec_per_image < long.sec_per_image / 5.0);
+    }
+
+    #[test]
+    fn communication_grows_then_saturates_with_gpus() {
+        let cluster = ClusterModel::frontier();
+        let dims = ModelDims::vit_base(4);
+        let p4 = cluster.predict(&dims, 1024, 4, 1.0);
+        let p64 = cluster.predict(&dims, 1024, 64, 1.0);
+        let p2048 = cluster.predict(&dims, 1024, 2048, 1.0);
+        assert!(p64.comm_s > p4.comm_s);
+        // (P-1)/P saturation: 2048 vs 64 GPUs differ by < 35% in bandwidth
+        // terms (latency term still grows).
+        assert!(p2048.comm_s < p64.comm_s * 3.0);
+    }
+
+    #[test]
+    fn long_sequences_blow_memory() {
+        let cluster = ClusterModel::frontier();
+        let dims = ModelDims::vit_base(4);
+        // 16K tokens: 12 layers x (16384^2 x 4B) = ~12.9 GB -> fits 128 GB.
+        assert!(cluster.predict(&dims, 16384, 1, 1.0).fits_memory);
+        // 262144 tokens (512^2 image at patch 1): attention matrices alone
+        // are ~3.3 PB -> cannot fit.
+        assert!(!cluster.predict(&dims, 262_144, 1, 1.0).fits_memory);
+    }
+}

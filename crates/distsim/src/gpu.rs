@@ -1,0 +1,109 @@
+//! Device and fabric models of a Frontier-like system.
+//!
+//! Numbers follow the paper's §IV-A description of Frontier nodes: four
+//! AMD Instinct MI250X per node (128 GB HBM each), 50 GB/s Infinity-Fabric
+//! GPU-GPU links inside a node, Slingshot-11 at 100 GB/s between nodes.
+
+use serde::Serialize;
+
+/// A GPU's sustained-performance model.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct GpuSpec {
+    /// Marketing name (for reports).
+    pub name: &'static str,
+    /// Peak dense f32 throughput, FLOP/s.
+    pub peak_flops: f64,
+    /// HBM capacity in bytes.
+    pub mem_bytes: f64,
+    /// HBM bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Fraction of peak achieved by real training kernels (calibrated).
+    pub efficiency: f64,
+}
+
+impl GpuSpec {
+    /// An MI250X-like device (one dual-GCD module).
+    pub fn mi250x() -> Self {
+        GpuSpec {
+            name: "MI250X",
+            peak_flops: 47.9e12, // fp32 vector peak of the module
+            mem_bytes: 128e9,
+            mem_bw: 3.2e12,
+            efficiency: 0.33,
+        }
+    }
+
+    /// Sustained FLOP/s after the efficiency factor.
+    pub fn sustained_flops(&self) -> f64 {
+        self.peak_flops * self.efficiency
+    }
+}
+
+/// Two-level interconnect: fast intra-node links, slower inter-node fabric.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fabric {
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Intra-node per-link bandwidth, bytes/s.
+    pub intra_bw: f64,
+    /// Inter-node per-node injection bandwidth, bytes/s.
+    pub inter_bw: f64,
+    /// Per-message latency within a node, seconds.
+    pub intra_latency: f64,
+    /// Per-message latency across nodes, seconds.
+    pub inter_latency: f64,
+}
+
+impl Fabric {
+    /// Frontier-like: 4 MI250X/node, Infinity Fabric 50 GB/s, Slingshot-11
+    /// 100 GB/s.
+    pub fn frontier() -> Self {
+        Fabric {
+            gpus_per_node: 4,
+            intra_bw: 50e9,
+            inter_bw: 100e9,
+            intra_latency: 2e-6,
+            inter_latency: 10e-6,
+        }
+    }
+
+    /// Bottleneck per-hop bandwidth for a ring spanning `gpus` devices.
+    pub fn ring_bandwidth(&self, gpus: usize) -> f64 {
+        if gpus <= self.gpus_per_node {
+            self.intra_bw
+        } else {
+            // A ring over many nodes is limited by the inter-node hop; the
+            // per-node injection bandwidth is shared by the node's GPUs.
+            self.inter_bw / self.gpus_per_node as f64
+        }
+    }
+
+    /// Per-hop latency for a ring spanning `gpus` devices.
+    pub fn ring_latency(&self, gpus: usize) -> f64 {
+        if gpus <= self.gpus_per_node {
+            self.intra_latency
+        } else {
+            self.inter_latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mi250x_sustained_below_peak() {
+        let g = GpuSpec::mi250x();
+        assert!(g.sustained_flops() < g.peak_flops);
+        assert!(g.sustained_flops() > 0.2 * g.peak_flops);
+    }
+
+    #[test]
+    fn ring_bandwidth_drops_across_nodes() {
+        let f = Fabric::frontier();
+        assert_eq!(f.ring_bandwidth(4), 50e9);
+        assert!(f.ring_bandwidth(8) < f.ring_bandwidth(4));
+        assert!(f.ring_latency(8) > f.ring_latency(4));
+    }
+}

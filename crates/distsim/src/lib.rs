@@ -1,0 +1,29 @@
+//! # apf-distsim
+//!
+//! Distributed-training substrate for the APF reproduction, standing in for
+//! the paper's 9,408-node Frontier deployment:
+//!
+//! - [`gpu`] — MI250X-like device model and the two-level Frontier fabric
+//!   (Infinity Fabric intra-node, Slingshot-11 inter-node).
+//! - [`allreduce`] — ring all-reduce: analytic cost model **and** a real
+//!   multi-threaded implementation used for gradient averaging.
+//! - [`cost`] — FLOP/memory accounting of transformer training as a
+//!   function of sequence length (the quantity APF reduces).
+//! - [`cluster`] — sec/image predictions for N-GPU data-parallel training,
+//!   calibrated once against a single measured row of the paper.
+//! - [`engine`] — a genuine thread-per-GPU data-parallel trainer whose
+//!   tests prove step-equivalence with single-worker training.
+
+pub mod allreduce;
+pub mod cluster;
+pub mod cost;
+pub mod engine;
+pub mod gpu;
+pub mod tree_allreduce;
+
+pub use allreduce::{ring_allreduce_mean, ring_allreduce_seconds};
+pub use cluster::{calibrate, ClusterModel, Prediction};
+pub use cost::{step_cost, ModelDims, StepCost};
+pub use engine::{DataParallelEngine, StepReport};
+pub use gpu::{Fabric, GpuSpec};
+pub use tree_allreduce::{tree_allreduce_mean, tree_allreduce_seconds};

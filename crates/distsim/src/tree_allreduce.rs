@@ -1,0 +1,174 @@
+//! Binary-tree all-reduce (reduce-to-root + broadcast) — the classic
+//! alternative to the ring, better for small messages (O(log P) latency)
+//! and worse for large ones (root link carries full buffers).
+//!
+//! Implemented both as an analytic cost model and as a real multi-threaded
+//! algorithm, so the ring-vs-tree tradeoff the fabric model predicts can be
+//! checked against measured thread timings (`cargo bench -p apf-bench`
+//! `ring_allreduce` vs the `allreduce_comparison` experiment).
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::gpu::Fabric;
+
+/// Predicted seconds for a tree all-reduce of `bytes` over `gpus` devices:
+/// `2 * log2(P)` hops each carrying the full buffer.
+pub fn tree_allreduce_seconds(bytes: f64, gpus: usize, fabric: &Fabric) -> f64 {
+    if gpus <= 1 {
+        return 0.0;
+    }
+    let hops = 2.0 * (gpus as f64).log2().ceil();
+    let bw = fabric.ring_bandwidth(gpus);
+    let lat = fabric.ring_latency(gpus);
+    hops * (bytes / bw + lat)
+}
+
+/// Real tree all-reduce across threads: every worker contributes one buffer
+/// and receives the elementwise **mean**.
+///
+/// Reduction pairs workers at stride 1, 2, 4, ... (non-power-of-two counts
+/// fold the tail into the tree); the root scales and broadcasts back down
+/// the same edges.
+pub fn tree_allreduce_mean(buffers: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let p = buffers.len();
+    assert!(p > 0, "no buffers");
+    let n = buffers[0].len();
+    assert!(buffers.iter().all(|b| b.len() == n), "buffer length mismatch");
+    if p == 1 {
+        return buffers;
+    }
+
+    // Channel matrix: pair (from, to) used during reduce and reversed
+    // during broadcast.
+    let mut txs: Vec<Vec<Option<Sender<Vec<f32>>>>> = (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    let mut rxs: Vec<Vec<Option<Receiver<Vec<f32>>>>> = (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    let mut connect = |a: usize, b: usize| {
+        if txs[a][b].is_none() {
+            let (t1, r1) = bounded::<Vec<f32>>(1);
+            txs[a][b] = Some(t1);
+            rxs[b][a] = Some(r1);
+            let (t2, r2) = bounded::<Vec<f32>>(1);
+            txs[b][a] = Some(t2);
+            rxs[a][b] = Some(r2);
+        }
+    };
+    // Plan the reduction schedule so we know which edges to create.
+    let mut stride = 1;
+    let mut schedule: Vec<(usize, usize)> = Vec::new(); // (child, parent)
+    while stride < p {
+        let mut r = 0;
+        while r + stride < p {
+            if r % (2 * stride) == 0 {
+                schedule.push((r + stride, r));
+            }
+            r += stride;
+        }
+        stride *= 2;
+    }
+    for &(c, par) in &schedule {
+        connect(c, par);
+    }
+
+    let inv_p = 1.0f32 / p as f32;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buffers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut buf)| {
+                let my_tx: Vec<Option<Sender<Vec<f32>>>> = txs[rank].iter_mut().map(|t| t.take()).collect();
+                let my_rx: Vec<Option<Receiver<Vec<f32>>>> = rxs[rank].iter_mut().map(|r| r.take()).collect();
+                let schedule = schedule.clone();
+                scope.spawn(move || {
+                    // Reduce phase.
+                    for &(child, parent) in &schedule {
+                        if rank == child {
+                            my_tx[parent].as_ref().expect("edge").send(std::mem::take(&mut buf)).expect("send");
+                        } else if rank == parent {
+                            let incoming = my_rx[child].as_ref().expect("edge").recv().expect("recv");
+                            for (d, s) in buf.iter_mut().zip(incoming.iter()) {
+                                *d += s;
+                            }
+                        }
+                    }
+                    if rank == 0 {
+                        for v in &mut buf {
+                            *v *= inv_p;
+                        }
+                    }
+                    // Broadcast phase: reverse schedule.
+                    for &(child, parent) in schedule.iter().rev() {
+                        if rank == parent {
+                            my_tx[child].as_ref().expect("edge").send(buf.clone()).expect("send");
+                        } else if rank == child {
+                            buf = my_rx[parent].as_ref().expect("edge").recv().expect("recv");
+                        }
+                    }
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expect_mean(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let p = inputs.len() as f32;
+        (0..inputs[0].len())
+            .map(|i| inputs.iter().map(|b| b[i]).sum::<f32>() / p)
+            .collect()
+    }
+
+    #[test]
+    fn tree_matches_mean_for_all_worker_counts() {
+        for p in [2usize, 3, 4, 5, 8, 9] {
+            let inputs: Vec<Vec<f32>> = (0..p)
+                .map(|r| (0..57).map(|i| ((r * 31 + i * 3) % 17) as f32 - 8.0).collect())
+                .collect();
+            let expect = expect_mean(&inputs);
+            let out = tree_allreduce_mean(inputs);
+            assert_eq!(out.len(), p);
+            for o in &out {
+                for (a, b) in o.iter().zip(expect.iter()) {
+                    assert!((a - b).abs() < 1e-4, "p={}", p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_and_ring_agree() {
+        let inputs: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..100).map(|i| (r * 100 + i) as f32).collect())
+            .collect();
+        let ring = crate::allreduce::ring_allreduce_mean(inputs.clone());
+        let tree = tree_allreduce_mean(inputs);
+        for (a, b) in ring[0].iter().zip(tree[0].iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cost_model_tradeoff_ring_vs_tree() {
+        let f = Fabric::frontier();
+        // Small message, many GPUs: tree's O(log P) latency wins.
+        let small = 1e3;
+        let t_tree = tree_allreduce_seconds(small, 1024, &f);
+        let t_ring = crate::allreduce::ring_allreduce_seconds(small, 1024, &f);
+        assert!(t_tree < t_ring, "tree {} vs ring {}", t_tree, t_ring);
+        // Large message: ring's (P-1)/P bandwidth term wins.
+        let large = 1e9;
+        let t_tree = tree_allreduce_seconds(large, 64, &f);
+        let t_ring = crate::allreduce::ring_allreduce_seconds(large, 64, &f);
+        assert!(t_ring < t_tree, "ring {} vs tree {}", t_ring, t_tree);
+    }
+
+    #[test]
+    fn single_worker_identity() {
+        let out = tree_allreduce_mean(vec![vec![5.0, 6.0]]);
+        assert_eq!(out, vec![vec![5.0, 6.0]]);
+    }
+}

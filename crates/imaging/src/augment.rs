@@ -1,0 +1,168 @@
+//! Deterministic data augmentation for segmentation training.
+//!
+//! The paper trains for hundreds of epochs on shuffled, normalized data;
+//! at the scaled-down data sizes of this reproduction, geometric
+//! augmentation is the main lever against overfitting. All transforms are
+//! exact (no interpolation), so an image and its mask stay perfectly
+//! aligned through the same [`Augmentation`].
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::image::GrayImage;
+
+/// One concrete augmentation, applicable identically to image and mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Augmentation {
+    /// Mirror left-right.
+    pub flip_h: bool,
+    /// Mirror top-bottom.
+    pub flip_v: bool,
+    /// Quarter-turns counter-clockwise (0..=3). Requires square images for
+    /// odd turns.
+    pub rot90: u8,
+}
+
+impl Augmentation {
+    /// The identity augmentation.
+    pub fn identity() -> Self {
+        Augmentation { flip_h: false, flip_v: false, rot90: 0 }
+    }
+
+    /// Samples one of the 8 dihedral symmetries, deterministic in `seed`.
+    pub fn random(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Augmentation {
+            flip_h: rng.gen(),
+            flip_v: rng.gen(),
+            rot90: rng.gen_range(0..4),
+        }
+    }
+
+    /// Applies the augmentation (exact pixel moves, no resampling).
+    pub fn apply(&self, img: &GrayImage) -> GrayImage {
+        let mut out = img.clone();
+        if self.flip_h {
+            out = flip_horizontal(&out);
+        }
+        if self.flip_v {
+            out = flip_vertical(&out);
+        }
+        for _ in 0..self.rot90 % 4 {
+            out = rotate90(&out);
+        }
+        out
+    }
+}
+
+/// Mirrors left-right.
+pub fn flip_horizontal(img: &GrayImage) -> GrayImage {
+    let (w, h) = (img.width(), img.height());
+    GrayImage::from_fn(w, h, |x, y| img.get(w - 1 - x, y))
+}
+
+/// Mirrors top-bottom.
+pub fn flip_vertical(img: &GrayImage) -> GrayImage {
+    let (w, h) = (img.width(), img.height());
+    GrayImage::from_fn(w, h, |x, y| img.get(x, h - 1 - y))
+}
+
+/// Rotates 90 degrees counter-clockwise.
+pub fn rotate90(img: &GrayImage) -> GrayImage {
+    let (w, h) = (img.width(), img.height());
+    GrayImage::from_fn(h, w, |x, y| img.get(w - 1 - y, x))
+}
+
+/// Multiplies intensities by `gain` and adds `bias`, clamped to `[0, 1]` —
+/// for images only, never masks.
+pub fn intensity_jitter(img: &GrayImage, gain: f32, bias: f32) -> GrayImage {
+    GrayImage::from_raw(
+        img.width(),
+        img.height(),
+        img.data().iter().map(|&v| (v * gain + bias).clamp(0.0, 1.0)).collect(),
+    )
+}
+
+/// Expands `(image, mask)` pairs with `n_aug` random dihedral augmentations
+/// each (the originals are kept first). Deterministic in `seed`.
+pub fn augment_pairs(
+    pairs: &[(GrayImage, GrayImage)],
+    n_aug: usize,
+    seed: u64,
+) -> Vec<(GrayImage, GrayImage)> {
+    let mut out = Vec::with_capacity(pairs.len() * (1 + n_aug));
+    out.extend(pairs.iter().cloned());
+    for (i, (img, mask)) in pairs.iter().enumerate() {
+        for a in 0..n_aug {
+            let aug = Augmentation::random(seed.wrapping_add((i * 131 + a) as u64));
+            out.push((aug.apply(img), aug.apply(mask)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_img() -> GrayImage {
+        GrayImage::from_fn(4, 4, |x, y| (y * 4 + x) as f32 / 15.0)
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let img = grad_img();
+        assert_eq!(flip_horizontal(&flip_horizontal(&img)), img);
+        assert_eq!(flip_vertical(&flip_vertical(&img)), img);
+    }
+
+    #[test]
+    fn four_rotations_are_identity() {
+        let img = grad_img();
+        let mut r = img.clone();
+        for _ in 0..4 {
+            r = rotate90(&r);
+        }
+        assert_eq!(r, img);
+    }
+
+    #[test]
+    fn rotate90_moves_corner_correctly() {
+        // Pixel (w-1, 0) (top-right) moves to (0, 0) under CCW rotation.
+        let img = grad_img();
+        let r = rotate90(&img);
+        assert_eq!(r.get(0, 0), img.get(3, 0));
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_and_aligned() {
+        let img = grad_img();
+        let mask = GrayImage::from_fn(4, 4, |x, _| if x < 2 { 1.0 } else { 0.0 });
+        let a = Augmentation::random(7);
+        let (i1, m1) = (a.apply(&img), a.apply(&mask));
+        let (i2, m2) = (a.apply(&img), a.apply(&mask));
+        assert_eq!(i1, i2);
+        assert_eq!(m1, m2);
+        // Alignment: wherever the mask moved, the image moved identically —
+        // check by inverting through a known pixel.
+        assert_eq!(m1.coverage(0.5), mask.coverage(0.5));
+    }
+
+    #[test]
+    fn augment_pairs_multiplies_dataset() {
+        let pairs = vec![(grad_img(), grad_img())];
+        let out = augment_pairs(&pairs, 3, 1);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].0, pairs[0].0); // originals kept first
+    }
+
+    #[test]
+    fn intensity_jitter_clamps_and_preserves_shape() {
+        let img = grad_img();
+        let j = intensity_jitter(&img, 2.0, 0.1);
+        assert_eq!(j.width(), 4);
+        let (lo, hi) = j.min_max();
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Grayscale image container used across the workspace.
+//!
+//! Pixels are `f32` in `[0, 1]`, row-major. High-resolution pathology slides
+//! are modeled as single-channel luminance: APF's pre-processing (blur,
+//! Canny, quadtree) is defined on grayscale anyway, and the paper normalizes
+//! inputs to `[0, 1]`.
+
+/// A dense row-major grayscale image with `f32` pixels.
+#[derive(Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Allocates a black (all-zero) image.
+    pub fn new(width: usize, height: usize) -> Self {
+        GrayImage {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != width * height`.
+    pub fn from_raw(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "image buffer size mismatch");
+        GrayImage { width, height, data }
+    }
+
+    /// Builds an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, f: impl Fn(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        GrayImage { width, height, data }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Underlying row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds (debug-friendly; use [`GrayImage::get_clamped`]
+    /// for edge-tolerant reads).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Reads with coordinates clamped to the image border (replicate
+    /// padding), accepting signed coordinates.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Copies the axis-aligned rectangle starting at `(x0, y0)` with the
+    /// given size. The rectangle must lie inside the image.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> GrayImage {
+        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        let mut out = Vec::with_capacity(w * h);
+        for y in y0..y0 + h {
+            out.extend_from_slice(&self.data[y * self.width + x0..y * self.width + x0 + w]);
+        }
+        GrayImage::from_raw(w, h, out)
+    }
+
+    /// Minimum and maximum pixel value.
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Linearly rescales pixel values into `[0, 1]` (no-op on constant
+    /// images).
+    pub fn normalized(&self) -> GrayImage {
+        let (lo, hi) = self.min_max();
+        if (hi - lo).abs() < f32::EPSILON {
+            return self.clone();
+        }
+        let inv = 1.0 / (hi - lo);
+        GrayImage::from_raw(
+            self.width,
+            self.height,
+            self.data.iter().map(|&v| (v - lo) * inv).collect(),
+        )
+    }
+
+    /// Fraction of pixels with value above `threshold`.
+    pub fn coverage(&self, threshold: f32) -> f32 {
+        let n = self.data.iter().filter(|&&v| v > threshold).count();
+        n as f32 / self.data.len() as f32
+    }
+}
+
+impl std::fmt::Debug for GrayImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (lo, hi) = self.min_max();
+        write!(
+            f,
+            "GrayImage({}x{}, min={:.3}, max={:.3}, mean={:.3})",
+            self.width,
+            self.height,
+            lo,
+            hi,
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_layout() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (y * 10 + x) as f32);
+        assert_eq!(img.get(2, 1), 12.0);
+        assert_eq!(img.data(), &[0., 1., 2., 10., 11., 12.]);
+    }
+
+    #[test]
+    fn clamped_reads_replicate_border() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (y * 2 + x) as f32);
+        assert_eq!(img.get_clamped(-5, 0), 0.0);
+        assert_eq!(img.get_clamped(5, 5), 3.0);
+    }
+
+    #[test]
+    fn crop_extracts_rectangle() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (y * 4 + x) as f32);
+        let c = img.crop(1, 2, 2, 2);
+        assert_eq!(c.data(), &[9., 10., 13., 14.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crop out of bounds")]
+    fn crop_oob_panics() {
+        GrayImage::new(4, 4).crop(3, 3, 2, 2);
+    }
+
+    #[test]
+    fn normalized_rescales() {
+        let img = GrayImage::from_raw(2, 1, vec![2.0, 4.0]);
+        let n = img.normalized();
+        assert_eq!(n.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn coverage_counts_fraction() {
+        let img = GrayImage::from_raw(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(img.coverage(0.5), 0.5);
+    }
+}

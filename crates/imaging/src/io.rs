@@ -1,0 +1,123 @@
+//! Minimal PGM/PPM image I/O for qualitative figures (Fig. 2 renders).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::image::GrayImage;
+
+/// Writes a grayscale image as binary PGM (P5), mapping `[0, 1]` to 8 bits.
+pub fn write_pgm(img: &GrayImage, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "P5\n{} {}\n255", img.width(), img.height())?;
+    let bytes: Vec<u8> = img
+        .data()
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    w.write_all(&bytes)
+}
+
+/// Writes an RGB overlay as binary PPM (P6): the base image in gray with
+/// `mask` blended in red — used to visualize predicted segmentation masks.
+pub fn write_ppm_overlay(
+    base: &GrayImage,
+    mask: &GrayImage,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    assert_eq!(base.width(), mask.width());
+    assert_eq!(base.height(), mask.height());
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "P6\n{} {}\n255", base.width(), base.height())?;
+    let mut bytes = Vec::with_capacity(base.data().len() * 3);
+    for (&b, &m) in base.data().iter().zip(mask.data().iter()) {
+        let g = (b.clamp(0.0, 1.0) * 255.0) as u8;
+        if m > 0.5 {
+            bytes.push(g / 2 + 128);
+            bytes.push(g / 2);
+            bytes.push(g / 2);
+        } else {
+            bytes.push(g);
+            bytes.push(g);
+            bytes.push(g);
+        }
+    }
+    w.write_all(&bytes)
+}
+
+/// Reads a binary PGM (P5) file back into a `[0, 1]` image. Only the subset
+/// written by [`write_pgm`] is supported.
+pub fn read_pgm(path: impl AsRef<Path>) -> io::Result<GrayImage> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let header_end = raw
+        .windows(1)
+        .enumerate()
+        .scan(0, |newlines, (i, w)| {
+            if w[0] == b'\n' {
+                *newlines += 1;
+            }
+            Some((i, *newlines))
+        })
+        .find(|&(_, n)| n == 3)
+        .map(|(i, _)| i + 1)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad PGM header"))?;
+    let header = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 PGM header"))?;
+    let mut lines = header.lines();
+    let magic = lines.next().unwrap_or("");
+    if magic != "P5" {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a P5 PGM"));
+    }
+    let dims: Vec<usize> = lines
+        .next()
+        .unwrap_or("")
+        .split_whitespace()
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    if dims.len() != 2 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad PGM dims"));
+    }
+    let (w, h) = (dims[0], dims[1]);
+    let pixels = &raw[header_end..];
+    if pixels.len() < w * h {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated PGM"));
+    }
+    Ok(GrayImage::from_raw(
+        w,
+        h,
+        pixels[..w * h].iter().map(|&b| b as f32 / 255.0).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = GrayImage::from_fn(5, 3, |x, y| ((x + y) % 4) as f32 / 3.0);
+        let dir = std::env::temp_dir().join("apf_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.pgm");
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.width(), 5);
+        assert_eq!(back.height(), 3);
+        for (a, b) in img.data().iter().zip(back.data().iter()) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn ppm_overlay_writes_expected_size() {
+        let img = GrayImage::new(4, 4);
+        let mask = GrayImage::from_fn(4, 4, |x, _| (x % 2) as f32);
+        let dir = std::env::temp_dir().join("apf_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ov.ppm");
+        write_ppm_overlay(&img, &mask, &path).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(len, 11 + 48); // "P6\n4 4\n255\n" + 16 px * 3
+    }
+}

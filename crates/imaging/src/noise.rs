@@ -1,0 +1,101 @@
+//! Seeded value noise and fractional Brownian motion (fBm).
+//!
+//! The synthetic pathology generator layers several octaves of value noise to
+//! produce tissue-like textures whose detail is spatially non-uniform — the
+//! statistical property APF's quadtree exploits.
+
+/// Deterministic lattice hash -> [0, 1).
+#[inline]
+fn lattice(seed: u64, ix: i64, iy: i64) -> f32 {
+    // SplitMix64-style mixing of the lattice coordinates and seed.
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ix as u64 ^ 0xDEAD_BEEF))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(iy as u64 ^ 0x1234_5678));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 24) as f32
+}
+
+#[inline]
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Bilinear value noise at continuous coordinates, period `scale` pixels.
+pub fn value_noise(seed: u64, x: f32, y: f32, scale: f32) -> f32 {
+    let fx = x / scale;
+    let fy = y / scale;
+    let ix = fx.floor() as i64;
+    let iy = fy.floor() as i64;
+    let tx = smoothstep(fx - ix as f32);
+    let ty = smoothstep(fy - iy as f32);
+    let v00 = lattice(seed, ix, iy);
+    let v10 = lattice(seed, ix + 1, iy);
+    let v01 = lattice(seed, ix, iy + 1);
+    let v11 = lattice(seed, ix + 1, iy + 1);
+    v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty
+}
+
+/// Fractional Brownian motion: `octaves` layers of value noise, each with
+/// doubled frequency and `gain`-scaled amplitude. Output is normalized to
+/// roughly `[0, 1]`.
+pub fn fbm(seed: u64, x: f32, y: f32, base_scale: f32, octaves: usize, gain: f32) -> f32 {
+    let mut amp = 1.0f32;
+    let mut scale = base_scale;
+    let mut sum = 0.0f32;
+    let mut norm = 0.0f32;
+    for o in 0..octaves {
+        sum += amp * value_noise(seed.wrapping_add(o as u64 * 7919), x, y, scale);
+        norm += amp;
+        amp *= gain;
+        scale *= 0.5;
+    }
+    sum / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        assert_eq!(value_noise(1, 10.3, 4.7, 8.0), value_noise(1, 10.3, 4.7, 8.0));
+        assert_ne!(value_noise(1, 10.3, 4.7, 8.0), value_noise(2, 10.3, 4.7, 8.0));
+    }
+
+    #[test]
+    fn noise_in_unit_range() {
+        for i in 0..1000 {
+            let v = value_noise(42, i as f32 * 0.37, i as f32 * 0.71, 5.0);
+            assert!((0.0..=1.0).contains(&v), "{}", v);
+        }
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        // Adjacent samples must be close (no lattice discontinuities).
+        let mut prev = value_noise(7, 0.0, 3.3, 16.0);
+        for i in 1..500 {
+            let v = value_noise(7, i as f32 * 0.1, 3.3, 16.0);
+            assert!((v - prev).abs() < 0.05, "jump at {}: {} -> {}", i, prev, v);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fbm_in_unit_range_and_rougher_with_octaves() {
+        let roughness = |oct: usize| {
+            let mut acc = 0.0;
+            let mut prev = fbm(3, 0.0, 0.0, 64.0, oct, 0.7);
+            for i in 1..256 {
+                let v = fbm(3, i as f32, 0.0, 64.0, oct, 0.7);
+                assert!((-0.01..=1.01).contains(&v));
+                acc += (v - prev).abs();
+                prev = v;
+            }
+            acc
+        };
+        assert!(roughness(6) > roughness(1) * 1.5);
+    }
+}

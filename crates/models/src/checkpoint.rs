@@ -1,0 +1,207 @@
+//! Model checkpointing: binary serialization of a [`ParamSet`].
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic "APF1" | u32 param count
+//! per param: u16 name len | name bytes | u8 rank | u64 dims... | f32 data...
+//! ```
+//!
+//! Loading verifies names, shapes, and ordering against the target model's
+//! parameter set, so a checkpoint can only be restored into the
+//! architecture that produced it.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use apf_tensor::tensor::Tensor;
+use bytes::{BufMut, BytesMut};
+
+use crate::params::ParamSet;
+
+const MAGIC: &[u8; 4] = b"APF1";
+
+/// Serializes a parameter set into a byte buffer.
+pub fn to_bytes(params: &ParamSet) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(16 + params.num_scalars() * 4);
+    out.put_slice(MAGIC);
+    out.put_u32_le(params.len() as u32);
+    for (_, name, tensor) in params.iter() {
+        let name_bytes = name.as_bytes();
+        out.put_u16_le(name_bytes.len() as u16);
+        out.put_slice(name_bytes);
+        let dims = tensor.dims();
+        out.put_u8(dims.len() as u8);
+        for &d in dims {
+            out.put_u64_le(d as u64);
+        }
+        for &v in tensor.data() {
+            out.put_f32_le(v);
+        }
+    }
+    out.to_vec()
+}
+
+/// Restores parameter values from a byte buffer into `params`.
+///
+/// # Errors
+/// Returns an error if the buffer is malformed or does not match the
+/// parameter set's names/shapes/order.
+pub fn from_bytes(params: &mut ParamSet, bytes: &[u8]) -> io::Result<()> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut cur = bytes;
+    let mut take = |n: usize| -> io::Result<&[u8]> {
+        if cur.len() < n {
+            return Err(bad("truncated checkpoint"));
+        }
+        let (head, tail) = cur.split_at(n);
+        cur = tail;
+        Ok(head)
+    };
+
+    if take(4)? != MAGIC {
+        return Err(bad("not an APF checkpoint (bad magic)"));
+    }
+    let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+    if count != params.len() {
+        return Err(bad(&format!(
+            "checkpoint has {} params, model has {}",
+            count,
+            params.len()
+        )));
+    }
+    let ids: Vec<_> = params.iter().map(|(id, _, _)| id).collect();
+    for id in ids {
+        let name_len = u16::from_le_bytes(take(2)?.try_into().unwrap()) as usize;
+        let name = std::str::from_utf8(take(name_len)?)
+            .map_err(|_| bad("non-utf8 param name"))?
+            .to_string();
+        if name != params.name(id) {
+            return Err(bad(&format!(
+                "param name mismatch: checkpoint '{}' vs model '{}'",
+                name,
+                params.name(id)
+            )));
+        }
+        let rank = take(1)?[0] as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize);
+        }
+        let expect_dims = params.get(id).dims().to_vec();
+        if dims != expect_dims {
+            return Err(bad(&format!(
+                "shape mismatch for '{}': checkpoint {:?} vs model {:?}",
+                name, dims, expect_dims
+            )));
+        }
+        let numel: usize = dims.iter().product::<usize>().max(1);
+        let numel = if dims.is_empty() { 1 } else { numel };
+        let raw = take(numel * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        *params.get_mut(id) = Tensor::new(dims, data);
+    }
+    if !cur.is_empty() {
+        return Err(bad("trailing bytes after checkpoint"));
+    }
+    Ok(())
+}
+
+/// Saves a parameter set to a file.
+pub fn save(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(params))
+}
+
+/// Loads a parameter set from a file (names/shapes must match).
+pub fn load(params: &mut ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    from_bytes(params, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rearrange::GridOrder;
+    use crate::unetr::{Unetr2d, UnetrConfig};
+    use apf_tensor::prelude::*;
+
+    #[test]
+    fn round_trip_preserves_all_values() {
+        let model = Unetr2d::new(UnetrConfig::tiny(4, 2, GridOrder::Morton), 3);
+        let bytes = to_bytes(&model.params);
+        let mut fresh = Unetr2d::new(UnetrConfig::tiny(4, 2, GridOrder::Morton), 99);
+        // Different seed => different weights before loading.
+        let differs = model
+            .params
+            .iter()
+            .zip(fresh.params.iter())
+            .any(|((_, _, a), (_, _, b))| a.to_vec() != b.to_vec());
+        assert!(differs);
+        from_bytes(&mut fresh.params, &bytes).unwrap();
+        for ((_, n, a), (_, _, b)) in model.params.iter().zip(fresh.params.iter()) {
+            assert_eq!(a.to_vec(), b.to_vec(), "param {}", n);
+        }
+    }
+
+    #[test]
+    fn restored_model_computes_identically() {
+        let model = Unetr2d::new(UnetrConfig::tiny(2, 2, GridOrder::RowMajor), 5);
+        let x = Tensor::rand_uniform([1, 4, 4], -1.0, 1.0, 6);
+        let run = |m: &Unetr2d| {
+            let mut g = Graph::new();
+            let bp = m.params.bind(&mut g);
+            let xv = g.constant(x.clone());
+            let y = m.forward(&mut g, &bp, xv, false);
+            g.value(y).to_vec()
+        };
+        let expect = run(&model);
+        let bytes = to_bytes(&model.params);
+        let mut fresh = Unetr2d::new(UnetrConfig::tiny(2, 2, GridOrder::RowMajor), 77);
+        from_bytes(&mut fresh.params, &bytes).unwrap();
+        assert_eq!(run(&fresh), expect);
+    }
+
+    #[test]
+    fn wrong_architecture_is_rejected() {
+        let a = Unetr2d::new(UnetrConfig::tiny(4, 2, GridOrder::Morton), 1);
+        let bytes = to_bytes(&a.params);
+        // Different grid side => different positional-table shape.
+        let mut b = Unetr2d::new(UnetrConfig::tiny(2, 2, GridOrder::Morton), 1);
+        let err = from_bytes(&mut b.params, &bytes).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("mismatch") || msg.contains("params"),
+            "unexpected error: {}",
+            msg
+        );
+    }
+
+    #[test]
+    fn corrupted_data_is_rejected() {
+        let model = Unetr2d::new(UnetrConfig::tiny(2, 2, GridOrder::Morton), 1);
+        let mut bytes = to_bytes(&model.params);
+        bytes.truncate(bytes.len() / 2);
+        let mut fresh = Unetr2d::new(UnetrConfig::tiny(2, 2, GridOrder::Morton), 1);
+        assert!(from_bytes(&mut fresh.params, &bytes).is_err());
+        assert!(from_bytes(&mut fresh.params, b"NOPE").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("apf_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.apf");
+        let model = Unetr2d::new(UnetrConfig::tiny(2, 2, GridOrder::Morton), 9);
+        save(&model.params, &path).unwrap();
+        let mut fresh = Unetr2d::new(UnetrConfig::tiny(2, 2, GridOrder::Morton), 10);
+        load(&mut fresh.params, &path).unwrap();
+        for ((_, n, a), (_, _, b)) in model.params.iter().zip(fresh.params.iter()) {
+            assert_eq!(a.to_vec(), b.to_vec(), "param {}", n);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! HIPT-lite: a two-level hierarchical ViT classifier (Chen et al. 2022,
+//! scaled down).
+//!
+//! HIPT tackles gigapixel classification by training ViTs at multiple
+//! resolution levels: a low-level ViT embeds small patches within each
+//! region, a high-level ViT attends over region embeddings. This is the
+//! hierarchical baseline APF is compared against in Table V — sophisticated
+//! model machinery versus APF's simple pre-processing with a vanilla ViT.
+
+use apf_tensor::prelude::*;
+
+use crate::layers::{LayerNorm, Linear};
+use crate::params::{BoundParams, ParamSet};
+use crate::transformer::TransformerEncoder;
+use crate::vit::{PatchEmbed, ViTConfig};
+
+/// HIPT-lite hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HiptConfig {
+    /// Patch width fed to the region-level ViT (`P_region²` pixels).
+    pub patch_dim: usize,
+    /// Tokens per region.
+    pub tokens_per_region: usize,
+    /// Regions per image.
+    pub regions: usize,
+    /// Region-level ViT width.
+    pub dim_lo: usize,
+    /// Region-level ViT depth.
+    pub depth_lo: usize,
+    /// Image-level ViT width.
+    pub dim_hi: usize,
+    /// Image-level ViT depth.
+    pub depth_hi: usize,
+    /// Attention heads (both levels).
+    pub heads: usize,
+}
+
+impl HiptConfig {
+    /// Small CPU-friendly configuration.
+    pub fn small(patch_dim: usize, tokens_per_region: usize, regions: usize) -> Self {
+        HiptConfig {
+            patch_dim,
+            tokens_per_region,
+            regions,
+            dim_lo: 32,
+            depth_lo: 2,
+            dim_hi: 32,
+            depth_hi: 2,
+            heads: 4,
+        }
+    }
+}
+
+/// The two-level hierarchical classifier.
+pub struct HiptLite {
+    /// Owned parameters.
+    pub params: ParamSet,
+    embed_lo: PatchEmbed,
+    enc_lo: TransformerEncoder,
+    bridge: Linear,
+    pos_hi: crate::params::ParamId,
+    enc_hi: TransformerEncoder,
+    norm: LayerNorm,
+    head: Linear,
+    cfg: HiptConfig,
+}
+
+impl HiptLite {
+    /// Builds the model with `classes` outputs.
+    pub fn new(cfg: HiptConfig, classes: usize, seed: u64) -> Self {
+        let mut ps = ParamSet::new();
+        let lo_cfg = ViTConfig {
+            patch_dim: cfg.patch_dim,
+            seq_len: cfg.tokens_per_region,
+            dim: cfg.dim_lo,
+            depth: cfg.depth_lo,
+            heads: cfg.heads,
+        };
+        let embed_lo = PatchEmbed::new(&mut ps, "lo.embed", &lo_cfg, seed);
+        let enc_lo = TransformerEncoder::new(&mut ps, "lo.enc", cfg.dim_lo, cfg.depth_lo, cfg.heads, seed ^ 0x1);
+        let bridge = Linear::new(&mut ps, "bridge", cfg.dim_lo, cfg.dim_hi, seed ^ 0x2);
+        let pos_hi = ps.add(
+            "hi.pos",
+            apf_tensor::init::trunc_normal([cfg.regions, cfg.dim_hi], 0.02, seed ^ 0x3),
+        );
+        let enc_hi = TransformerEncoder::new(&mut ps, "hi.enc", cfg.dim_hi, cfg.depth_hi, cfg.heads, seed ^ 0x4);
+        let norm = LayerNorm::new(&mut ps, "norm", cfg.dim_hi);
+        let head = Linear::new(&mut ps, "head", cfg.dim_hi, classes, seed ^ 0x5);
+        HiptLite { params: ps, embed_lo, enc_lo, bridge, pos_hi, enc_hi, norm, head, cfg }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &HiptConfig {
+        &self.cfg
+    }
+
+    /// `[B, R, T, patch_dim]` region tokens -> `[B, classes]` logits.
+    ///
+    /// The region-level encoder runs on all `B * R` regions in one batch
+    /// (shared weights — HIPT's level-1 ViT), then the image-level encoder
+    /// attends over the `R` pooled region embeddings.
+    pub fn forward(&self, g: &mut Graph, bp: &BoundParams, region_tokens: Var) -> Var {
+        let dims = g.value(region_tokens).dims().to_vec();
+        assert_eq!(dims.len(), 4, "expected [B, R, T, patch_dim]");
+        let (b, r, t, pd) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(r, self.cfg.regions, "region count mismatch");
+        assert_eq!(t, self.cfg.tokens_per_region, "tokens-per-region mismatch");
+        assert_eq!(pd, self.cfg.patch_dim, "patch dim mismatch");
+
+        // Level 1: every region through the shared low-level ViT.
+        let flat = g.reshape(region_tokens, [b * r, t, pd]);
+        let x = self.embed_lo.forward(g, bp, flat);
+        let x = self.enc_lo.forward(g, bp, x);
+        let pooled = g.mean_axis(x, 1); // [B*R, dim_lo]
+
+        // Level 2: attend over region embeddings.
+        let hi = self.bridge.forward(g, bp, pooled);
+        let hi = g.reshape(hi, [b, r, self.cfg.dim_hi]);
+        let hi = g.badd(hi, bp.var(self.pos_hi));
+        let hi = self.enc_hi.forward(g, bp, hi);
+        let img = g.mean_axis(hi, 1); // [B, dim_hi]
+        let img = self.norm.forward(g, bp, img);
+        self.head.forward(g, bp, img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let cfg = HiptConfig::small(16, 4, 4);
+        let model = HiptLite::new(cfg, 6, 1);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([2, 4, 4, 16], -1.0, 1.0, 2));
+        let y = model.forward(&mut g, &bp, x);
+        assert_eq!(g.value(y).dims(), &[2, 6]);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let cfg = HiptConfig::small(4, 2, 2);
+        let model = HiptLite::new(cfg, 3, 3);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([2, 2, 2, 4], -1.0, 1.0, 4));
+        let y = model.forward(&mut g, &bp, x);
+        let loss = g.softmax_cross_entropy(y, std::sync::Arc::new(vec![0, 2]));
+        g.backward(loss);
+        let missing: Vec<&str> = model
+            .params
+            .iter()
+            .filter(|(id, _, _)| g.grad(bp.var(*id)).is_none())
+            .map(|(_, n, _)| n)
+            .collect();
+        assert!(missing.is_empty(), "params without grads: {:?}", missing);
+    }
+
+    #[test]
+    fn region_count_mismatch_panics() {
+        let cfg = HiptConfig::small(4, 2, 4);
+        let model = HiptLite::new(cfg, 2, 5);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Graph::new();
+            let bp = model.params.bind(&mut g);
+            let x = g.constant(Tensor::zeros([1, 3, 2, 4]));
+            model.forward(&mut g, &bp, x);
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # apf-models
+//!
+//! Segmentation and classification models for the APF reproduction, all
+//! built on the `apf-tensor` autograd substrate:
+//!
+//! - [`vit`] — vanilla ViT classifier/segmenter (Dosovitskiy et al.).
+//! - [`unetr`] — 2D UNETR: transformer encoder + conv decoder with skips
+//!   (the paper's primary baseline and APF host model).
+//! - [`unet`] — classic convolutional U-Net.
+//! - [`transunet`] — CNN stem + transformer bottleneck hybrid.
+//! - [`swin`] — windowed/shifted-window attention UNETR variant.
+//! - [`hipt`] — two-level hierarchical ViT classifier.
+//!
+//! Every model is *patching-agnostic*: sequence models consume `[B, L, P²]`
+//! token tensors that may come from uniform grids or from APF quadtrees —
+//! the central claim of the paper is that this swap requires no model
+//! changes, and this crate's API enforces it.
+
+pub mod checkpoint;
+pub mod hipt;
+pub mod layers;
+pub mod params;
+pub mod rearrange;
+pub mod swin;
+pub mod transformer;
+pub mod transunet;
+pub mod unet;
+pub mod unetr;
+pub mod vit;
+
+pub use checkpoint::{load as load_checkpoint, save as save_checkpoint};
+pub use hipt::{HiptConfig, HiptLite};
+pub use params::{BoundParams, ParamId, ParamSet};
+pub use rearrange::GridOrder;
+pub use swin::SwinUnetr;
+pub use transunet::{TransUnet, TransUnetConfig};
+pub use unet::{UNet, UnetConfig};
+pub use unetr::{Unetr2d, UnetrConfig};
+pub use vit::{ViTClassifier, ViTConfig, ViTSegmenter};

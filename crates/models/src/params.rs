@@ -1,0 +1,163 @@
+//! Named parameter storage shared by every model.
+//!
+//! Models own their weights in a [`ParamSet`]; each training step binds the
+//! whole set into a fresh autograd [`Graph`] (an O(1) `Arc` clone per
+//! tensor), runs forward/backward, and the optimizer reads gradients back
+//! through the returned [`BoundParams`].
+
+use apf_tensor::prelude::*;
+
+/// Stable handle to one parameter inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Dense slot index of this parameter within its [`ParamSet`]
+    /// (insertion order). Optimizers use it to key per-parameter state.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A named collection of trainable tensors.
+#[derive(Default, Clone)]
+pub struct ParamSet {
+    names: Vec<String>,
+    tensors: Vec<Tensor>,
+}
+
+impl ParamSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter; names should be unique and path-like
+    /// (`"encoder.block0.attn.wq"`).
+    pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) -> ParamId {
+        self.names.push(name.into());
+        self.tensors.push(tensor);
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True if the set holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::numel).sum()
+    }
+
+    /// The tensor behind `id`.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// The registered name of `id`.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, name, tensor)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ParamId(i), self.names[i].as_str(), t))
+    }
+
+    /// Inserts every parameter into `g` as a differentiable leaf.
+    pub fn bind(&self, g: &mut Graph) -> BoundParams {
+        BoundParams {
+            vars: self.tensors.iter().map(|t| g.leaf(t.clone())).collect(),
+        }
+    }
+
+    /// Replaces every tensor with the matching tensor from `other`
+    /// (broadcast of averaged weights in data-parallel training).
+    ///
+    /// # Panics
+    /// Panics if the sets have different arity or shapes.
+    pub fn copy_from(&mut self, other: &ParamSet) {
+        assert_eq!(self.len(), other.len(), "param set arity mismatch");
+        for (dst, src) in self.tensors.iter_mut().zip(other.tensors.iter()) {
+            assert_eq!(dst.shape(), src.shape(), "param shape mismatch");
+            *dst = src.clone();
+        }
+    }
+}
+
+/// Graph handles for one binding of a [`ParamSet`].
+pub struct BoundParams {
+    vars: Vec<Var>,
+}
+
+impl BoundParams {
+    /// The graph variable bound for `id`.
+    pub fn var(&self, id: ParamId) -> Var {
+        self.vars[id.0]
+    }
+
+    /// Iterates `(ParamId, Var)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, Var)> + '_ {
+        self.vars.iter().enumerate().map(|(i, &v)| (ParamId(i), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::ones([2, 2]));
+        assert_eq!(ps.get(id).to_vec(), vec![1.0; 4]);
+        assert_eq!(ps.name(id), "w");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.num_scalars(), 4);
+    }
+
+    #[test]
+    fn bind_and_grad_flow() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::new([2], vec![2.0, 3.0]));
+        let mut g = Graph::new();
+        let bp = ps.bind(&mut g);
+        let y = g.mul(bp.var(id), bp.var(id));
+        let l = g.sum_all(y);
+        g.backward(l);
+        assert_eq!(g.grad(bp.var(id)).unwrap().to_vec(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn copy_from_replaces_values() {
+        let mut a = ParamSet::new();
+        a.add("w", Tensor::zeros([3]));
+        let mut b = ParamSet::new();
+        b.add("w", Tensor::ones([3]));
+        a.copy_from(&b);
+        assert_eq!(a.get(ParamId(0)).to_vec(), vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn copy_from_mismatched_panics() {
+        let mut a = ParamSet::new();
+        a.add("w", Tensor::zeros([3]));
+        let b = ParamSet::new();
+        a.copy_from(&b);
+    }
+}

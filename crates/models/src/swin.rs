@@ -1,0 +1,207 @@
+//! Swin-style windowed-attention UNETR variant ("Swin UNETR-lite").
+//!
+//! Attention is restricted to non-overlapping `w x w` windows on the token
+//! grid; every other block cyclically shifts the windows by `w/2` so
+//! information crosses window borders (Liu et al. 2021). The decoder is the
+//! same [`TokenGridDecoder`] as UNETR, so the comparison in Table IV isolates
+//! the encoder's attention pattern.
+
+use apf_tensor::prelude::*;
+
+use crate::layers::{LayerNorm, Mlp};
+use crate::params::{BoundParams, ParamSet};
+use crate::rearrange::{window_partition, window_reverse, GridOrder};
+use crate::transformer::MultiHeadAttention;
+use crate::unetr::{TokenGridDecoder, UnetrConfig};
+use crate::vit::{PatchEmbed, ViTConfig};
+
+/// One Swin block: windowed MHA (optionally shifted) + MLP, both pre-LN.
+struct SwinBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    mlp: Mlp,
+    shift: usize,
+}
+
+impl SwinBlock {
+    fn new(ps: &mut ParamSet, name: &str, dim: usize, heads: usize, shift: usize, seed: u64) -> Self {
+        SwinBlock {
+            ln1: LayerNorm::new(ps, &format!("{name}.ln1"), dim),
+            attn: MultiHeadAttention::new(ps, &format!("{name}.attn"), dim, heads, seed),
+            ln2: LayerNorm::new(ps, &format!("{name}.ln2"), dim),
+            mlp: Mlp::new(ps, &format!("{name}.mlp"), dim, 4, seed ^ 0xE5),
+            shift,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward(
+        &self,
+        g: &mut Graph,
+        bp: &BoundParams,
+        x: Var,
+        b: usize,
+        side: usize,
+        d: usize,
+        wsz: usize,
+        order: GridOrder,
+    ) -> Var {
+        let h = self.ln1.forward(g, bp, x);
+        let w = window_partition(g, h, b, side, d, wsz, self.shift, order);
+        let w = self.attn.forward(g, bp, w);
+        let h = window_reverse(g, w, b, side, d, wsz, self.shift, order);
+        let x = g.add(x, h);
+        let h = self.ln2.forward(g, bp, x);
+        let h = self.mlp.forward(g, bp, h);
+        g.add(x, h)
+    }
+}
+
+/// Swin-UNETR-lite: windowed-attention encoder + UNETR decoder.
+pub struct SwinUnetr {
+    /// Owned parameters.
+    pub params: ParamSet,
+    embed: PatchEmbed,
+    blocks: Vec<SwinBlock>,
+    final_ln: LayerNorm,
+    decoder: TokenGridDecoder,
+    cfg: UnetrConfig,
+    window: usize,
+}
+
+impl SwinUnetr {
+    /// Builds the model; `window` must divide `cfg.grid_side`.
+    pub fn new(cfg: UnetrConfig, window: usize, seed: u64) -> Self {
+        assert!(cfg.grid_side.is_multiple_of(window), "window must divide grid side");
+        let mut ps = ParamSet::new();
+        let vcfg = ViTConfig {
+            patch_dim: cfg.patch * cfg.patch,
+            seq_len: cfg.seq_len(),
+            dim: cfg.dim,
+            depth: cfg.depth,
+            heads: cfg.heads,
+        };
+        let embed = PatchEmbed::new(&mut ps, "embed", &vcfg, seed);
+        let blocks = (0..cfg.depth)
+            .map(|i| {
+                // Alternate plain and shifted windows.
+                let shift = if i % 2 == 1 { window / 2 } else { 0 };
+                SwinBlock::new(
+                    &mut ps,
+                    &format!("block{i}"),
+                    cfg.dim,
+                    cfg.heads,
+                    shift,
+                    seed.wrapping_add(i as u64 * 0x517),
+                )
+            })
+            .collect();
+        let final_ln = LayerNorm::new(&mut ps, "final_ln", cfg.dim);
+        let decoder = TokenGridDecoder::new(&mut ps, "dec", cfg, seed ^ 0x5E);
+        SwinUnetr { params: ps, embed, blocks, final_ln, decoder, cfg, window }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &UnetrConfig {
+        &self.cfg
+    }
+
+    /// `[B, L, P²]` tokens -> `[B, L, P²]` per-pixel logits.
+    pub fn forward(&self, g: &mut Graph, bp: &BoundParams, tokens: Var, train: bool) -> Var {
+        let b = g.value(tokens).dims()[0];
+        let side = self.cfg.grid_side;
+        let d = self.cfg.dim;
+        let mut h = self.embed.forward(g, bp, tokens);
+        let mut skips = Vec::with_capacity(self.blocks.len());
+        for blk in &self.blocks {
+            h = blk.forward(g, bp, h, b, side, d, self.window, self.cfg.order);
+            skips.push(h);
+        }
+        let _ = self.final_ln.forward(g, bp, h);
+        // Evenly-spaced skips, deepest last, as in UNETR.
+        let want = self.cfg.stages() + 1;
+        let depth = skips.len();
+        let chosen: Vec<Var> = (1..=want)
+            .map(|k| skips[(k * depth / want).saturating_sub(1).min(depth - 1)])
+            .collect();
+        self.decoder.forward(g, bp, &chosen, b, train)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let cfg = UnetrConfig::tiny(4, 2, GridOrder::RowMajor);
+        let model = SwinUnetr::new(cfg, 2, 1);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([2, 16, 4], -1.0, 1.0, 2));
+        let out = model.forward(&mut g, &bp, toks, true);
+        assert_eq!(g.value(out).dims(), &[2, 16, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must divide")]
+    fn bad_window_panics() {
+        SwinUnetr::new(UnetrConfig::tiny(4, 2, GridOrder::RowMajor), 3, 1);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let cfg = UnetrConfig::tiny(4, 2, GridOrder::Morton);
+        let model = SwinUnetr::new(cfg, 2, 3);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([1, 16, 4], -1.0, 1.0, 4));
+        let out = model.forward(&mut g, &bp, toks, true);
+        let t = g.constant(Tensor::rand_uniform([1, 16, 4], 0.0, 1.0, 5).map(f32::round));
+        let loss = g.bce_with_logits(out, t);
+        g.backward(loss);
+        // The final LayerNorm is computed but unused by the decoder (skips
+        // are raw); every other parameter must have a gradient.
+        let missing: Vec<&str> = model
+            .params
+            .iter()
+            .filter(|(id, _, _)| g.grad(bp.var(*id)).is_none())
+            .map(|(_, n, _)| n)
+            .filter(|n| !n.starts_with("final_ln"))
+            .collect();
+        assert!(missing.is_empty(), "params without grads: {:?}", missing);
+    }
+
+    #[test]
+    fn windowed_attention_is_cheaper_than_dense() {
+        // The largest attention matrix in a Swin block is [B*nw, w², w²],
+        // versus [B*H, L, L] for dense attention: check no node of size
+        // L x L exists. Width chosen so the MLP hidden (4*dim = 32) cannot
+        // collide with L = 64.
+        let cfg = UnetrConfig {
+            grid_side: 8,
+            patch: 1,
+            dim: 8,
+            depth: 2,
+            heads: 2,
+            decoder_ch: 8,
+            out_channels: 1,
+            order: GridOrder::RowMajor,
+        };
+        let model = SwinUnetr::new(cfg, 2, 7);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([1, 64, 1], -1.0, 1.0, 8));
+        let _ = model.forward(&mut g, &bp, toks, true);
+        for i in 0..g.len() {
+            let dims = g.node_value(i).dims().to_vec();
+            if dims.len() == 3 {
+                assert!(
+                    !(dims[1] == 64 && dims[2] == 64),
+                    "found dense 64x64 attention matrix in Swin forward"
+                );
+            }
+        }
+    }
+}

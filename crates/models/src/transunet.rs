@@ -1,0 +1,208 @@
+//! TransUNet-style hybrid: CNN stem, transformer bottleneck, convolutional
+//! decoder with a stem skip connection (Chen et al. 2021, 2D, scaled down).
+
+use apf_tensor::prelude::*;
+
+use crate::layers::{Conv2d, ConvBnRelu, ConvTranspose2d, Linear};
+use crate::params::{BoundParams, ParamId, ParamSet};
+use crate::rearrange::{grid_to_tokens, tokens_to_grid, GridOrder};
+use crate::transformer::TransformerEncoder;
+
+/// TransUNet hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TransUnetConfig {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Stem channels (doubles at the second stage).
+    pub stem_ch: usize,
+    /// Transformer width.
+    pub dim: usize,
+    /// Transformer depth.
+    pub depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Input extent the positional table is sized for (H = W).
+    pub input_extent: usize,
+}
+
+impl TransUnetConfig {
+    /// Small CPU-friendly configuration.
+    pub fn small(in_ch: usize, out_ch: usize, input_extent: usize) -> Self {
+        TransUnetConfig {
+            in_ch,
+            out_ch,
+            stem_ch: 8,
+            dim: 32,
+            depth: 2,
+            heads: 4,
+            input_extent,
+        }
+    }
+
+    /// Bottleneck grid side: the stem downsamples 4x.
+    pub fn grid_side(&self) -> usize {
+        self.input_extent / 4
+    }
+}
+
+/// The TransUNet model.
+pub struct TransUnet {
+    /// Owned parameters.
+    pub params: ParamSet,
+    stem1: ConvBnRelu,
+    stem2: ConvBnRelu,
+    proj_in: Linear,
+    pos: ParamId,
+    encoder: TransformerEncoder,
+    proj_out: Linear,
+    up1: ConvTranspose2d,
+    fuse1: ConvBnRelu,
+    up2: ConvTranspose2d,
+    fuse2: ConvBnRelu,
+    head: Conv2d,
+    cfg: TransUnetConfig,
+}
+
+impl TransUnet {
+    /// Builds the model.
+    pub fn new(cfg: TransUnetConfig, seed: u64) -> Self {
+        assert!(cfg.input_extent.is_multiple_of(4), "input extent must be divisible by 4");
+        let mut ps = ParamSet::new();
+        let g = cfg.grid_side();
+        let stem1 = ConvBnRelu::new(&mut ps, "stem1", cfg.in_ch, cfg.stem_ch, seed);
+        let stem2 = ConvBnRelu::new(&mut ps, "stem2", cfg.stem_ch, cfg.stem_ch * 2, seed ^ 0x1);
+        let proj_in = Linear::new(&mut ps, "proj_in", cfg.stem_ch * 2, cfg.dim, seed ^ 0x2);
+        let pos = ps.add(
+            "pos",
+            apf_tensor::init::trunc_normal([g * g, cfg.dim], 0.02, seed ^ 0x3),
+        );
+        let encoder = TransformerEncoder::new(&mut ps, "enc", cfg.dim, cfg.depth, cfg.heads, seed ^ 0x4);
+        let proj_out = Linear::new(&mut ps, "proj_out", cfg.dim, cfg.stem_ch * 2, seed ^ 0x5);
+        let up1 = ConvTranspose2d::new(
+            &mut ps,
+            "up1",
+            cfg.stem_ch * 2,
+            cfg.stem_ch,
+            ConvGeom { kernel: 2, stride: 2, pad: 0 },
+            seed ^ 0x6,
+        );
+        let fuse1 = ConvBnRelu::new(&mut ps, "fuse1", cfg.stem_ch * 2, cfg.stem_ch, seed ^ 0x7);
+        let up2 = ConvTranspose2d::new(
+            &mut ps,
+            "up2",
+            cfg.stem_ch,
+            cfg.stem_ch,
+            ConvGeom { kernel: 2, stride: 2, pad: 0 },
+            seed ^ 0x8,
+        );
+        let fuse2 = ConvBnRelu::new(&mut ps, "fuse2", cfg.stem_ch, cfg.stem_ch, seed ^ 0x9);
+        let head = Conv2d::new(
+            &mut ps,
+            "head",
+            cfg.stem_ch,
+            cfg.out_ch,
+            ConvGeom { kernel: 1, stride: 1, pad: 0 },
+            seed ^ 0xA,
+        );
+        TransUnet {
+            params: ps,
+            stem1,
+            stem2,
+            proj_in,
+            pos,
+            encoder,
+            proj_out,
+            up1,
+            fuse1,
+            up2,
+            fuse2,
+            head,
+            cfg,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &TransUnetConfig {
+        &self.cfg
+    }
+
+    /// `[B, in_ch, H, W]` -> `[B, out_ch, H, W]` logits.
+    pub fn forward(&self, g: &mut Graph, bp: &BoundParams, x: Var, train: bool) -> Var {
+        let dims = g.value(x).dims().to_vec();
+        assert_eq!(dims[2], self.cfg.input_extent, "input extent mismatch");
+        let b = dims[0];
+        let side = self.cfg.grid_side();
+
+        // Stem: two conv+pool stages (4x downsample), keeping the first
+        // stage's features as a skip.
+        let f1 = self.stem1.forward(g, bp, x, train); // [B, c, H, W]
+        let p1 = g.maxpool2d(f1, 2);
+        let f2 = self.stem2.forward(g, bp, p1, train); // [B, 2c, H/2, W/2]
+        let p2 = g.maxpool2d(f2, 2); // [B, 2c, H/4, W/4]
+
+        // Transformer bottleneck over the stem grid.
+        let toks = grid_to_tokens(g, p2, b, side, self.cfg.stem_ch * 2, GridOrder::RowMajor);
+        let toks = self.proj_in.forward(g, bp, toks);
+        let toks = g.badd(toks, bp.var(self.pos));
+        let toks = self.encoder.forward(g, bp, toks);
+        let toks = self.proj_out.forward(g, bp, toks);
+        let grid = tokens_to_grid(g, toks, b, side, self.cfg.stem_ch * 2, GridOrder::RowMajor);
+
+        // Decoder with a skip from the first stem stage.
+        let y = self.up1.forward(g, bp, grid); // [B, c, H/2, W/2]
+        let y = g.relu(y);
+        let f2_down = g.maxpool2d(f1, 2); // align stem-1 features to H/2
+        let cat = g.concat(&[y, f2_down], 1);
+        let y = self.fuse1.forward(g, bp, cat, train);
+        let y = self.up2.forward(g, bp, y); // [B, c, H, W]
+        let y = g.relu(y);
+        let y = self.fuse2.forward(g, bp, y, train);
+        self.head.forward(g, bp, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let model = TransUnet::new(TransUnetConfig::small(1, 1, 16), 1);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([2, 1, 16, 16], 0.0, 1.0, 2));
+        let y = model.forward(&mut g, &bp, x, true);
+        assert_eq!(g.value(y).dims(), &[2, 1, 16, 16]);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let model = TransUnet::new(TransUnetConfig::small(1, 1, 8), 3);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([1, 1, 8, 8], 0.0, 1.0, 4));
+        let y = model.forward(&mut g, &bp, x, true);
+        let t = g.constant(Tensor::rand_uniform([1, 1, 8, 8], 0.0, 1.0, 5).map(f32::round));
+        let loss = g.bce_with_logits(y, t);
+        g.backward(loss);
+        let missing: Vec<&str> = model
+            .params
+            .iter()
+            .filter(|(id, _, _)| g.grad(bp.var(*id)).is_none())
+            .map(|(_, n, _)| n)
+            .collect();
+        assert!(missing.is_empty(), "params without grads: {:?}", missing);
+    }
+
+    #[test]
+    fn multiclass_output_channels() {
+        let model = TransUnet::new(TransUnetConfig::small(1, 14, 8), 7);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([1, 1, 8, 8], 0.0, 1.0, 8));
+        let y = model.forward(&mut g, &bp, x, true);
+        assert_eq!(g.value(y).dims(), &[1, 14, 8, 8]);
+    }
+}

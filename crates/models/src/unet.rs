@@ -1,0 +1,254 @@
+//! Classic U-Net (Ronneberger et al. 2015) — the convolutional baseline.
+
+use apf_tensor::prelude::*;
+
+use crate::layers::{Conv2d, ConvBnRelu, ConvTranspose2d};
+use crate::params::{BoundParams, ParamSet};
+
+/// U-Net hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UnetConfig {
+    /// Input channels (1 for grayscale).
+    pub in_ch: usize,
+    /// Output channels (1 for binary masks, 14 for BTCV's 13+background).
+    pub out_ch: usize,
+    /// Channels of the first encoder level; doubles per level.
+    pub base_ch: usize,
+    /// Number of down/up levels (input extent must be divisible by
+    /// `2^levels`).
+    pub levels: usize,
+}
+
+impl UnetConfig {
+    /// A small configuration for CPU experiments.
+    pub fn small(in_ch: usize, out_ch: usize) -> Self {
+        UnetConfig { in_ch, out_ch, base_ch: 8, levels: 3 }
+    }
+}
+
+/// One encoder level: two conv blocks (features kept for the skip).
+struct EncLevel {
+    c1: ConvBnRelu,
+    c2: ConvBnRelu,
+}
+
+impl EncLevel {
+    fn new(ps: &mut ParamSet, name: &str, in_ch: usize, out_ch: usize, seed: u64) -> Self {
+        EncLevel {
+            c1: ConvBnRelu::new(ps, &format!("{name}.c1"), in_ch, out_ch, seed),
+            c2: ConvBnRelu::new(ps, &format!("{name}.c2"), out_ch, out_ch, seed ^ 0x1),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, x: Var, train: bool) -> Var {
+        let y = self.c1.forward(g, bp, x, train);
+        self.c2.forward(g, bp, y, train)
+    }
+}
+
+/// One decoder level: learned 2x upsample, skip concat, two conv blocks.
+struct DecLevel {
+    up: ConvTranspose2d,
+    c1: ConvBnRelu,
+    c2: ConvBnRelu,
+}
+
+impl DecLevel {
+    fn new(ps: &mut ParamSet, name: &str, in_ch: usize, out_ch: usize, seed: u64) -> Self {
+        DecLevel {
+            up: ConvTranspose2d::new(
+                ps,
+                &format!("{name}.up"),
+                in_ch,
+                out_ch,
+                ConvGeom { kernel: 2, stride: 2, pad: 0 },
+                seed,
+            ),
+            c1: ConvBnRelu::new(ps, &format!("{name}.c1"), out_ch * 2, out_ch, seed ^ 0x2),
+            c2: ConvBnRelu::new(ps, &format!("{name}.c2"), out_ch, out_ch, seed ^ 0x3),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, x: Var, skip: Var, train: bool) -> Var {
+        let y = self.up.forward(g, bp, x);
+        let y = g.relu(y);
+        let cat = g.concat(&[y, skip], 1);
+        let y = self.c1.forward(g, bp, cat, train);
+        self.c2.forward(g, bp, y, train)
+    }
+}
+
+/// The full U-Net.
+pub struct UNet {
+    /// Owned parameters.
+    pub params: ParamSet,
+    encs: Vec<EncLevel>,
+    bottleneck: EncLevel,
+    decs: Vec<DecLevel>,
+    head: Conv2d,
+    cfg: UnetConfig,
+}
+
+impl UNet {
+    /// Builds the network.
+    pub fn new(cfg: UnetConfig, seed: u64) -> Self {
+        let mut ps = ParamSet::new();
+        let ch = |l: usize| cfg.base_ch << l;
+        let mut encs = Vec::new();
+        for l in 0..cfg.levels {
+            let in_ch = if l == 0 { cfg.in_ch } else { ch(l - 1) };
+            encs.push(EncLevel::new(&mut ps, &format!("enc{l}"), in_ch, ch(l), seed ^ (l as u64)));
+        }
+        let bottleneck = EncLevel::new(
+            &mut ps,
+            "bottleneck",
+            ch(cfg.levels - 1),
+            ch(cfg.levels),
+            seed ^ 0xB0,
+        );
+        let mut decs = Vec::new();
+        for l in (0..cfg.levels).rev() {
+            decs.push(DecLevel::new(
+                &mut ps,
+                &format!("dec{l}"),
+                ch(l + 1),
+                ch(l),
+                seed ^ (0xD0 + l as u64),
+            ));
+        }
+        let head = Conv2d::new(
+            &mut ps,
+            "head",
+            cfg.base_ch,
+            cfg.out_ch,
+            ConvGeom { kernel: 1, stride: 1, pad: 0 },
+            seed ^ 0xF0,
+        );
+        UNet { params: ps, encs, bottleneck, decs, head, cfg }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &UnetConfig {
+        &self.cfg
+    }
+
+    /// `[B, in_ch, H, W]` -> `[B, out_ch, H, W]` logits.
+    pub fn forward(&self, g: &mut Graph, bp: &BoundParams, x: Var, train: bool) -> Var {
+        let dims = g.value(x).dims().to_vec();
+        let div = 1 << self.cfg.levels;
+        assert!(
+            dims[2].is_multiple_of(div) && dims[3].is_multiple_of(div),
+            "input extent must be divisible by 2^levels"
+        );
+        let mut feats = Vec::with_capacity(self.cfg.levels);
+        let mut h = x;
+        for enc in &self.encs {
+            let f = enc.forward(g, bp, h, train);
+            feats.push(f);
+            h = g.maxpool2d(f, 2);
+        }
+        h = self.bottleneck.forward(g, bp, h, train);
+        for (dec, &skip) in self.decs.iter().zip(feats.iter().rev()) {
+            h = dec.forward(g, bp, h, skip, train);
+        }
+        self.head.forward(g, bp, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_binary() {
+        let model = UNet::new(UnetConfig { in_ch: 1, out_ch: 1, base_ch: 4, levels: 2 }, 1);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([2, 1, 16, 16], 0.0, 1.0, 2));
+        let y = model.forward(&mut g, &bp, x, true);
+        assert_eq!(g.value(y).dims(), &[2, 1, 16, 16]);
+    }
+
+    #[test]
+    fn forward_shape_multiclass() {
+        let model = UNet::new(UnetConfig { in_ch: 1, out_ch: 14, base_ch: 4, levels: 2 }, 3);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([1, 1, 16, 16], 0.0, 1.0, 4));
+        let y = model.forward(&mut g, &bp, x, true);
+        assert_eq!(g.value(y).dims(), &[1, 14, 16, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_extent_panics() {
+        let model = UNet::new(UnetConfig { in_ch: 1, out_ch: 1, base_ch: 4, levels: 3 }, 5);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::zeros([1, 1, 12, 12]));
+        model.forward(&mut g, &bp, x, true);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let model = UNet::new(UnetConfig { in_ch: 1, out_ch: 1, base_ch: 4, levels: 2 }, 7);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([1, 1, 8, 8], 0.0, 1.0, 8));
+        let y = model.forward(&mut g, &bp, x, true);
+        let t = g.constant(Tensor::rand_uniform([1, 1, 8, 8], 0.0, 1.0, 9).map(f32::round));
+        let loss = g.bce_with_logits(y, t);
+        g.backward(loss);
+        let missing: Vec<&str> = model
+            .params
+            .iter()
+            .filter(|(id, _, _)| g.grad(bp.var(*id)).is_none())
+            .map(|(_, n, _)| n)
+            .collect();
+        assert!(missing.is_empty(), "params without grads: {:?}", missing);
+    }
+
+    #[test]
+    fn learns_threshold_segmentation() {
+        let mut model = UNet::new(UnetConfig { in_ch: 1, out_ch: 1, base_ch: 4, levels: 1 }, 11);
+        // Bright left half -> mask 1.
+        fn make() -> (Tensor, Tensor) {
+            let mut img = vec![0.0f32; 64];
+            let mut msk = vec![0.0f32; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    if x < 4 {
+                        img[y * 8 + x] = 0.9;
+                        msk[y * 8 + x] = 1.0;
+                    } else {
+                        img[y * 8 + x] = 0.1;
+                    }
+                }
+            }
+            (Tensor::new([1, 1, 8, 8], img), Tensor::new([1, 1, 8, 8], msk))
+        }
+        let (img, msk) = make();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            let mut g = Graph::new();
+            let bp = model.params.bind(&mut g);
+            let xv = g.constant(img.clone());
+            let out = model.forward(&mut g, &bp, xv, true);
+            let yv = g.constant(msk.clone());
+            let loss = g.bce_with_logits(out, yv);
+            g.backward(loss);
+            let lv = g.value(loss).item();
+            first.get_or_insert(lv);
+            last = lv;
+            let ids: Vec<_> = model.params.iter().map(|(id, _, _)| id).collect();
+            for id in ids {
+                if let Some(grad) = g.grad(bp.var(id)) {
+                    let updated = model.params.get(id).sub(&grad.scale(0.2));
+                    *model.params.get_mut(id) = updated;
+                }
+            }
+        }
+        assert!(last < first.unwrap() * 0.5, "{} -> {}", first.unwrap(), last);
+    }
+}

@@ -1,0 +1,388 @@
+//! UNETR (2D adaptation): transformer encoder + convolutional decoder with
+//! skip connections, operating on token grids.
+//!
+//! The original UNETR treats the transformer's patch-grid hidden states as a
+//! feature map and decodes them back to pixel space through transposed
+//! convolutions, merging hidden states from several encoder depths. Our 2D
+//! adaptation keeps that structure and generalizes the "patch grid" so the
+//! same model runs on:
+//!
+//! - uniform sequences (tokens laid out row-major — classic UNETR), and
+//! - APF sequences (Z-ordered tokens laid out along a Morton grid, which
+//!   preserves 2D locality for the convolutional decoder).
+//!
+//! The decoder upsamples `log2(P)` times so its output provides one logit
+//! per *pixel of every token's patch*, i.e. `[B, L, P*P]`; the caller then
+//! paints tokens back to the image (APF: [`apf_core::reconstruct_mask`];
+//! uniform: [`apf_core::uniform_reconstruct`]).
+
+use apf_tensor::prelude::*;
+
+use crate::layers::{Conv2d, ConvBnRelu, ConvTranspose2d};
+use crate::params::{BoundParams, ParamSet};
+use crate::rearrange::{image_to_token_patches, tokens_to_grid, GridOrder};
+use crate::transformer::TransformerEncoder;
+use crate::vit::{PatchEmbed, ViTConfig};
+
+/// UNETR hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct UnetrConfig {
+    /// Side of the token grid (`L = grid_side²`).
+    pub grid_side: usize,
+    /// Patch side `P` (token patch is `P x P` pixels).
+    pub patch: usize,
+    /// Transformer width.
+    pub dim: usize,
+    /// Transformer depth.
+    pub depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Decoder base channels at the token-grid resolution.
+    pub decoder_ch: usize,
+    /// Output channels per pixel (1 = binary mask logits, `C` for
+    /// multi-class segmentation, e.g. 14 for BTCV organs + background).
+    pub out_channels: usize,
+    /// Token -> grid layout.
+    pub order: GridOrder,
+}
+
+impl UnetrConfig {
+    /// A small config for CPU experiments: `L = grid_side²` tokens of
+    /// `patch²` pixels.
+    pub fn small(grid_side: usize, patch: usize, order: GridOrder) -> Self {
+        UnetrConfig {
+            grid_side,
+            patch,
+            dim: 64,
+            depth: 4,
+            heads: 4,
+            decoder_ch: 32,
+            out_channels: 1,
+            order,
+        }
+    }
+
+    /// Tiny config for unit tests.
+    pub fn tiny(grid_side: usize, patch: usize, order: GridOrder) -> Self {
+        UnetrConfig {
+            grid_side,
+            patch,
+            dim: 16,
+            depth: 2,
+            heads: 2,
+            decoder_ch: 8,
+            out_channels: 1,
+            order,
+        }
+    }
+
+    /// Same configuration with `c` output channels per pixel.
+    pub fn with_out_channels(mut self, c: usize) -> Self {
+        self.out_channels = c;
+        self
+    }
+
+    /// Sequence length `L`.
+    pub fn seq_len(&self) -> usize {
+        self.grid_side * self.grid_side
+    }
+
+    /// Number of 2x upsampling stages (`log2(patch)`).
+    pub fn stages(&self) -> usize {
+        assert!(self.patch.is_power_of_two(), "patch must be a power of two");
+        self.patch.trailing_zeros() as usize
+    }
+}
+
+/// One skip pathway: 1x1 channel reduction followed by `n` learned 2x
+/// upsamplings, bringing an encoder hidden state to the decoder's current
+/// resolution.
+struct SkipPath {
+    reduce: Conv2d,
+    ups: Vec<ConvTranspose2d>,
+}
+
+impl SkipPath {
+    fn new(ps: &mut ParamSet, name: &str, in_ch: usize, out_ch: usize, n_up: usize, seed: u64) -> Self {
+        let reduce = Conv2d::new(
+            ps,
+            &format!("{name}.reduce"),
+            in_ch,
+            out_ch,
+            ConvGeom { kernel: 1, stride: 1, pad: 0 },
+            seed,
+        );
+        let ups = (0..n_up)
+            .map(|i| {
+                ConvTranspose2d::new(
+                    ps,
+                    &format!("{name}.up{i}"),
+                    out_ch,
+                    out_ch,
+                    ConvGeom { kernel: 2, stride: 2, pad: 0 },
+                    seed ^ (0x77 + i as u64),
+                )
+            })
+            .collect();
+        SkipPath { reduce, ups }
+    }
+
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, x: Var) -> Var {
+        let mut y = self.reduce.forward(g, bp, x);
+        for up in &self.ups {
+            y = up.forward(g, bp, y);
+            y = g.relu(y);
+        }
+        y
+    }
+}
+
+/// The UNETR convolutional decoder over a token grid; shared with the Swin
+/// variant.
+pub struct TokenGridDecoder {
+    bottom: ConvBnRelu,
+    ups: Vec<ConvTranspose2d>,
+    skips: Vec<SkipPath>,
+    fuses: Vec<ConvBnRelu>,
+    head: Conv2d,
+    cfg: UnetrConfig,
+}
+
+impl TokenGridDecoder {
+    /// Builds the decoder for `cfg`; `skip_src_dim` is the encoder width.
+    pub fn new(ps: &mut ParamSet, name: &str, cfg: UnetrConfig, seed: u64) -> Self {
+        let stages = cfg.stages();
+        let ch = |s: usize| (cfg.decoder_ch >> s).max(4);
+        let bottom = ConvBnRelu::new(ps, &format!("{name}.bottom"), cfg.dim, ch(0), seed);
+        let mut ups = Vec::new();
+        let mut skips = Vec::new();
+        let mut fuses = Vec::new();
+        for s in 1..=stages {
+            ups.push(ConvTranspose2d::new(
+                ps,
+                &format!("{name}.up{s}"),
+                ch(s - 1),
+                ch(s),
+                ConvGeom { kernel: 2, stride: 2, pad: 0 },
+                seed ^ (0x100 + s as u64),
+            ));
+            skips.push(SkipPath::new(
+                ps,
+                &format!("{name}.skip{s}"),
+                cfg.dim,
+                ch(s),
+                s,
+                seed ^ (0x200 + s as u64),
+            ));
+            fuses.push(ConvBnRelu::new(
+                ps,
+                &format!("{name}.fuse{s}"),
+                ch(s) * 2,
+                ch(s),
+                seed ^ (0x300 + s as u64),
+            ));
+        }
+        let head = Conv2d::new(
+            ps,
+            &format!("{name}.head"),
+            ch(stages),
+            cfg.out_channels,
+            ConvGeom { kernel: 1, stride: 1, pad: 0 },
+            seed ^ 0x400,
+        );
+        TokenGridDecoder { bottom, ups, skips, fuses, head, cfg }
+    }
+
+    /// Decodes encoder hidden states into per-token patch logits
+    /// `[B, L, P*P]`. `hidden` must contain `stages + 1` states of shape
+    /// `[B, L, D]`, deepest last.
+    pub fn forward(&self, g: &mut Graph, bp: &BoundParams, hidden: &[Var], b: usize, train: bool) -> Var {
+        let stages = self.cfg.stages();
+        assert_eq!(hidden.len(), stages + 1, "decoder needs stages+1 skips");
+        let side = self.cfg.grid_side;
+        let d = self.cfg.dim;
+
+        let deepest = tokens_to_grid(g, hidden[stages], b, side, d, self.cfg.order);
+        let mut y = self.bottom.forward(g, bp, deepest, train);
+        for s in 1..=stages {
+            y = self.ups[s - 1].forward(g, bp, y);
+            y = g.relu(y);
+            // Skip s pairs with the hidden state `stages - s` (earlier
+            // layers fuse at higher resolutions, as in UNETR).
+            let skip_grid = tokens_to_grid(g, hidden[stages - s], b, side, d, self.cfg.order);
+            let skip = self.skips[s - 1].forward(g, bp, skip_grid);
+            let cat = g.concat(&[y, skip], 1);
+            y = self.fuses[s - 1].forward(g, bp, cat, train);
+        }
+        let logits = self.head.forward(g, bp, y); // [B, C, side*P, side*P]
+        image_to_token_patches(g, logits, b, self.cfg.out_channels, side, self.cfg.patch, self.cfg.order)
+    }
+}
+
+/// The full 2D UNETR: patch/positional embedding, transformer encoder,
+/// token-grid decoder.
+pub struct Unetr2d {
+    /// Owned parameters.
+    pub params: ParamSet,
+    embed: PatchEmbed,
+    encoder: TransformerEncoder,
+    decoder: TokenGridDecoder,
+    cfg: UnetrConfig,
+}
+
+impl Unetr2d {
+    /// Builds the model.
+    pub fn new(cfg: UnetrConfig, seed: u64) -> Self {
+        let mut ps = ParamSet::new();
+        let vcfg = ViTConfig {
+            patch_dim: cfg.patch * cfg.patch,
+            seq_len: cfg.seq_len(),
+            dim: cfg.dim,
+            depth: cfg.depth,
+            heads: cfg.heads,
+        };
+        let embed = PatchEmbed::new(&mut ps, "embed", &vcfg, seed);
+        let encoder = TransformerEncoder::new(&mut ps, "enc", cfg.dim, cfg.depth, cfg.heads, seed ^ 0x55);
+        let decoder = TokenGridDecoder::new(&mut ps, "dec", cfg, seed ^ 0x66);
+        Unetr2d { params: ps, embed, encoder, decoder, cfg }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &UnetrConfig {
+        &self.cfg
+    }
+
+    /// Picks `stages + 1` evenly-spaced encoder states, deepest last.
+    fn choose_skips(&self, skips: &[Var]) -> Vec<Var> {
+        let want = self.cfg.stages() + 1;
+        let depth = skips.len();
+        (1..=want)
+            .map(|k| skips[(k * depth / want).saturating_sub(1).min(depth - 1)])
+            .collect()
+    }
+
+    /// `[B, L, P²]` tokens -> `[B, L, P²]` per-pixel logits.
+    pub fn forward(&self, g: &mut Graph, bp: &BoundParams, tokens: Var, train: bool) -> Var {
+        let b = g.value(tokens).dims()[0];
+        let x = self.embed.forward(g, bp, tokens);
+        let (out, skips) = self.encoder.forward_with_skips(g, bp, x);
+        let mut chosen = self.choose_skips(&skips);
+        // The deepest decoder input is the layer-normed encoder output, as
+        // in UNETR's z12 bottleneck.
+        *chosen.last_mut().expect("stages + 1 >= 1") = out;
+        self.decoder.forward(g, bp, &chosen, b, train)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes_row_major() {
+        let cfg = UnetrConfig::tiny(4, 4, GridOrder::RowMajor);
+        let model = Unetr2d::new(cfg, 1);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([2, 16, 16], -1.0, 1.0, 2));
+        let out = model.forward(&mut g, &bp, toks, true);
+        assert_eq!(g.value(out).dims(), &[2, 16, 16]);
+    }
+
+    #[test]
+    fn forward_shapes_morton_patch2() {
+        let cfg = UnetrConfig::tiny(4, 2, GridOrder::Morton);
+        let model = Unetr2d::new(cfg, 3);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([1, 16, 4], -1.0, 1.0, 4));
+        let out = model.forward(&mut g, &bp, toks, true);
+        assert_eq!(g.value(out).dims(), &[1, 16, 4]);
+    }
+
+    #[test]
+    fn multiclass_output_channels() {
+        let cfg = UnetrConfig::tiny(4, 2, GridOrder::Morton).with_out_channels(14);
+        let model = Unetr2d::new(cfg, 9);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([1, 16, 4], -1.0, 1.0, 10));
+        let out = model.forward(&mut g, &bp, toks, true);
+        // [B, L, C * P²] = [1, 16, 14 * 4]
+        assert_eq!(g.value(out).dims(), &[1, 16, 56]);
+    }
+
+    #[test]
+    fn patch1_needs_no_upsampling() {
+        let cfg = UnetrConfig::tiny(4, 1, GridOrder::Morton);
+        assert_eq!(cfg.stages(), 0);
+        let model = Unetr2d::new(cfg, 5);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([1, 16, 1], -1.0, 1.0, 6));
+        let out = model.forward(&mut g, &bp, toks, true);
+        assert_eq!(g.value(out).dims(), &[1, 16, 1]);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let cfg = UnetrConfig::tiny(2, 2, GridOrder::RowMajor);
+        let model = Unetr2d::new(cfg, 7);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([2, 4, 4], -1.0, 1.0, 8));
+        let out = model.forward(&mut g, &bp, toks, true);
+        let target = g.constant(Tensor::rand_uniform([2, 4, 4], 0.0, 1.0, 9).map(f32::round));
+        let loss = g.bce_with_logits(out, target);
+        g.backward(loss);
+        let missing: Vec<&str> = model
+            .params
+            .iter()
+            .filter(|(id, _, _)| g.grad(bp.var(*id)).is_none())
+            .map(|(_, n, _)| n)
+            .collect();
+        assert!(missing.is_empty(), "params without grads: {:?}", missing);
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        // Learn to segment "bright tokens" on tiny synthetic data.
+        let cfg = UnetrConfig::tiny(2, 2, GridOrder::Morton);
+        let mut model = Unetr2d::new(cfg, 11);
+        let x = Tensor::new(
+            [1, 4, 4],
+            vec![
+                0.9, 0.9, 0.9, 0.9, // bright token -> mask 1
+                0.1, 0.1, 0.1, 0.1, // dark token -> mask 0
+                0.9, 0.9, 0.9, 0.9, //
+                0.1, 0.1, 0.1, 0.1,
+            ],
+        );
+        let y = Tensor::new(
+            [1, 4, 4],
+            vec![1., 1., 1., 1., 0., 0., 0., 0., 1., 1., 1., 1., 0., 0., 0., 0.],
+        );
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            let mut g = Graph::new();
+            let bp = model.params.bind(&mut g);
+            let xv = g.constant(x.clone());
+            let out = model.forward(&mut g, &bp, xv, true);
+            let yv = g.constant(y.clone());
+            let loss = g.bce_with_logits(out, yv);
+            g.backward(loss);
+            let lv = g.value(loss).item();
+            first.get_or_insert(lv);
+            last = lv;
+            let ids: Vec<_> = model.params.iter().map(|(id, _, _)| id).collect();
+            for id in ids {
+                if let Some(grad) = g.grad(bp.var(id)) {
+                    let updated = model.params.get(id).sub(&grad.scale(0.1));
+                    *model.params.get_mut(id) = updated;
+                }
+            }
+        }
+        assert!(last < first.unwrap() * 0.6, "{} -> {}", first.unwrap(), last);
+    }
+}

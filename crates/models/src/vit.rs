@@ -1,0 +1,251 @@
+//! Vanilla Vision Transformer: patch embedding, encoder, and heads.
+//!
+//! Works identically on uniform-grid sequences and APF sequences — the model
+//! never knows which patching produced its tokens. That interchangeability
+//! is the paper's central design claim.
+
+use apf_tensor::init;
+use apf_tensor::prelude::*;
+
+use crate::layers::{LayerNorm, Linear};
+use crate::params::{BoundParams, ParamId, ParamSet};
+use crate::transformer::TransformerEncoder;
+
+/// Hyper-parameters shared by the ViT variants.
+#[derive(Debug, Clone, Copy)]
+pub struct ViTConfig {
+    /// Flattened patch length `P_m * P_m` (input token width).
+    pub patch_dim: usize,
+    /// Sequence length `L` the positional table is sized for.
+    pub seq_len: usize,
+    /// Model width `D`.
+    pub dim: usize,
+    /// Encoder depth.
+    pub depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+}
+
+impl ViTConfig {
+    /// A small configuration suitable for CPU training in tests/benches.
+    pub fn tiny(patch_dim: usize, seq_len: usize) -> Self {
+        ViTConfig { patch_dim, seq_len, dim: 32, depth: 2, heads: 4 }
+    }
+
+    /// A small-but-capable configuration used by the experiment harness.
+    pub fn small(patch_dim: usize, seq_len: usize) -> Self {
+        ViTConfig { patch_dim, seq_len, dim: 64, depth: 4, heads: 4 }
+    }
+}
+
+/// Linear patch embedding plus learned positional embedding.
+pub struct PatchEmbed {
+    proj: Linear,
+    pos: ParamId,
+    /// Token width after embedding.
+    pub dim: usize,
+    /// Maximum sequence length.
+    pub seq_len: usize,
+}
+
+impl PatchEmbed {
+    /// Creates the embedding for `cfg`.
+    pub fn new(ps: &mut ParamSet, name: &str, cfg: &ViTConfig, seed: u64) -> Self {
+        PatchEmbed {
+            proj: Linear::new(ps, &format!("{name}.proj"), cfg.patch_dim, cfg.dim, seed),
+            pos: ps.add(
+                format!("{name}.pos"),
+                init::trunc_normal([cfg.seq_len, cfg.dim], 0.02, seed ^ 0x90),
+            ),
+            dim: cfg.dim,
+            seq_len: cfg.seq_len,
+        }
+    }
+
+    /// `[B, L, patch_dim]` -> `[B, L, D]` with positions added.
+    pub fn forward(&self, g: &mut Graph, bp: &BoundParams, tokens: Var) -> Var {
+        let dims = g.value(tokens).dims().to_vec();
+        assert_eq!(dims.len(), 3, "tokens must be [B, L, patch_dim]");
+        assert_eq!(dims[1], self.seq_len, "sequence length mismatch with positional table");
+        let x = self.proj.forward(g, bp, tokens);
+        g.badd(x, bp.var(self.pos))
+    }
+}
+
+/// ViT classifier: embed -> encode -> mean-pool -> linear head.
+pub struct ViTClassifier {
+    /// Owned parameters.
+    pub params: ParamSet,
+    embed: PatchEmbed,
+    encoder: TransformerEncoder,
+    head: Linear,
+    norm: LayerNorm,
+}
+
+impl ViTClassifier {
+    /// Builds a classifier with `classes` output logits.
+    pub fn new(cfg: ViTConfig, classes: usize, seed: u64) -> Self {
+        let mut ps = ParamSet::new();
+        let embed = PatchEmbed::new(&mut ps, "embed", &cfg, seed);
+        let encoder = TransformerEncoder::new(&mut ps, "enc", cfg.dim, cfg.depth, cfg.heads, seed ^ 0x11);
+        let norm = LayerNorm::new(&mut ps, "head_norm", cfg.dim);
+        let head = Linear::new(&mut ps, "head", cfg.dim, classes, seed ^ 0x22);
+        ViTClassifier { params: ps, embed, encoder, head, norm }
+    }
+
+    /// `[B, L, patch_dim]` tokens -> `[B, classes]` logits.
+    pub fn forward(&self, g: &mut Graph, bp: &BoundParams, tokens: Var) -> Var {
+        let x = self.embed.forward(g, bp, tokens);
+        let x = self.encoder.forward(g, bp, x);
+        let pooled = g.mean_axis(x, 1); // [B, D]
+        let pooled = self.norm.forward(g, bp, pooled);
+        self.head.forward(g, bp, pooled)
+    }
+}
+
+/// ViT segmenter: embed -> encode -> per-token linear head predicting a
+/// `P_m x P_m` logit block per token (the "any transformer" baseline for
+/// APF segmentation).
+pub struct ViTSegmenter {
+    /// Owned parameters.
+    pub params: ParamSet,
+    embed: PatchEmbed,
+    encoder: TransformerEncoder,
+    head: Linear,
+}
+
+impl ViTSegmenter {
+    /// Builds a per-token segmenter; output width equals `cfg.patch_dim`.
+    pub fn new(cfg: ViTConfig, seed: u64) -> Self {
+        let mut ps = ParamSet::new();
+        let embed = PatchEmbed::new(&mut ps, "embed", &cfg, seed);
+        let encoder = TransformerEncoder::new(&mut ps, "enc", cfg.dim, cfg.depth, cfg.heads, seed ^ 0x33);
+        let head = Linear::new(&mut ps, "seg_head", cfg.dim, cfg.patch_dim, seed ^ 0x44);
+        ViTSegmenter { params: ps, embed, encoder, head }
+    }
+
+    /// `[B, L, patch_dim]` tokens -> `[B, L, patch_dim]` per-pixel logits.
+    pub fn forward(&self, g: &mut Graph, bp: &BoundParams, tokens: Var) -> Var {
+        let x = self.embed.forward(g, bp, tokens);
+        let x = self.encoder.forward(g, bp, x);
+        self.head.forward(g, bp, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_output_shape() {
+        let cfg = ViTConfig::tiny(16, 8);
+        let model = ViTClassifier::new(cfg, 6, 1);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([3, 8, 16], -1.0, 1.0, 2));
+        let out = model.forward(&mut g, &bp, toks);
+        assert_eq!(g.value(out).dims(), &[3, 6]);
+    }
+
+    #[test]
+    fn segmenter_output_matches_token_layout() {
+        let cfg = ViTConfig::tiny(16, 10);
+        let model = ViTSegmenter::new(cfg, 3);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let toks = g.constant(Tensor::rand_uniform([2, 10, 16], -1.0, 1.0, 4));
+        let out = model.forward(&mut g, &bp, toks);
+        assert_eq!(g.value(out).dims(), &[2, 10, 16]);
+    }
+
+    #[test]
+    fn positions_break_permutation_symmetry() {
+        // Unlike bare attention, a ViT with positional embeddings must NOT
+        // be permutation equivariant.
+        let cfg = ViTConfig::tiny(4, 3);
+        let model = ViTSegmenter::new(cfg, 5);
+        let x = Tensor::rand_uniform([1, 3, 4], -1.0, 1.0, 6);
+        let mut perm = x.to_vec();
+        for i in 0..4 {
+            perm.swap(i, 4 + i);
+        }
+        let xp = Tensor::new([1, 3, 4], perm);
+        let run = |input: Tensor| {
+            let mut g = Graph::new();
+            let bp = model.params.bind(&mut g);
+            let xv = g.constant(input);
+            let y = model.forward(&mut g, &bp, xv);
+            g.value(y).to_vec()
+        };
+        let y = run(x);
+        let yp = run(xp);
+        // Output token 0 under permutation differs from output token 1
+        // without it (positions matter).
+        let diff: f32 = (0..4).map(|i| (y[4 + i] - yp[i]).abs()).sum();
+        assert!(diff > 1e-4, "positional embedding had no effect");
+    }
+
+    #[test]
+    fn wrong_sequence_length_panics() {
+        let cfg = ViTConfig::tiny(4, 8);
+        let model = ViTClassifier::new(cfg, 2, 7);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Graph::new();
+            let bp = model.params.bind(&mut g);
+            let toks = g.constant(Tensor::zeros([1, 9, 4]));
+            model.forward(&mut g, &bp, toks);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn classifier_trains_on_separable_toy_data() {
+        // Two classes distinguished by token magnitude; a couple of gradient
+        // steps must reduce the loss.
+        let cfg = ViTConfig::tiny(4, 4);
+        let mut model = ViTClassifier::new(cfg, 2, 9);
+        let xs = [
+            Tensor::full([1, 4, 4], 0.9),
+            Tensor::full([1, 4, 4], -0.9),
+        ];
+        let ys = [0u32, 1];
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for step in 0..30 {
+            let mut g = Graph::new();
+            let bp = model.params.bind(&mut g);
+            let mut losses = Vec::new();
+            for (x, &y) in xs.iter().zip(ys.iter()) {
+                let xv = g.constant(x.clone());
+                let logits = model.forward(&mut g, &bp, xv);
+                let l = g.softmax_cross_entropy(logits, std::sync::Arc::new(vec![y]));
+                losses.push(l);
+            }
+            let sum = g.add(losses[0], losses[1]);
+            let loss = g.scale(sum, 0.5);
+            g.backward(loss);
+            let lv = g.value(loss).item();
+            if step == 0 {
+                first_loss = Some(lv);
+            }
+            last_loss = lv;
+            // Plain SGD step.
+            let ids: Vec<_> = model.params.iter().map(|(id, _, _)| id).collect();
+            for id in ids {
+                if let Some(grad) = g.grad(bp.var(id)) {
+                    let updated = {
+                        let cur = model.params.get(id);
+                        cur.sub(&grad.scale(0.05))
+                    };
+                    *model.params.get_mut(id) = updated;
+                }
+            }
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.5,
+            "loss did not drop: {} -> {}",
+            first_loss.unwrap(),
+            last_loss
+        );
+    }
+}

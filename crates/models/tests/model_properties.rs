@@ -1,0 +1,127 @@
+//! Property-based tests across model architectures: shape laws, finiteness,
+//! and checkpoint round-trips over randomized configurations.
+
+use apf_models::checkpoint;
+use apf_models::rearrange::GridOrder;
+use apf_models::swin::SwinUnetr;
+use apf_models::unet::{UNet, UnetConfig};
+use apf_models::unetr::{Unetr2d, UnetrConfig};
+use apf_models::vit::{ViTClassifier, ViTConfig};
+use apf_tensor::prelude::*;
+use proptest::prelude::*;
+
+fn order_strategy() -> impl Strategy<Value = GridOrder> {
+    prop_oneof![Just(GridOrder::Morton), Just(GridOrder::RowMajor)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn unetr_preserves_token_layout(
+        side_exp in 1usize..3,
+        patch_exp in 0usize..3,
+        b in 1usize..3,
+        order in order_strategy(),
+        seed in 0u64..100,
+    ) {
+        let side = 1 << side_exp;
+        let patch = 1 << patch_exp;
+        let cfg = UnetrConfig::tiny(side, patch, order);
+        let model = Unetr2d::new(cfg, seed);
+        let l = side * side;
+        let d = patch * patch;
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([b, l, d], -1.0, 1.0, seed + 1));
+        let y = model.forward(&mut g, &bp, x, true);
+        prop_assert_eq!(g.value(y).dims(), &[b, l, d]);
+        prop_assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn swin_preserves_token_layout(
+        b in 1usize..3,
+        order in order_strategy(),
+        seed in 0u64..100,
+    ) {
+        let cfg = UnetrConfig::tiny(4, 2, order);
+        let model = SwinUnetr::new(cfg, 2, seed);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([b, 16, 4], -1.0, 1.0, seed + 2));
+        let y = model.forward(&mut g, &bp, x, true);
+        prop_assert_eq!(g.value(y).dims(), &[b, 16, 4]);
+        prop_assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn unet_output_finite_any_extent(
+        hw_exp in 2usize..5,
+        out_ch in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let hw = 1 << hw_exp;
+        let model = UNet::new(
+            UnetConfig { in_ch: 1, out_ch, base_ch: 4, levels: 2 },
+            seed,
+        );
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([1, 1, hw, hw], 0.0, 1.0, seed + 3));
+        let y = model.forward(&mut g, &bp, x, true);
+        prop_assert_eq!(g.value(y).dims(), &[1, out_ch, hw, hw]);
+        prop_assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn vit_logits_shift_invariant_check(classes in 2usize..7, seed in 0u64..50) {
+        // Softmax CE is shift-invariant; logits themselves need not be, but
+        // must be finite and produce a valid argmax.
+        let cfg = ViTConfig::tiny(4, 4);
+        let model = ViTClassifier::new(cfg, classes, seed);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([2, 4, 4], -1.0, 1.0, seed + 4));
+        let y = model.forward(&mut g, &bp, x);
+        prop_assert_eq!(g.value(y).dims(), &[2, classes]);
+        let pred = g.value(y).argmax_last();
+        prop_assert!(pred.iter().all(|&c| c < classes));
+    }
+
+    #[test]
+    fn checkpoint_round_trip_random_configs(
+        side_exp in 1usize..3,
+        patch_exp in 0usize..2,
+        seed in 0u64..50,
+    ) {
+        let side = 1 << side_exp;
+        let patch = 1 << patch_exp;
+        let cfg = UnetrConfig::tiny(side, patch, GridOrder::Morton);
+        let model = Unetr2d::new(cfg, seed);
+        let bytes = checkpoint::to_bytes(&model.params);
+        let mut fresh = Unetr2d::new(cfg, seed.wrapping_add(1));
+        checkpoint::from_bytes(&mut fresh.params, &bytes).unwrap();
+        for ((_, _, a), (_, _, b)) in model.params.iter().zip(fresh.params.iter()) {
+            prop_assert_eq!(a.to_vec(), b.to_vec());
+        }
+    }
+
+    #[test]
+    fn gradient_norms_are_finite_after_backward(seed in 0u64..30) {
+        let cfg = UnetrConfig::tiny(2, 2, GridOrder::Morton);
+        let model = Unetr2d::new(cfg, seed);
+        let mut g = Graph::new();
+        let bp = model.params.bind(&mut g);
+        let x = g.constant(Tensor::rand_uniform([1, 4, 4], -1.0, 1.0, seed + 5));
+        let y = model.forward(&mut g, &bp, x, true);
+        let t = g.constant(Tensor::rand_uniform([1, 4, 4], 0.0, 1.0, seed + 6).map(f32::round));
+        let loss = g.bce_with_logits(y, t);
+        g.backward(loss);
+        for (id, v) in bp.iter() {
+            if let Some(grad) = g.grad(v) {
+                prop_assert!(!grad.has_non_finite(), "non-finite grad for {}", model.params.name(id));
+            }
+        }
+    }
+}

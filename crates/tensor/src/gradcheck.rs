@@ -1,0 +1,76 @@
+//! Finite-difference gradient checking for autograd ops.
+//!
+//! Each op's analytic gradient is compared against a central difference of a
+//! scalar-valued function of the op's output. Used pervasively in tests.
+
+use crate::autograd::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Relative/absolute tolerance for a single comparison.
+#[derive(Clone, Copy)]
+pub struct Tolerance {
+    pub rel: f32,
+    pub abs: f32,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        // f32 central differences are good to ~1e-3 relative at eps=1e-2..1e-3.
+        Tolerance { rel: 2e-2, abs: 2e-3 }
+    }
+}
+
+/// Checks `d loss / d input` for one input of a scalar-valued graph builder.
+///
+/// `build` receives a fresh graph and the current input tensor and must
+/// return `(input_var, scalar_loss_var)`. The analytic gradient at
+/// `input_var` is compared against central differences of the loss.
+///
+/// # Panics
+/// Panics (with a description of the first offending element) if any
+/// component differs beyond `tol`.
+pub fn check_gradient(
+    input: &Tensor,
+    tol: Tolerance,
+    build: impl Fn(&mut Graph, Tensor) -> (Var, Var),
+) {
+    // Analytic gradient.
+    let mut g = Graph::new();
+    let (x, loss) = build(&mut g, input.clone());
+    assert_eq!(g.value(loss).numel(), 1, "gradcheck loss must be scalar");
+    g.backward(loss);
+    let analytic = g
+        .grad(x)
+        .expect("input did not receive a gradient")
+        .clone();
+
+    // Central differences.
+    let eps = 1e-2f32;
+    let mut numeric = vec![0.0f32; input.numel()];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..input.numel() {
+        let mut plus = input.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = input.clone();
+        minus.data_mut()[i] -= eps;
+
+        let mut gp = Graph::new();
+        let (_, lp) = build(&mut gp, plus);
+        let mut gm = Graph::new();
+        let (_, lm) = build(&mut gm, minus);
+        numeric[i] = (gp.value(lp).item() - gm.value(lm).item()) / (2.0 * eps);
+    }
+
+    for (i, (&a, &n)) in analytic.data().iter().zip(numeric.iter()).enumerate() {
+        let diff = (a - n).abs();
+        let scale = a.abs().max(n.abs()).max(1.0);
+        assert!(
+            diff <= tol.abs + tol.rel * scale,
+            "gradient mismatch at element {}: analytic {} vs numeric {} (diff {})",
+            i,
+            a,
+            n,
+            diff
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Weight initialization schemes, all deterministic given a seed.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: impl Into<Shape>, fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, seed)
+}
+
+/// He/Kaiming normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU stacks.
+pub fn he_normal(shape: impl Into<Shape>, fan_in: usize, seed: u64) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::rand_normal(shape, 0.0, std, seed)
+}
+
+/// Truncated-ish normal used for transformer weights: `N(0, std)` clamped to
+/// two standard deviations.
+pub fn trunc_normal(shape: impl Into<Shape>, std: f32, seed: u64) -> Tensor {
+    Tensor::rand_normal(shape, 0.0, std, seed).map(move |x| x.clamp(-2.0 * std, 2.0 * std))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds() {
+        let t = xavier_uniform([64, 64], 64, 64, 3);
+        let a = (6.0 / 128.0f32).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+
+    #[test]
+    fn he_scale() {
+        let t = he_normal([50_000], 100, 4);
+        let std = (t.map(|x| x * x).mean() - t.mean() * t.mean()).sqrt();
+        let expect = (2.0f32 / 100.0).sqrt();
+        assert!((std - expect).abs() / expect < 0.05, "std {} vs {}", std, expect);
+    }
+
+    #[test]
+    fn trunc_normal_clamped() {
+        let t = trunc_normal([10_000], 0.02, 5);
+        assert!(t.max() <= 0.04 + 1e-6);
+        assert!(t.min() >= -0.04 - 1e-6);
+    }
+}

@@ -1,0 +1,205 @@
+//! Parallel matrix multiplication.
+//!
+//! A cache-blocked, rayon-parallel SGEMM sufficient for transformer training
+//! at the scales this workspace targets. Parallelism is over output rows,
+//! which keeps each task writing a disjoint output slice (no locks).
+
+use rayon::prelude::*;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Minimum FLOP count before we bother spawning rayon tasks.
+const PAR_FLOPS: usize = 1 << 16;
+
+/// `C[m,n] = A[m,k] * B[k,n]` over raw slices.
+///
+/// # Panics
+/// Panics if slice lengths do not match the given dims.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm: A size mismatch");
+    assert_eq!(b.len(), k * n, "gemm: B size mismatch");
+    assert_eq!(c.len(), m * n, "gemm: C size mismatch");
+    let work = m * n * k;
+    if work >= PAR_FLOPS && m > 1 {
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, crow)| gemm_row(&a[i * k..(i + 1) * k], b, crow, k, n));
+    } else {
+        for i in 0..m {
+            gemm_row(&a[i * k..(i + 1) * k], b, &mut c[i * n..(i + 1) * n], k, n);
+        }
+    }
+}
+
+/// One output row: `crow[n] = arow[k] * B[k,n]`, k-major for sequential B
+/// access (auto-vectorizes well).
+#[inline]
+fn gemm_row(arow: &[f32], b: &[f32], crow: &mut [f32], k: usize, n: usize) {
+    crow.fill(0.0);
+    for (p, &av) in arow.iter().enumerate().take(k) {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[p * n..(p + 1) * n];
+        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+            *cv += av * bv;
+        }
+    }
+}
+
+/// Tensor-level batched matmul.
+///
+/// Supported operand shapes:
+/// - `[.., m, k] x [k, n]`: the right operand is shared across the batch.
+/// - `[b.., m, k] x [b.., k, n]`: matching leading batch dims.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let ra = a.shape().rank();
+    let rb = b.shape().rank();
+    assert!(ra >= 2 && rb >= 2, "matmul requires rank >= 2 operands");
+    let m = a.shape().dim(ra - 2);
+    let k = a.shape().dim(ra - 1);
+    let kb = b.shape().dim(rb - 2);
+    let n = b.shape().dim(rb - 1);
+    assert_eq!(
+        k, kb,
+        "matmul inner dim mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+
+    let (batch_a, _) = a.shape().split_trailing(2);
+    let (batch_b, _) = b.shape().split_trailing(2);
+
+    let mut out_dims = a.shape().dims()[..ra - 2].to_vec();
+    out_dims.push(m);
+    out_dims.push(n);
+    let out_shape = Shape::new(out_dims);
+    let mut out = vec![0.0f32; out_shape.numel()];
+
+    if rb == 2 {
+        // Shared right operand: one big (batch*m, k) x (k, n) product.
+        gemm(a.data(), b.data(), &mut out, batch_a * m, k, n);
+    } else {
+        assert_eq!(
+            a.shape().dims()[..ra - 2],
+            b.shape().dims()[..rb - 2],
+            "matmul batch dims mismatch: {} vs {}",
+            a.shape(),
+            b.shape()
+        );
+        assert_eq!(batch_a, batch_b);
+        let amat = m * k;
+        let bmat = k * n;
+        let cmat = m * n;
+        if batch_a > 1 && m * n * k >= 1 << 12 {
+            out.par_chunks_mut(cmat).enumerate().for_each(|(i, cslab)| {
+                gemm_serial(
+                    &a.data()[i * amat..(i + 1) * amat],
+                    &b.data()[i * bmat..(i + 1) * bmat],
+                    cslab,
+                    m,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            for i in 0..batch_a {
+                gemm_serial(
+                    &a.data()[i * amat..(i + 1) * amat],
+                    &b.data()[i * bmat..(i + 1) * bmat],
+                    &mut out[i * cmat..(i + 1) * cmat],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+    }
+    Tensor::new(out_shape, out)
+}
+
+/// Sequential gemm used inside already-parallel batch loops.
+fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        gemm_row(&a[i * k..(i + 1) * k], b, &mut c[i * n..(i + 1) * n], k, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_matches_naive_small() {
+        let a: Vec<f32> = (0..6).map(|x| x as f32).collect();
+        let b: Vec<f32> = (0..12).map(|x| (x as f32) * 0.5).collect();
+        let mut c = vec![0.0; 2 * 4];
+        gemm(&a, &b, &mut c, 2, 3, 4);
+        assert_eq!(c, naive(&a, &b, 2, 3, 4));
+    }
+
+    #[test]
+    fn gemm_matches_naive_large_parallel() {
+        let m = 64;
+        let k = 48;
+        let n = 56;
+        let a: Vec<f32> = (0..m * k).map(|x| ((x * 7919) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|x| ((x * 104729) % 11) as f32 - 5.0).collect();
+        let mut c = vec![0.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n);
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let a = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::new([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.to_vec(), vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_batched_shared_rhs() {
+        let a = Tensor::new([2, 1, 2], vec![1., 0., 0., 1.]);
+        let b = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 1, 3]);
+        assert_eq!(c.to_vec(), vec![1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn matmul_batched_pairwise() {
+        let a = Tensor::new([2, 2, 2], vec![1., 0., 0., 1., 2., 0., 0., 2.]);
+        let b = Tensor::new([2, 2, 2], vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        assert_eq!(c.to_vec(), vec![1., 2., 3., 4., 10., 12., 14., 16.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim mismatch")]
+    fn matmul_bad_inner_dim() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        matmul(&a, &b);
+    }
+}

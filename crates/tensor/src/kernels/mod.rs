@@ -1,0 +1,9 @@
+//! Low-level compute kernels behind the tensor and autograd ops.
+//!
+//! Kernels are pure functions over buffers/tensors, rayon-parallel where the
+//! problem size warrants it, and individually unit-tested so autograd can be
+//! tested independently of the numerics.
+
+pub mod conv;
+pub mod gemm;
+pub mod pool;

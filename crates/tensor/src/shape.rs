@@ -1,0 +1,215 @@
+//! Shape algebra for dense row-major tensors.
+//!
+//! A [`Shape`] is an ordered list of dimension extents. All tensors in this
+//! crate are contiguous and row-major, so strides are always derivable from
+//! the dims; we never store them.
+
+use std::fmt;
+
+/// Dimension extents of a tensor, outermost first.
+///
+/// The empty shape `[]` denotes a scalar with one element.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The scalar shape `[]`.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Dimension extents, outermost first.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for scalars).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.rank()).rev() {
+            assert!(
+                index[axis] < self.0[axis],
+                "index {} out of bounds for dim {} (extent {})",
+                index[axis],
+                axis,
+                self.0[axis]
+            );
+            off += index[axis] * stride;
+            stride *= self.0[axis];
+        }
+        off
+    }
+
+    /// True if `suffix`'s dims equal the trailing dims of `self`.
+    ///
+    /// This is the broadcast rule used by [`crate::autograd::Graph::badd`]:
+    /// a tensor of shape `suffix` is tiled over the leading dims of `self`.
+    pub fn is_trailing_broadcast(&self, suffix: &Shape) -> bool {
+        if suffix.rank() > self.rank() {
+            return false;
+        }
+        let offset = self.rank() - suffix.rank();
+        self.0[offset..] == suffix.0[..]
+    }
+
+    /// Splits into (leading batch extent, trailing extent) around the last
+    /// `trailing_rank` dims. Used by matmul and row-wise kernels.
+    pub fn split_trailing(&self, trailing_rank: usize) -> (usize, usize) {
+        assert!(trailing_rank <= self.rank());
+        let cut = self.rank() - trailing_rank;
+        let lead: usize = self.0[..cut].iter().product();
+        let trail: usize = self.0[cut..].iter().product();
+        (lead, trail)
+    }
+
+    /// New shape with the last two dims swapped.
+    ///
+    /// # Panics
+    /// Panics if `rank < 2`.
+    pub fn transpose_last(&self) -> Shape {
+        assert!(self.rank() >= 2, "transpose_last requires rank >= 2");
+        let mut dims = self.0.clone();
+        let r = dims.len();
+        dims.swap(r - 1, r - 2);
+        Shape(dims)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::from([2, 3, 4]);
+        let mut seen = vec![false; 24];
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]);
+                    assert!(!seen[off]);
+                    seen[off] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        Shape::from([2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn trailing_broadcast() {
+        let a = Shape::from([8, 16, 32]);
+        assert!(a.is_trailing_broadcast(&Shape::from([32])));
+        assert!(a.is_trailing_broadcast(&Shape::from([16, 32])));
+        assert!(a.is_trailing_broadcast(&Shape::from([8, 16, 32])));
+        assert!(!a.is_trailing_broadcast(&Shape::from([8])));
+        assert!(!a.is_trailing_broadcast(&Shape::from([1, 8, 16, 32])));
+    }
+
+    #[test]
+    fn split_trailing_products() {
+        let s = Shape::from([2, 3, 4, 5]);
+        assert_eq!(s.split_trailing(2), (6, 20));
+        assert_eq!(s.split_trailing(0), (120, 1));
+        assert_eq!(s.split_trailing(4), (1, 120));
+    }
+
+    #[test]
+    fn transpose_last_swaps() {
+        let s = Shape::from([7, 3, 5]);
+        assert_eq!(s.transpose_last().dims(), &[7, 5, 3]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for tensor laws and kernel invariants.
+
+use apf_tensor::kernels::conv::{col2im, im2col, ConvGeom};
+use apf_tensor::prelude::*;
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reshape_preserves_data(dims in small_dims()) {
+        let n: usize = dims.iter().product();
+        let t = Tensor::rand_uniform(dims.clone(), -1.0, 1.0, 1);
+        let r = t.reshape([n]);
+        prop_assert_eq!(t.to_vec(), r.to_vec());
+    }
+
+    #[test]
+    fn transpose_last_is_involution(b in 1usize..4, r in 1usize..6, c in 1usize..6) {
+        let t = Tensor::rand_uniform([b, r, c], -1.0, 1.0, 2);
+        let back = t.transpose_last().transpose_last();
+        prop_assert_eq!(t.to_vec(), back.to_vec());
+        prop_assert_eq!(t.dims(), back.dims());
+    }
+
+    #[test]
+    fn add_commutes_mul_distributes(n in 1usize..32) {
+        let a = Tensor::rand_uniform([n], -2.0, 2.0, 3);
+        let b = Tensor::rand_uniform([n], -2.0, 2.0, 4);
+        let c = Tensor::rand_uniform([n], -2.0, 2.0, 5);
+        prop_assert_eq!(a.add(&b).to_vec(), b.add(&a).to_vec());
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        for (x, y) in lhs.to_vec().iter().zip(rhs.to_vec().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn split_concat_round_trip(lead in 1usize..4, e1 in 1usize..4, e2 in 1usize..4, trail in 1usize..4) {
+        let t = Tensor::rand_uniform([lead, e1 + e2, trail], -1.0, 1.0, 6);
+        let parts = t.split(1, &[e1, e2]);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = Tensor::concat(&refs, 1);
+        prop_assert_eq!(t.to_vec(), back.to_vec());
+    }
+
+    #[test]
+    fn matmul_identity(n in 1usize..6, m in 1usize..6) {
+        let a = Tensor::rand_uniform([m, n], -1.0, 1.0, 7);
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n { eye[i * n + i] = 1.0; }
+        let id = Tensor::new([n, n], eye);
+        let out = a.matmul(&id);
+        for (x, y) in out.to_vec().iter().zip(a.to_vec().iter()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_associates_with_scalar(m in 1usize..5, k in 1usize..5, n in 1usize..5, s in -3.0f32..3.0) {
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, 8);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, 9);
+        let lhs = a.scale(s).matmul(&b);
+        let rhs = a.matmul(&b).scale(s);
+        for (x, y) in lhs.to_vec().iter().zip(rhs.to_vec().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one(r in 1usize..6, c in 1usize..8) {
+        let t = Tensor::rand_uniform([r, c], -5.0, 5.0, 10);
+        let mut g = Graph::new();
+        let x = g.constant(t);
+        let y = g.softmax(x);
+        let out = g.value(y);
+        for row in out.data().chunks_exact(c) {
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property(
+        c in 1usize..3, h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let g = ConvGeom { kernel: k, stride, pad };
+        let ho = g.out_extent(h);
+        let wo = g.out_extent(w);
+        let x = Tensor::rand_uniform([c, h, w], -1.0, 1.0, 11);
+        let y = Tensor::rand_uniform([c * k * k, ho * wo], -1.0, 1.0, 12);
+        let mut cx = vec![0.0; c * k * k * ho * wo];
+        im2col(x.data(), c, h, w, g, &mut cx);
+        let lhs: f32 = cx.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let mut xy = vec![0.0; c * h * w];
+        col2im(y.data(), c, h, w, g, &mut xy);
+        let rhs: f32 = x.data().iter().zip(xy.iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn sum_axis_matches_full_sum(a in 1usize..4, b in 1usize..4, c in 1usize..4, axis in 0usize..3) {
+        let t = Tensor::rand_uniform([a, b, c], -1.0, 1.0, 13);
+        let mut g = Graph::new();
+        let x = g.constant(t.clone());
+        let y = g.sum_axis(x, axis);
+        prop_assert!((g.value(y).sum() - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_output_is_normalized(r in 1usize..5, d in 4usize..16) {
+        let t = Tensor::rand_uniform([r, d], -3.0, 3.0, 14);
+        let mut g = Graph::new();
+        let x = g.constant(t);
+        let gamma = g.constant(Tensor::ones([d]));
+        let beta = g.constant(Tensor::zeros([d]));
+        let y = g.layer_norm(x, gamma, beta, 1e-5);
+        for row in g.value(y).data().chunks_exact(d) {
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            prop_assert!(mean.abs() < 1e-3);
+            prop_assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+}
+
+#[test]
+fn broadcast_panics_on_non_suffix() {
+    let result = std::panic::catch_unwind(|| {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::zeros([2, 3]));
+        let b = g.constant(Tensor::zeros([2]));
+        g.badd(a, b);
+    });
+    assert!(result.is_err());
+}

@@ -1,0 +1,229 @@
+//! Dataset assembly: token-sequence segmentation samples (APF or uniform),
+//! batching, and train/val/test splitting.
+
+use apf_core::patchify::PatchSequence;
+use apf_core::pipeline::AdaptivePatcher;
+use apf_core::uniform::uniform_patches;
+use apf_imaging::image::GrayImage;
+use apf_tensor::tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Index split for train/validation/test (paper: 0.7 / 0.1 / 0.2).
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub val: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+/// Shuffles `0..n` and splits by the given fractions (test takes the rest).
+pub fn split_indices(n: usize, train_frac: f64, val_frac: f64, seed: u64) -> Split {
+    assert!(train_frac + val_frac <= 1.0, "fractions exceed 1");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = ((n as f64) * train_frac).round() as usize;
+    let n_val = ((n as f64) * val_frac).round() as usize;
+    Split {
+        train: idx[..n_train].to_vec(),
+        val: idx[n_train..(n_train + n_val).min(n)].to_vec(),
+        test: idx[(n_train + n_val).min(n)..].to_vec(),
+    }
+}
+
+/// One segmentation sample as token sequences plus everything needed to
+/// score a full-resolution prediction.
+#[derive(Clone)]
+pub struct TokenSegSample {
+    /// `[L, P²]` image tokens.
+    pub tokens: Tensor,
+    /// `[L, P²]` mask tokens aligned with `tokens`.
+    pub mask_tokens: Tensor,
+    /// The patch sequence (leaf regions) used to reconstruct masks.
+    pub seq: PatchSequence,
+    /// Full-resolution ground truth.
+    pub full_mask: GrayImage,
+}
+
+/// A token-sequence segmentation dataset; all samples share one `L` and
+/// `P_m` so they can be batched.
+#[derive(Clone, Default)]
+pub struct TokenSegDataset {
+    /// The samples.
+    pub samples: Vec<TokenSegSample>,
+}
+
+impl TokenSegDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Builds an APF dataset: every `(image, mask)` pair through the
+    /// adaptive patcher (which must have a `target_len` so lengths match).
+    pub fn adaptive(pairs: &[(GrayImage, GrayImage)], patcher: &AdaptivePatcher) -> Self {
+        assert!(
+            patcher.config().target_len.is_some(),
+            "adaptive datasets require a fixed target_len for batching"
+        );
+        let samples = pairs
+            .iter()
+            .map(|(img, mask)| {
+                let (xs, ys) = patcher.patchify_with_mask(img, mask);
+                TokenSegSample {
+                    tokens: xs.to_tensor(),
+                    mask_tokens: ys.to_tensor(),
+                    seq: xs,
+                    full_mask: mask.clone(),
+                }
+            })
+            .collect();
+        TokenSegDataset { samples }
+    }
+
+    /// Builds a uniform-grid dataset at patch size `p`.
+    pub fn uniform(pairs: &[(GrayImage, GrayImage)], p: usize) -> Self {
+        let samples = pairs
+            .iter()
+            .map(|(img, mask)| {
+                let xs = uniform_patches(img, p);
+                let ys = uniform_patches(mask, p);
+                TokenSegSample {
+                    tokens: xs.to_tensor(),
+                    mask_tokens: ys.to_tensor(),
+                    seq: xs,
+                    full_mask: mask.clone(),
+                }
+            })
+            .collect();
+        TokenSegDataset { samples }
+    }
+
+    /// Selects a subset by indices (for splits).
+    pub fn subset(&self, idx: &[usize]) -> Self {
+        TokenSegDataset {
+            samples: idx.iter().map(|&i| self.samples[i].clone()).collect(),
+        }
+    }
+
+    /// Stacks samples `idx` into `([B, L, P²] tokens, [B, L, P²] masks)`.
+    pub fn batch(&self, idx: &[usize]) -> (Tensor, Tensor) {
+        assert!(!idx.is_empty(), "empty batch");
+        let l = self.samples[idx[0]].tokens.dims()[0];
+        let d = self.samples[idx[0]].tokens.dims()[1];
+        let mut xs = Vec::with_capacity(idx.len() * l * d);
+        let mut ys = Vec::with_capacity(idx.len() * l * d);
+        for &i in idx {
+            let s = &self.samples[i];
+            assert_eq!(s.tokens.dims(), &[l, d], "inconsistent sample shapes");
+            xs.extend_from_slice(s.tokens.data());
+            ys.extend_from_slice(s.mask_tokens.data());
+        }
+        (
+            Tensor::new([idx.len(), l, d], xs),
+            Tensor::new([idx.len(), l, d], ys),
+        )
+    }
+
+    /// Random batch order for one epoch.
+    pub fn epoch_batches(&self, batch_size: usize, seed: u64) -> Vec<Vec<usize>> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx.chunks(batch_size.max(1)).map(|c| c.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apf_core::pipeline::PatcherConfig;
+    use apf_imaging::paip::{PaipConfig, PaipGenerator};
+
+    fn pairs(n: usize, res: usize) -> Vec<(GrayImage, GrayImage)> {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
+        (0..n)
+            .map(|i| {
+                let s = gen.generate(i);
+                (s.image, s.mask)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_fractions_and_determinism() {
+        let s = split_indices(100, 0.7, 0.1, 1);
+        assert_eq!(s.train.len(), 70);
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 20);
+        let s2 = split_indices(100, 0.7, 0.1, 1);
+        assert_eq!(s.train, s2.train);
+        // No index lost or duplicated.
+        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adaptive_dataset_batches() {
+        let data = pairs(3, 64);
+        let patcher = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(64)
+                .with_patch_size(4)
+                .with_target_len(32),
+        );
+        let ds = TokenSegDataset::adaptive(&data, &patcher);
+        assert_eq!(ds.len(), 3);
+        let (x, y) = ds.batch(&[0, 1, 2]);
+        assert_eq!(x.dims(), &[3, 32, 16]);
+        assert_eq!(y.dims(), &[3, 32, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target_len")]
+    fn adaptive_without_target_len_panics() {
+        let data = pairs(1, 64);
+        let patcher = AdaptivePatcher::new(PatcherConfig::for_resolution(64));
+        TokenSegDataset::adaptive(&data, &patcher);
+    }
+
+    #[test]
+    fn uniform_dataset_batches() {
+        let data = pairs(2, 32);
+        let ds = TokenSegDataset::uniform(&data, 8);
+        let (x, _) = ds.batch(&[0, 1]);
+        assert_eq!(x.dims(), &[2, 16, 64]);
+    }
+
+    #[test]
+    fn mask_tokens_match_mask_content() {
+        let data = pairs(1, 64);
+        let ds = TokenSegDataset::uniform(&data, 8);
+        // Mean of the mask tokens equals coverage of the full mask.
+        let cov = data[0].1.coverage(0.5);
+        let token_mean = ds.samples[0].mask_tokens.mean();
+        assert!((cov - token_mean).abs() < 0.01);
+    }
+
+    #[test]
+    fn epoch_batches_cover_all_samples() {
+        let data = pairs(5, 32);
+        let ds = TokenSegDataset::uniform(&data, 8);
+        let batches = ds.epoch_batches(2, 3);
+        let mut seen: Vec<usize> = batches.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(batches[0].len(), 2);
+        assert_eq!(batches[2].len(), 1);
+    }
+}

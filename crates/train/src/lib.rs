@@ -1,0 +1,25 @@
+//! # apf-train
+//!
+//! Training infrastructure for the APF reproduction: the paper's combined
+//! BCE + dice loss (Eq. 7-9), AdamW with step decay, dice/accuracy metrics,
+//! dataset assembly (adaptive and uniform token sequences), and training
+//! loops for segmentation (token- and image-based) and classification.
+//!
+//! Everything is seeded and deterministic, so experiment binaries reproduce
+//! bit-for-bit.
+
+pub mod data;
+pub mod imageseg;
+pub mod loss;
+pub mod mcseg;
+pub mod metrics;
+pub mod optim;
+pub mod trainer;
+
+pub use data::{split_indices, Split, TokenSegDataset, TokenSegSample};
+pub use imageseg::{stack_images, ImageSegModel, ImageSegTrainer};
+pub use loss::{combo_loss, dice_loss, ComboLossConfig};
+pub use mcseg::{adaptive_mc_samples, mc_batch, McSample, McSegTrainer};
+pub use metrics::{confusion_matrix, dice_score, multiclass_dice, top1_accuracy};
+pub use optim::{AdamW, AdamWConfig, StepDecay};
+pub use trainer::{ClsTrainer, EpochStats, SegTrainer, TokenClassifier, TokenSegModel};

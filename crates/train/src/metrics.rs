@@ -1,0 +1,144 @@
+//! Evaluation metrics: dice score (binary and multi-class mean), top-1
+//! accuracy, confusion matrices.
+
+use apf_imaging::image::GrayImage;
+
+/// Dice similarity coefficient between two binary masks, in percent
+/// (`2|X ∩ Y| / (|X| + |Y|)`, the paper's Eq. in §IV-E). Returns 100 when
+/// both masks are empty (identical).
+pub fn dice_score(pred: &GrayImage, truth: &GrayImage, threshold: f32) -> f64 {
+    assert_eq!(pred.width(), truth.width());
+    assert_eq!(pred.height(), truth.height());
+    let mut inter = 0u64;
+    let mut psum = 0u64;
+    let mut tsum = 0u64;
+    for (&p, &t) in pred.data().iter().zip(truth.data().iter()) {
+        let pb = p > threshold;
+        let tb = t > threshold;
+        inter += (pb && tb) as u64;
+        psum += pb as u64;
+        tsum += tb as u64;
+    }
+    if psum + tsum == 0 {
+        return 100.0;
+    }
+    200.0 * inter as f64 / (psum + tsum) as f64
+}
+
+/// Mean dice over foreground classes for label maps (`0 = background`,
+/// classes `1..=num_classes`). Classes absent from both maps are skipped
+/// (BTCV convention: report the average over the 13 annotated organs).
+pub fn multiclass_dice(pred: &[u8], truth: &[u8], num_classes: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    let mut inter = vec![0u64; num_classes + 1];
+    let mut psum = vec![0u64; num_classes + 1];
+    let mut tsum = vec![0u64; num_classes + 1];
+    for (&p, &t) in pred.iter().zip(truth.iter()) {
+        if (p as usize) <= num_classes {
+            psum[p as usize] += 1;
+        }
+        if (t as usize) <= num_classes {
+            tsum[t as usize] += 1;
+        }
+        if p == t && (p as usize) <= num_classes {
+            inter[p as usize] += 1;
+        }
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for c in 1..=num_classes {
+        if psum[c] + tsum[c] == 0 {
+            continue;
+        }
+        total += 200.0 * inter[c] as f64 / (psum[c] + tsum[c]) as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        100.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Top-1 accuracy in percent.
+pub fn top1_accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth.iter()).filter(|(a, b)| a == b).count();
+    100.0 * hits as f64 / pred.len() as f64
+}
+
+/// Dense confusion matrix: `matrix[truth][pred]` counts.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), truth.len());
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&p, &t) in pred.iter().zip(truth.iter()) {
+        assert!(p < classes && t < classes, "class out of range");
+        m[t][p] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(data: Vec<f32>) -> GrayImage {
+        let n = (data.len() as f64).sqrt() as usize;
+        GrayImage::from_raw(n, n, data)
+    }
+
+    #[test]
+    fn dice_identical_masks_is_100() {
+        let m = img(vec![1., 0., 0., 1.]);
+        assert_eq!(dice_score(&m, &m, 0.5), 100.0);
+    }
+
+    #[test]
+    fn dice_disjoint_masks_is_0() {
+        let a = img(vec![1., 0., 0., 0.]);
+        let b = img(vec![0., 0., 0., 1.]);
+        assert_eq!(dice_score(&a, &b, 0.5), 0.0);
+    }
+
+    #[test]
+    fn dice_half_overlap() {
+        // pred = {0, 1}, truth = {1, 2}: inter 1, sizes 2+2 -> 50%.
+        let a = img(vec![1., 1., 0., 0.]);
+        let b = img(vec![0., 1., 1., 0.]);
+        assert_eq!(dice_score(&a, &b, 0.5), 50.0);
+    }
+
+    #[test]
+    fn dice_empty_masks_is_100() {
+        let a = img(vec![0.0; 4]);
+        assert_eq!(dice_score(&a, &a, 0.5), 100.0);
+    }
+
+    #[test]
+    fn multiclass_dice_perfect_and_skips_absent() {
+        let truth = vec![0u8, 1, 2, 2];
+        assert_eq!(multiclass_dice(&truth, &truth, 13), 100.0);
+        // One wrong pixel in class 1: class1 dice = 0 (pred has none),
+        // class2 dice = 100 -> mean 50.
+        let pred = vec![0u8, 0, 2, 2];
+        assert_eq!(multiclass_dice(&pred, &truth, 13), 50.0);
+    }
+
+    #[test]
+    fn top1_accuracy_basic() {
+        assert_eq!(top1_accuracy(&[0, 1, 2, 2], &[0, 1, 2, 1]), 75.0);
+        assert_eq!(top1_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(m[0][0], 2); // truth 0 predicted 0
+        assert_eq!(m[0][1], 1); // truth 0 predicted 1
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+}

@@ -1,0 +1,436 @@
+//! Training loops: token-sequence segmentation, image segmentation, and
+//! classification, with per-epoch history for the stability figures.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use apf_core::patchify::reconstruct_mask;
+use apf_models::params::{BoundParams, ParamId, ParamSet};
+use apf_models::swin::SwinUnetr;
+use apf_models::unetr::Unetr2d;
+use apf_models::vit::{ViTClassifier, ViTSegmenter};
+use apf_tensor::prelude::*;
+use serde::Serialize;
+
+use crate::data::TokenSegDataset;
+use crate::loss::{combo_loss, ComboLossConfig};
+use crate::metrics::{dice_score, top1_accuracy};
+use crate::optim::{AdamW, AdamWConfig};
+
+/// Any model mapping token sequences `[B, L, P²]` to per-token logits
+/// `[B, L, P²]`.
+pub trait TokenSegModel {
+    /// The model's parameters.
+    fn params(&self) -> &ParamSet;
+    /// Mutable parameters (optimizer updates).
+    fn params_mut(&mut self) -> &mut ParamSet;
+    /// Forward pass.
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, tokens: Var, train: bool) -> Var;
+}
+
+impl TokenSegModel for Unetr2d {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, tokens: Var, train: bool) -> Var {
+        Unetr2d::forward(self, g, bp, tokens, train)
+    }
+}
+
+impl TokenSegModel for SwinUnetr {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, tokens: Var, train: bool) -> Var {
+        SwinUnetr::forward(self, g, bp, tokens, train)
+    }
+}
+
+impl TokenSegModel for ViTSegmenter {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, tokens: Var, _train: bool) -> Var {
+        ViTSegmenter::forward(self, g, bp, tokens)
+    }
+}
+
+/// Any model mapping one input tensor to class logits `[B, classes]`.
+pub trait TokenClassifier {
+    /// The model's parameters.
+    fn params(&self) -> &ParamSet;
+    /// Mutable parameters.
+    fn params_mut(&mut self) -> &mut ParamSet;
+    /// Forward pass (input layout is model-specific).
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, input: Var) -> Var;
+}
+
+impl TokenClassifier for ViTClassifier {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, input: Var) -> Var {
+        ViTClassifier::forward(self, g, bp, input)
+    }
+}
+
+impl TokenClassifier for apf_models::hipt::HiptLite {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+    fn forward(&self, g: &mut Graph, bp: &BoundParams, input: Var) -> Var {
+        apf_models::hipt::HiptLite::forward(self, g, bp, input)
+    }
+}
+
+/// Per-epoch training record (Fig. 4 series).
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub train_loss: f64,
+    /// Mean validation loss.
+    pub val_loss: f64,
+    /// Mean validation dice (percent), if evaluated.
+    pub val_dice: f64,
+    /// Wall-clock seconds spent in this epoch's training pass.
+    pub train_seconds: f64,
+}
+
+/// Collects `(id, grad)` pairs and steps the optimizer.
+pub(crate) fn apply_grads(g: &mut Graph, bp: &BoundParams, params: &mut ParamSet, opt: &mut AdamW) {
+    let grads: Vec<(ParamId, Tensor)> = bp
+        .iter()
+        .filter_map(|(id, v)| g.take_grad(v).map(|t| (id, t)))
+        .collect();
+    opt.step(params, &grads);
+}
+
+/// Trainer for token-sequence segmentation models.
+pub struct SegTrainer<M: TokenSegModel> {
+    /// The model being trained.
+    pub model: M,
+    opt: AdamW,
+    loss_cfg: ComboLossConfig,
+    epoch: usize,
+}
+
+impl<M: TokenSegModel> SegTrainer<M> {
+    /// Creates a trainer with AdamW and the paper's combined loss.
+    pub fn new(model: M, opt_cfg: AdamWConfig) -> Self {
+        let opt = AdamW::new(opt_cfg, model.params().len());
+        SegTrainer {
+            model,
+            opt,
+            loss_cfg: ComboLossConfig::default(),
+            epoch: 0,
+        }
+    }
+
+    /// One gradient step on a batch; returns the loss.
+    pub fn step(&mut self, tokens: &Tensor, masks: &Tensor) -> f64 {
+        let mut g = Graph::new();
+        let bp = self.model.params().bind(&mut g);
+        let x = g.constant(tokens.clone());
+        let y = g.constant(masks.clone());
+        let logits = self.model.forward(&mut g, &bp, x, true);
+        let loss = combo_loss(&mut g, logits, y, self.loss_cfg);
+        g.backward(loss);
+        let lv = g.value(loss).item() as f64;
+        apply_grads(&mut g, &bp, self.model.params_mut(), &mut self.opt);
+        lv
+    }
+
+    /// Loss of a batch without updating (validation).
+    pub fn eval_loss(&self, tokens: &Tensor, masks: &Tensor) -> f64 {
+        let mut g = Graph::new();
+        let bp = self.model.params().bind(&mut g);
+        let x = g.constant(tokens.clone());
+        let y = g.constant(masks.clone());
+        let logits = self.model.forward(&mut g, &bp, x, false);
+        let loss = combo_loss(&mut g, logits, y, self.loss_cfg);
+        g.value(loss).item() as f64
+    }
+
+    /// Predicts token logits for one sample `[L, P²]` (adds a batch dim).
+    pub fn predict(&self, tokens: &Tensor) -> Tensor {
+        let dims = tokens.dims().to_vec();
+        let mut g = Graph::new();
+        let bp = self.model.params().bind(&mut g);
+        let x = g.constant(tokens.reshape([1, dims[0], dims[1]]));
+        let logits = self.model.forward(&mut g, &bp, x, false);
+        let probs = g.sigmoid(logits);
+        g.value(probs).reshape([dims[0], dims[1]])
+    }
+
+    /// Mean full-resolution dice over a dataset: predictions are painted
+    /// back onto the image canvas through each sample's patch regions.
+    pub fn evaluate_dice(&self, data: &TokenSegDataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for s in &data.samples {
+            let probs = self.predict(&s.tokens);
+            let pred = reconstruct_mask(&s.seq, &probs);
+            total += dice_score(&pred, &s.full_mask, 0.5);
+        }
+        total / data.len() as f64
+    }
+
+    /// One full epoch over `train`, then evaluation on `val`.
+    pub fn run_epoch(
+        &mut self,
+        train: &TokenSegDataset,
+        val: &TokenSegDataset,
+        batch_size: usize,
+        eval_dice: bool,
+    ) -> EpochStats {
+        self.opt.set_epoch(self.epoch);
+        let t0 = Instant::now();
+        let mut train_loss = 0.0;
+        let batches = train.epoch_batches(batch_size, self.epoch as u64);
+        for b in &batches {
+            let (x, y) = train.batch(b);
+            train_loss += self.step(&x, &y);
+        }
+        train_loss /= batches.len().max(1) as f64;
+        let train_seconds = t0.elapsed().as_secs_f64();
+
+        let mut val_loss = 0.0;
+        if !val.is_empty() {
+            let vbatches = val.epoch_batches(batch_size, 0);
+            for b in &vbatches {
+                let (x, y) = val.batch(b);
+                val_loss += self.eval_loss(&x, &y);
+            }
+            val_loss /= val.epoch_batches(batch_size, 0).len().max(1) as f64;
+        }
+        let val_dice = if eval_dice { self.evaluate_dice(val) } else { 0.0 };
+        let stats = EpochStats {
+            epoch: self.epoch,
+            train_loss,
+            val_loss,
+            val_dice,
+            train_seconds,
+        };
+        self.epoch += 1;
+        stats
+    }
+
+    /// Trains for `epochs` epochs, returning the history.
+    pub fn fit(
+        &mut self,
+        train: &TokenSegDataset,
+        val: &TokenSegDataset,
+        epochs: usize,
+        batch_size: usize,
+    ) -> Vec<EpochStats> {
+        (0..epochs)
+            .map(|_| self.run_epoch(train, val, batch_size, true))
+            .collect()
+    }
+}
+
+/// Trainer for classifiers (ViT, HIPT, APF-ViT).
+pub struct ClsTrainer<M: TokenClassifier> {
+    /// The model being trained.
+    pub model: M,
+    opt: AdamW,
+    epoch: usize,
+}
+
+impl<M: TokenClassifier> ClsTrainer<M> {
+    /// Creates the trainer.
+    pub fn new(model: M, opt_cfg: AdamWConfig) -> Self {
+        let opt = AdamW::new(opt_cfg, model.params().len());
+        ClsTrainer { model, opt, epoch: 0 }
+    }
+
+    /// One gradient step on a batch of inputs and integer labels.
+    pub fn step(&mut self, inputs: &Tensor, labels: &[u32]) -> f64 {
+        let mut g = Graph::new();
+        let bp = self.model.params().bind(&mut g);
+        let x = g.constant(inputs.clone());
+        let logits = self.model.forward(&mut g, &bp, x);
+        let loss = g.softmax_cross_entropy(logits, Arc::new(labels.to_vec()));
+        g.backward(loss);
+        let lv = g.value(loss).item() as f64;
+        apply_grads(&mut g, &bp, self.model.params_mut(), &mut self.opt);
+        self.opt.set_epoch(self.epoch);
+        lv
+    }
+
+    /// Predicted classes for a batch.
+    pub fn predict(&self, inputs: &Tensor) -> Vec<usize> {
+        let mut g = Graph::new();
+        let bp = self.model.params().bind(&mut g);
+        let x = g.constant(inputs.clone());
+        let logits = self.model.forward(&mut g, &bp, x);
+        g.value(logits).argmax_last()
+    }
+
+    /// Top-1 accuracy over `(input, label)` pairs.
+    pub fn evaluate(&self, batches: &[(Tensor, Vec<u32>)]) -> f64 {
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for (x, y) in batches {
+            preds.extend(self.predict(x));
+            truths.extend(y.iter().map(|&v| v as usize));
+        }
+        top1_accuracy(&preds, &truths)
+    }
+
+    /// Advances the epoch counter (drives LR schedules).
+    pub fn next_epoch(&mut self) {
+        self.epoch += 1;
+        self.opt.set_epoch(self.epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
+    use apf_imaging::paip::{PaipConfig, PaipGenerator};
+    use apf_models::rearrange::GridOrder;
+    use apf_models::unetr::UnetrConfig;
+    use apf_models::vit::ViTConfig;
+
+    fn tiny_dataset(n: usize) -> TokenSegDataset {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(64));
+        let pairs: Vec<_> = (0..n)
+            .map(|i| {
+                let s = gen.generate(i);
+                (s.image, s.mask)
+            })
+            .collect();
+        let patcher = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(64)
+                .with_patch_size(4)
+                .with_target_len(16),
+        );
+        TokenSegDataset::adaptive(&pairs, &patcher)
+    }
+
+    #[test]
+    fn seg_trainer_loss_decreases() {
+        let ds = tiny_dataset(4);
+        let model = Unetr2d::new(UnetrConfig::tiny(4, 4, GridOrder::Morton), 1);
+        let mut tr = SegTrainer::new(
+            model,
+            AdamWConfig { lr: 3e-3, ..Default::default() },
+        );
+        let (x, y) = ds.batch(&[0, 1, 2, 3]);
+        let first = tr.step(&x, &y);
+        let mut last = first;
+        for _ in 0..15 {
+            last = tr.step(&x, &y);
+        }
+        assert!(last < first, "loss {} -> {}", first, last);
+    }
+
+    #[test]
+    fn run_epoch_reports_stats() {
+        let ds = tiny_dataset(4);
+        let train = ds.subset(&[0, 1, 2]);
+        let val = ds.subset(&[3]);
+        let model = Unetr2d::new(UnetrConfig::tiny(4, 4, GridOrder::Morton), 2);
+        let mut tr = SegTrainer::new(model, AdamWConfig::default());
+        let stats = tr.run_epoch(&train, &val, 2, true);
+        assert_eq!(stats.epoch, 0);
+        assert!(stats.train_loss > 0.0);
+        assert!(stats.val_loss > 0.0);
+        assert!((0.0..=100.0).contains(&stats.val_dice));
+        assert!(stats.train_seconds > 0.0);
+        let stats2 = tr.run_epoch(&train, &val, 2, false);
+        assert_eq!(stats2.epoch, 1);
+    }
+
+    #[test]
+    fn evaluate_dice_on_perfect_predictor_is_high() {
+        // A dataset whose tokens ARE the mask: the identity map scores ~100.
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(64));
+        let s = gen.generate(0);
+        // Generous target_len so no patches are dropped (drops would punch
+        // holes in the reconstruction and lower the dice of the identity).
+        let patcher = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(64)
+                .with_patch_size(4)
+                .with_target_len(512),
+        );
+        let pairs = vec![(s.mask.clone(), s.mask.clone())];
+        let ds = TokenSegDataset::adaptive(&pairs, &patcher);
+        // predict() applies a sigmoid; feed mask-as-logits scaled up so
+        // sigmoid saturates to the mask.
+        struct Identity {
+            params: ParamSet,
+        }
+        impl TokenSegModel for Identity {
+            fn params(&self) -> &ParamSet {
+                &self.params
+            }
+            fn params_mut(&mut self) -> &mut ParamSet {
+                &mut self.params
+            }
+            fn forward(&self, g: &mut Graph, _bp: &BoundParams, tokens: Var, _t: bool) -> Var {
+                let centered = g.add_scalar(tokens, -0.5);
+                g.scale(centered, 50.0)
+            }
+        }
+        let tr = SegTrainer::new(Identity { params: ParamSet::new() }, AdamWConfig::default());
+        let dice = tr.evaluate_dice(&ds);
+        // The identity cannot beat the patch-quantization ceiling (area
+        // averaging + thresholding inside boundary leaves blurs a ~2 px
+        // band), but it must exactly REACH that ceiling.
+        let sample = &ds.samples[0];
+        let quantized = reconstruct_mask(&sample.seq, &sample.mask_tokens);
+        let ceiling = dice_score(&quantized, &sample.full_mask, 0.5);
+        assert!(
+            (dice - ceiling).abs() < 1.0,
+            "identity dice {} != quantization ceiling {}",
+            dice,
+            ceiling
+        );
+        assert!(dice > 50.0, "identity dice unreasonably low: {}", dice);
+    }
+
+    #[test]
+    fn cls_trainer_learns_toy_classes() {
+        let cfg = ViTConfig::tiny(4, 4);
+        let model = ViTClassifier::new(cfg, 2, 3);
+        let mut tr = ClsTrainer::new(
+            model,
+            AdamWConfig { lr: 5e-3, ..Default::default() },
+        );
+        let x = Tensor::new(
+            [2, 4, 4],
+            [vec![0.9f32; 16], vec![-0.9f32; 16]].concat(),
+        );
+        let labels = vec![0u32, 1];
+        let first = tr.step(&x, &labels);
+        let mut last = first;
+        for _ in 0..30 {
+            last = tr.step(&x, &labels);
+        }
+        assert!(last < first * 0.7, "{} -> {}", first, last);
+        let acc = tr.evaluate(&[(x, labels)]);
+        assert_eq!(acc, 100.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of losses, metrics, and optimizer invariants.
+
+use apf_imaging::image::GrayImage;
+use apf_models::params::ParamSet;
+use apf_tensor::prelude::*;
+use apf_train::loss::{combo_loss, dice_loss, ComboLossConfig};
+use apf_train::metrics::{dice_score, multiclass_dice, top1_accuracy};
+use apf_train::optim::{AdamW, AdamWConfig, StepDecay};
+use apf_train::data::split_indices;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dice_score_is_symmetric_and_bounded(bits in prop::collection::vec(0u8..2, 16)) {
+        let a = GrayImage::from_raw(4, 4, bits.iter().map(|&b| b as f32).collect());
+        let b = GrayImage::from_raw(4, 4, bits.iter().rev().map(|&v| v as f32).collect());
+        let d_ab = dice_score(&a, &b, 0.5);
+        let d_ba = dice_score(&b, &a, 0.5);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        prop_assert!((0.0..=100.0).contains(&d_ab));
+        prop_assert_eq!(dice_score(&a, &a, 0.5), 100.0);
+    }
+
+    #[test]
+    fn multiclass_dice_bounded_and_perfect_on_self(labels in prop::collection::vec(0u8..5, 25)) {
+        let d = multiclass_dice(&labels, &labels, 4);
+        prop_assert_eq!(d, 100.0);
+        let shifted: Vec<u8> = labels.iter().map(|&l| (l + 1) % 5).collect();
+        let d2 = multiclass_dice(&shifted, &labels, 4);
+        prop_assert!((0.0..=100.0).contains(&d2));
+    }
+
+    #[test]
+    fn top1_accuracy_bounds(preds in prop::collection::vec(0usize..4, 1..20)) {
+        let truth: Vec<usize> = preds.iter().map(|&p| (p + 1) % 4).collect();
+        prop_assert_eq!(top1_accuracy(&preds, &preds), 100.0);
+        prop_assert_eq!(top1_accuracy(&preds, &truth), 0.0);
+    }
+
+    #[test]
+    fn losses_are_finite_and_nonnegative(
+        n in 1usize..64,
+        seed in 0u64..1000,
+        w in 0.0f32..1.0,
+    ) {
+        let logits = Tensor::rand_uniform([n], -10.0, 10.0, seed);
+        let targets = Tensor::rand_uniform([n], 0.0, 1.0, seed + 1).map(f32::round);
+        let mut g = Graph::new();
+        let lv = g.constant(logits);
+        let tv = g.constant(targets);
+        let dice = dice_loss(&mut g, lv, tv, 1.0);
+        let combo = combo_loss(&mut g, lv, tv, ComboLossConfig { bce_weight: w, epsilon: 1.0 });
+        let dv = g.value(dice).item();
+        let cv = g.value(combo).item();
+        prop_assert!(dv.is_finite() && (0.0..=1.0).contains(&dv));
+        prop_assert!(cv.is_finite() && cv >= 0.0);
+    }
+
+    #[test]
+    fn dice_loss_gradient_points_toward_target(n in 4usize..32, seed in 0u64..100) {
+        // Moving logits one gradient step must not increase the loss.
+        let logits = Tensor::rand_uniform([n], -2.0, 2.0, seed);
+        let targets = Tensor::rand_uniform([n], 0.0, 1.0, seed + 7).map(f32::round);
+        let loss_of = |x: &Tensor| {
+            let mut g = Graph::new();
+            let lv = g.constant(x.clone());
+            let tv = g.constant(targets.clone());
+            let l = dice_loss(&mut g, lv, tv, 1.0);
+            g.value(l).item()
+        };
+        let before = loss_of(&logits);
+        let mut g = Graph::new();
+        let lv = g.leaf(logits.clone());
+        let tv = g.constant(targets.clone());
+        let l = dice_loss(&mut g, lv, tv, 1.0);
+        g.backward(l);
+        let grad = g.grad(lv).unwrap().clone();
+        let stepped = logits.sub(&grad.scale(0.1));
+        prop_assert!(loss_of(&stepped) <= before + 1e-5);
+    }
+
+    #[test]
+    fn adamw_zero_grad_only_decays(decay in 0.0f32..0.5, steps in 1usize..20) {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::ones([4]));
+        let mut opt = AdamW::new(
+            AdamWConfig { lr: 0.1, weight_decay: decay, ..Default::default() },
+            1,
+        );
+        for _ in 0..steps {
+            opt.step(&mut ps, &[(id, Tensor::zeros([4]))]);
+        }
+        let expect = (1.0 - 0.1 * decay).powi(steps as i32);
+        for &v in ps.get(id).data() {
+            prop_assert!((v - expect).abs() < 1e-4, "{} vs {}", v, expect);
+        }
+    }
+
+    #[test]
+    fn step_decay_is_monotone_nonincreasing(milestone in 1usize..100, epoch in 0usize..200) {
+        let s = StepDecay { milestones: vec![milestone, milestone * 2], gamma: 0.1 };
+        prop_assert!(s.factor(epoch + 1) <= s.factor(epoch));
+        prop_assert!(s.factor(epoch) > 0.0);
+    }
+
+    #[test]
+    fn split_indices_partitions_exactly(n in 1usize..200, seed in 0u64..50) {
+        let s = split_indices(n, 0.7, 0.1, seed);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,66 @@
+//! Simulated multi-GPU data-parallel training: one OS thread per "GPU",
+//! real gradient averaging via ring all-reduce, plus the Frontier-like
+//! performance model's prediction for the same configuration at cluster
+//! scale.
+//!
+//! Run: `cargo run --release --example distributed_training`
+
+use apf::core::pipeline::{AdaptivePatcher, PatcherConfig};
+use apf::distsim::cluster::{calibrate, ClusterModel};
+use apf::distsim::cost::ModelDims;
+use apf::distsim::engine::DataParallelEngine;
+use apf::imaging::paip::{PaipConfig, PaipGenerator};
+use apf::models::rearrange::GridOrder;
+use apf::models::unetr::{Unetr2d, UnetrConfig};
+use apf::train::data::TokenSegDataset;
+use apf::train::optim::AdamWConfig;
+
+fn main() {
+    // A small APF dataset.
+    let res = 64;
+    let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
+    let pairs: Vec<_> = (0..8)
+        .map(|i| {
+            let s = gen.generate(i);
+            (s.image, s.mask)
+        })
+        .collect();
+    let patcher = AdaptivePatcher::new(
+        PatcherConfig::for_resolution(res)
+            .with_patch_size(4)
+            .with_target_len(64),
+    );
+    let ds = TokenSegDataset::adaptive(&pairs, &patcher);
+    let (x, y) = ds.batch(&(0..8).collect::<Vec<_>>());
+
+    // Strong scaling over simulated GPU counts: same global batch of 8.
+    println!("thread-per-GPU data parallel, global batch 8, real ring all-reduce:");
+    let factory = || Unetr2d::new(UnetrConfig::small(8, 4, GridOrder::Morton), 42);
+    for workers in [1usize, 2, 4, 8] {
+        let mut engine = DataParallelEngine::new(factory, workers, AdamWConfig::default());
+        // Warm-up step, then measure.
+        engine.step(&x, &y);
+        let r = engine.step(&x, &y);
+        println!(
+            "  {} worker(s): loss {:.4}, compute {:.3}s, allreduce+update {:.4}s",
+            workers, r.loss, r.compute_s, r.sync_s
+        );
+    }
+
+    // The analytic model extrapolates the same shape to Frontier scale.
+    println!("\nFrontier-like performance model (calibrated on the paper's 512^2 UNETR row):");
+    let cluster = ClusterModel::frontier();
+    let dims = ModelDims::vit_base(4);
+    let c = calibrate(&cluster, &dims, 16384, 1, 0.4863);
+    for gpus in [1usize, 8, 128, 512, 2048] {
+        let uni = cluster.predict(&dims, 16384, gpus, c);
+        let apf = cluster.predict(&dims, 1024, gpus, c);
+        println!(
+            "  {:>4} GPUs: uniform(N=16384) {:.3} s/img, APF(N=1024) {:.3} s/img  ({:.1}x)",
+            gpus,
+            uni.sec_per_image,
+            apf.sec_per_image,
+            uni.sec_per_image / apf.sec_per_image
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Multi-organ CT segmentation (BTCV-style): 13 organ classes + background,
+//! trained slice-wise through the APF pipeline and scored as mean organ
+//! dice, exactly like the paper's Table IV protocol.
+//!
+//! Run: `cargo run --release --example multi_organ_ct`
+
+use apf::core::pipeline::{AdaptivePatcher, PatcherConfig};
+use apf::imaging::btcv::{BtcvConfig, BtcvGenerator, NUM_ORGANS, ORGAN_NAMES};
+use apf::models::rearrange::GridOrder;
+use apf::models::unetr::{Unetr2d, UnetrConfig};
+use apf::train::mcseg::{adaptive_mc_samples, mc_batch, McSegTrainer};
+use apf::train::optim::AdamWConfig;
+
+const RES: usize = 64;
+const SUBJECTS: usize = 3;
+const SLICES: usize = 5;
+const EPOCHS: usize = 6;
+const CLASSES: usize = NUM_ORGANS + 1;
+
+fn main() {
+    // Subjects 0..1 train; subject 2 is the held-out volume.
+    let gen = BtcvGenerator::new(BtcvConfig::small(RES, SLICES));
+    let mut pairs = Vec::new();
+    for s in 0..SUBJECTS {
+        for z in 0..SLICES {
+            let sl = gen.slice(s, z);
+            pairs.push((sl.image, sl.labels));
+        }
+    }
+    let split = (SUBJECTS - 1) * SLICES;
+
+    // Count visible organs in the validation volume.
+    let mut present = [false; CLASSES];
+    for (_, labels) in &pairs[split..] {
+        for &l in labels {
+            present[l as usize] = true;
+        }
+    }
+    let visible: Vec<&str> = (1..CLASSES).filter(|&c| present[c]).map(|c| ORGAN_NAMES[c - 1]).collect();
+    println!("validation volume contains {} organs: {}", visible.len(), visible.join(", "));
+
+    // APF at minimal patch 2; labels are sampled nearest so classes stay
+    // integral through the quadtree projection.
+    let probe = AdaptivePatcher::new(PatcherConfig::for_resolution(RES).with_patch_size(2));
+    let max_len = pairs.iter().map(|(img, _)| probe.tree(img).len()).max().unwrap();
+    let side = {
+        let mut s = 1;
+        while s * s < max_len {
+            s *= 2;
+        }
+        s
+    };
+    let patcher = AdaptivePatcher::new(
+        PatcherConfig::for_resolution(RES)
+            .with_patch_size(2)
+            .with_target_len(side * side),
+    );
+    let samples = adaptive_mc_samples(&pairs, &patcher);
+    println!("APF sequences: {} tokens ({}x{} Morton grid), patch 2x2", side * side, side, side);
+
+    let cfg = UnetrConfig::small(side, 2, GridOrder::Morton).with_out_channels(CLASSES);
+    let model = Unetr2d::new(cfg, 7);
+    let mut trainer = McSegTrainer::new(model, CLASSES, AdamWConfig { lr: 2e-3, ..Default::default() });
+
+    println!("training APF-UNETR-2 on {} slices ...", split);
+    for epoch in 0..EPOCHS {
+        let mut loss = 0.0;
+        for i in 0..split {
+            let (x, y) = mc_batch(&samples, &[i]);
+            loss += trainer.step(&x, &y);
+        }
+        let dice = trainer.evaluate(&samples[split..]);
+        println!(
+            "  epoch {:>2}: loss {:.4}  held-out mean organ dice {:>5.1}%",
+            epoch,
+            loss / split as f64,
+            dice
+        );
+    }
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper plus the ablations.
+# Results land in results/*.json; figures (PPM/PGM) in results/fig2/.
+# Takes roughly 30-60 minutes on a laptop. Append --quick to any line for
+# a smoke-test-scale run.
+set -ex
+cargo run --release -p apf-bench --bin table1_complexity
+cargo run --release -p apf-bench --bin overhead
+cargo run --release -p apf-bench --bin fig3_splitvalue
+cargo run --release -p apf-bench --bin table2_speedup
+cargo run --release -p apf-bench --bin scaling
+cargo run --release -p apf-bench --bin table5_classification
+cargo run --release -p apf-bench --bin table4_btcv -- --epochs 40
+cargo run --release -p apf-bench --bin ablation_droprate
+cargo run --release -p apf-bench --bin ablation_order
+cargo run --release -p apf-bench --bin table3_quality
+cargo run --release -p apf-bench --bin fig4_stability
+cargo run --release -p apf-bench --bin fig2_qualitative
+cargo run --release -p apf-bench --bin fig1_overview

@@ -1,0 +1,42 @@
+//! # APF — Adaptive Patch Framework
+//!
+//! A Rust reproduction of *"Adaptive Patching for High-resolution Image
+//! Segmentation with Transformers"* (SC 2024).
+//!
+//! APF is a quadtree-based, AMR-inspired **pre-processing** step that turns a
+//! high-resolution image into a short sequence of mixed-scale patches, ordered
+//! along a Morton Z-curve and projected to a single uniform patch size, which
+//! can then be fed to *any* transformer-based vision model unchanged.
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! - [`tensor`] — dense f32 tensors with reverse-mode autograd.
+//! - [`imaging`] — Gaussian blur, Canny edges, synthetic PAIP/BTCV datasets.
+//! - [`core`] — the adaptive patcher itself (quadtree + Morton + patchify).
+//! - [`models`] — ViT, UNETR, U-Net, TransUNet, Swin-lite, HIPT-lite.
+//! - [`train`] — losses, AdamW, metrics, training loops.
+//! - [`distsim`] — Frontier-like cluster cost model and a real thread-based
+//!   data-parallel engine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use apf::core::{AdaptivePatcher, PatcherConfig};
+//! use apf::imaging::paip::{PaipConfig, PaipGenerator};
+//!
+//! // Generate one synthetic pathology sample at 256x256.
+//! let gen = PaipGenerator::new(PaipConfig::at_resolution(256));
+//! let sample = gen.generate(0);
+//!
+//! // Adaptively patch it: blur -> Canny -> quadtree -> Z-order -> project.
+//! let patcher = AdaptivePatcher::new(PatcherConfig::for_resolution(256));
+//! let seq = patcher.patchify(&sample.image);
+//! assert!(seq.len() < 256 * 256 / (4 * 4)); // far fewer than uniform 4x4 grid
+//! ```
+
+pub use apf_core as core;
+pub use apf_distsim as distsim;
+pub use apf_imaging as imaging;
+pub use apf_models as models;
+pub use apf_tensor as tensor;
+pub use apf_train as train;

@@ -1,0 +1,122 @@
+//! Integration tests of the distributed-training substrate against the
+//! rest of the workspace.
+
+use apf::core::pipeline::{AdaptivePatcher, PatcherConfig};
+use apf::distsim::allreduce::ring_allreduce_mean;
+use apf::distsim::cluster::{calibrate, ClusterModel};
+use apf::distsim::cost::ModelDims;
+use apf::distsim::engine::DataParallelEngine;
+use apf::imaging::paip::{PaipConfig, PaipGenerator};
+use apf::models::rearrange::GridOrder;
+use apf::models::unetr::{Unetr2d, UnetrConfig};
+use apf::train::data::TokenSegDataset;
+use apf::train::optim::AdamWConfig;
+
+fn dataset(n: usize) -> TokenSegDataset {
+    let gen = PaipGenerator::new(PaipConfig::at_resolution(64));
+    let pairs: Vec<_> = (0..n)
+        .map(|i| {
+            let s = gen.generate(i);
+            (s.image, s.mask)
+        })
+        .collect();
+    let patcher = AdaptivePatcher::new(
+        PatcherConfig::for_resolution(64)
+            .with_patch_size(4)
+            .with_target_len(16),
+    );
+    TokenSegDataset::adaptive(&pairs, &patcher)
+}
+
+#[test]
+fn engine_trains_apf_dataset_across_workers() {
+    let ds = dataset(8);
+    let factory = || Unetr2d::new(UnetrConfig::tiny(4, 4, GridOrder::Morton), 5);
+    let mut engine = DataParallelEngine::new(
+        factory,
+        4,
+        AdamWConfig { lr: 3e-3, ..Default::default() },
+    );
+    let first = engine.train_epoch(&ds, 8, 0);
+    let mut last = first;
+    for e in 1..6 {
+        last = engine.train_epoch(&ds, 8, e);
+    }
+    assert!(last < first, "{} -> {}", first, last);
+}
+
+#[test]
+fn worker_counts_agree_on_final_loss_direction() {
+    // Different worker counts shard dice differently, but all must learn.
+    let ds = dataset(4);
+    let (x, y) = ds.batch(&[0, 1, 2, 3]);
+    for w in [1usize, 2, 4] {
+        let factory = || Unetr2d::new(UnetrConfig::tiny(4, 4, GridOrder::Morton), 5);
+        let mut engine =
+            DataParallelEngine::new(factory, w, AdamWConfig { lr: 3e-3, ..Default::default() });
+        let first = engine.step(&x, &y).loss;
+        let mut last = first;
+        for _ in 0..8 {
+            last = engine.step(&x, &y).loss;
+        }
+        assert!(last < first, "workers {}: {} -> {}", w, first, last);
+    }
+}
+
+#[test]
+fn ring_allreduce_interops_with_parameter_flattening() {
+    // Gradient-sized buffers (non-divisible lengths) survive the ring.
+    let sizes = [1usize, 3, 1000, 1 << 14];
+    for n in sizes {
+        for w in [2usize, 3, 5] {
+            let inputs: Vec<Vec<f32>> = (0..w)
+                .map(|r| (0..n).map(|i| (r * n + i) as f32).collect())
+                .collect();
+            let expect: Vec<f32> = (0..n)
+                .map(|i| inputs.iter().map(|b| b[i]).sum::<f32>() / w as f32)
+                .collect();
+            let out = ring_allreduce_mean(inputs);
+            for o in &out {
+                for (a, b) in o.iter().zip(expect.iter()) {
+                    assert!((a - b).abs() < 1e-2, "n={} w={}", n, w);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_model_predicts_apf_speedup_shape() {
+    // The calibrated analytic model must reproduce the qualitative Table II
+    // pattern: APF (short sequences) beats uniform at every GPU count, and
+    // absolute sec/image grows with sequence length.
+    let cluster = ClusterModel::frontier();
+    let dims = ModelDims::vit_base(4);
+    let c = calibrate(&cluster, &dims, 16384, 1, 0.4863);
+    for gpus in [1usize, 8, 128, 2048] {
+        let uni = cluster.predict(&dims, 16384, gpus, c).sec_per_image;
+        let apf = cluster.predict(&dims, 1024, gpus, c).sec_per_image;
+        assert!(apf < uni, "APF slower at {} gpus?", gpus);
+        let speedup = uni / apf;
+        assert!(
+            speedup > 2.0 && speedup < 100.0,
+            "{} gpus: implausible speedup {:.1}",
+            gpus,
+            speedup
+        );
+    }
+}
+
+#[test]
+fn memory_model_gates_small_patches_like_the_paper() {
+    // UNETR's authors "could not conduct experiments with small patch
+    // sizes" at high resolution: the memory model must agree — uniform
+    // patch 4 at 16K^2 (N = 16M) cannot fit, while APF's short sequence
+    // can.
+    let cluster = ClusterModel::frontier();
+    let dims = ModelDims::vit_base(4);
+    let uniform_16k_p4 = (16384usize / 4).pow(2);
+    assert!(!cluster.predict(&dims, uniform_16k_p4, 1, 1.0).fits_memory);
+    assert!(cluster.predict(&dims, 16384, 1, 1.0).fits_memory);
+    assert!(cluster.predict(&dims, 4096, 1, 1.0).fits_memory);
+}

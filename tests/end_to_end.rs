@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the full APF pipeline from image
+//! generation through patching, model training, and evaluation.
+
+use apf::core::{AdaptivePatcher, PatcherConfig};
+use apf::imaging::paip::{PaipConfig, PaipGenerator};
+use apf::models::rearrange::GridOrder;
+use apf::models::unetr::{Unetr2d, UnetrConfig};
+use apf::train::data::{split_indices, TokenSegDataset};
+use apf::train::optim::AdamWConfig;
+use apf::train::trainer::SegTrainer;
+
+fn pairs(res: usize, n: usize) -> Vec<(apf::imaging::GrayImage, apf::imaging::GrayImage)> {
+    let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
+    (0..n)
+        .map(|i| {
+            let s = gen.generate(i);
+            (s.image, s.mask)
+        })
+        .collect()
+}
+
+#[test]
+fn algorithm_one_complete_flow() {
+    // Algorithm 1, line by line: blur -> canny -> quadtree -> patches ->
+    // train -> evaluate on validation.
+    let data = pairs(64, 6);
+    let patcher = AdaptivePatcher::new(
+        PatcherConfig::for_resolution(64)
+            .with_patch_size(4)
+            .with_split_value(8.0)
+            .with_target_len(64),
+    );
+    let ds = TokenSegDataset::adaptive(&data, &patcher);
+    let split = split_indices(ds.len(), 0.7, 0.1, 1);
+    let train = ds.subset(&split.train);
+    let val = ds.subset(&split.val);
+    assert!(!train.is_empty() && !val.is_empty());
+
+    let model = Unetr2d::new(UnetrConfig::tiny(8, 4, GridOrder::Morton), 42);
+    let mut trainer = SegTrainer::new(model, AdamWConfig { lr: 3e-3, ..Default::default() });
+    let first = trainer.run_epoch(&train, &val, 2, false);
+    let mut last = first.train_loss;
+    for _ in 0..4 {
+        last = trainer.run_epoch(&train, &val, 2, false).train_loss;
+    }
+    assert!(
+        last < first.train_loss,
+        "training did not reduce loss: {} -> {}",
+        first.train_loss,
+        last
+    );
+    // Evaluation produces a sane dice on the full-resolution masks.
+    let dice = trainer.evaluate_dice(&val);
+    assert!((0.0..=100.0).contains(&dice));
+}
+
+#[test]
+fn apf_reduces_sequence_length_on_pathology() {
+    // The central claim: far fewer tokens than the uniform grid at the same
+    // minimal patch size, on pathology-statistics images.
+    for res in [128usize, 256] {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
+        let patcher = AdaptivePatcher::new(PatcherConfig::for_resolution(res).with_patch_size(4));
+        let mut total_reduction = 0.0;
+        let n = 3;
+        for i in 0..n {
+            let img = gen.generate(i).image;
+            let seq = patcher.patchify(&img);
+            let uniform = (res / 4) * (res / 4);
+            total_reduction += uniform as f64 / seq.len() as f64;
+        }
+        let mean_reduction = total_reduction / n as f64;
+        assert!(
+            mean_reduction > 4.0,
+            "mean reduction at {}: {:.1}x",
+            res,
+            mean_reduction
+        );
+    }
+}
+
+#[test]
+fn reduction_grows_with_resolution() {
+    // Higher resolutions have proportionally more quiet area: the sequence
+    // reduction factor must grow (this is why APF wins big at 64K^2).
+    let reduction_at = |res: usize| {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
+        let patcher = AdaptivePatcher::new(PatcherConfig::for_resolution(res).with_patch_size(4));
+        let seq = patcher.patchify(&gen.generate(0).image);
+        ((res / 4) * (res / 4)) as f64 / seq.len() as f64
+    };
+    let r128 = reduction_at(128);
+    let r512 = reduction_at(512);
+    assert!(
+        r512 > r128,
+        "reduction should grow with resolution: {} vs {}",
+        r128,
+        r512
+    );
+}
+
+#[test]
+fn image_and_mask_tokens_stay_aligned_through_pipeline() {
+    let data = pairs(64, 2);
+    let patcher = AdaptivePatcher::new(
+        PatcherConfig::for_resolution(64)
+            .with_patch_size(4)
+            .with_target_len(32),
+    );
+    let ds = TokenSegDataset::adaptive(&data, &patcher);
+    for s in &ds.samples {
+        assert_eq!(s.tokens.dims(), s.mask_tokens.dims());
+        // Every mask token's values must be within [0, 1].
+        for &v in s.mask_tokens.data() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    // Same seeds => bitwise-identical losses across separate runs.
+    let run = || {
+        let data = pairs(64, 4);
+        let patcher = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(64)
+                .with_patch_size(4)
+                .with_target_len(16),
+        );
+        let ds = TokenSegDataset::adaptive(&data, &patcher);
+        let model = Unetr2d::new(UnetrConfig::tiny(4, 4, GridOrder::Morton), 7);
+        let mut trainer = SegTrainer::new(model, AdamWConfig::default());
+        let (x, y) = ds.batch(&[0, 1, 2, 3]);
+        (0..3).map(|_| trainer.step(&x, &y)).collect::<Vec<f64>>()
+    };
+    assert_eq!(run(), run());
+}
