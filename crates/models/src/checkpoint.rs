@@ -15,7 +15,6 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use apf_tensor::tensor::Tensor;
-use bytes::{BufMut, BytesMut};
 
 use crate::params::ParamSet;
 
@@ -23,23 +22,23 @@ const MAGIC: &[u8; 4] = b"APF1";
 
 /// Serializes a parameter set into a byte buffer.
 pub fn to_bytes(params: &ParamSet) -> Vec<u8> {
-    let mut out = BytesMut::with_capacity(16 + params.num_scalars() * 4);
-    out.put_slice(MAGIC);
-    out.put_u32_le(params.len() as u32);
+    let mut out = Vec::with_capacity(16 + params.num_scalars() * 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
     for (_, name, tensor) in params.iter() {
         let name_bytes = name.as_bytes();
-        out.put_u16_le(name_bytes.len() as u16);
-        out.put_slice(name_bytes);
+        out.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+        out.extend_from_slice(name_bytes);
         let dims = tensor.dims();
-        out.put_u8(dims.len() as u8);
+        out.push(dims.len() as u8);
         for &d in dims {
-            out.put_u64_le(d as u64);
+            out.extend_from_slice(&(d as u64).to_le_bytes());
         }
         for &v in tensor.data() {
-            out.put_f32_le(v);
+            out.extend_from_slice(&v.to_le_bytes());
         }
     }
-    out.to_vec()
+    out
 }
 
 /// Restores parameter values from a byte buffer into `params`.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_droprate-956cd47f104c842b.d: crates/bench/src/bin/ablation_droprate.rs
+
+/root/repo/target/debug/deps/ablation_droprate-956cd47f104c842b: crates/bench/src/bin/ablation_droprate.rs
+
+crates/bench/src/bin/ablation_droprate.rs:

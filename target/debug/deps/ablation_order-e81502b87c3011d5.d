@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_order-e81502b87c3011d5.d: crates/bench/src/bin/ablation_order.rs
+
+/root/repo/target/debug/deps/ablation_order-e81502b87c3011d5: crates/bench/src/bin/ablation_order.rs
+
+crates/bench/src/bin/ablation_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apf-0548e6eaa9154e1e.d: src/lib.rs
+
+/root/repo/target/debug/deps/apf-0548e6eaa9154e1e: src/lib.rs
+
+src/lib.rs:

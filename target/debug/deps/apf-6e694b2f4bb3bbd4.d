@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/apf-6e694b2f4bb3bbd4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libapf-6e694b2f4bb3bbd4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libapf-6e694b2f4bb3bbd4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/apf_bench-2e14d81735cfe8b1.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libapf_bench-2e14d81735cfe8b1.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libapf_bench-2e14d81735cfe8b1.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/apf_bench-5bad4ebba1e6a73f.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/apf_bench-5bad4ebba1e6a73f: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/apf_core-4286a4d66a150b1a.d: crates/core/src/lib.rs crates/core/src/morton.rs crates/core/src/patchify.rs crates/core/src/pipeline.rs crates/core/src/quadtree.rs crates/core/src/stats.rs crates/core/src/uniform.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/apf_core-4286a4d66a150b1a: crates/core/src/lib.rs crates/core/src/morton.rs crates/core/src/patchify.rs crates/core/src/pipeline.rs crates/core/src/quadtree.rs crates/core/src/stats.rs crates/core/src/uniform.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/morton.rs:
+crates/core/src/patchify.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/quadtree.rs:
+crates/core/src/stats.rs:
+crates/core/src/uniform.rs:
+crates/core/src/viz.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/apf_core-a92cba6a6706bc26.d: crates/core/src/lib.rs crates/core/src/morton.rs crates/core/src/patchify.rs crates/core/src/pipeline.rs crates/core/src/quadtree.rs crates/core/src/stats.rs crates/core/src/uniform.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libapf_core-a92cba6a6706bc26.rlib: crates/core/src/lib.rs crates/core/src/morton.rs crates/core/src/patchify.rs crates/core/src/pipeline.rs crates/core/src/quadtree.rs crates/core/src/stats.rs crates/core/src/uniform.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libapf_core-a92cba6a6706bc26.rmeta: crates/core/src/lib.rs crates/core/src/morton.rs crates/core/src/patchify.rs crates/core/src/pipeline.rs crates/core/src/quadtree.rs crates/core/src/stats.rs crates/core/src/uniform.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/morton.rs:
+crates/core/src/patchify.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/quadtree.rs:
+crates/core/src/stats.rs:
+crates/core/src/uniform.rs:
+crates/core/src/viz.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/apf_distsim-00b3ac2bfa4e776d.d: crates/distsim/src/lib.rs crates/distsim/src/allreduce.rs crates/distsim/src/cluster.rs crates/distsim/src/cost.rs crates/distsim/src/engine.rs crates/distsim/src/gpu.rs crates/distsim/src/tree_allreduce.rs
+
+/root/repo/target/debug/deps/libapf_distsim-00b3ac2bfa4e776d.rlib: crates/distsim/src/lib.rs crates/distsim/src/allreduce.rs crates/distsim/src/cluster.rs crates/distsim/src/cost.rs crates/distsim/src/engine.rs crates/distsim/src/gpu.rs crates/distsim/src/tree_allreduce.rs
+
+/root/repo/target/debug/deps/libapf_distsim-00b3ac2bfa4e776d.rmeta: crates/distsim/src/lib.rs crates/distsim/src/allreduce.rs crates/distsim/src/cluster.rs crates/distsim/src/cost.rs crates/distsim/src/engine.rs crates/distsim/src/gpu.rs crates/distsim/src/tree_allreduce.rs
+
+crates/distsim/src/lib.rs:
+crates/distsim/src/allreduce.rs:
+crates/distsim/src/cluster.rs:
+crates/distsim/src/cost.rs:
+crates/distsim/src/engine.rs:
+crates/distsim/src/gpu.rs:
+crates/distsim/src/tree_allreduce.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/apf_distsim-e758f2f3c2e0684b.d: crates/distsim/src/lib.rs crates/distsim/src/allreduce.rs crates/distsim/src/cluster.rs crates/distsim/src/cost.rs crates/distsim/src/engine.rs crates/distsim/src/gpu.rs crates/distsim/src/tree_allreduce.rs
+
+/root/repo/target/debug/deps/apf_distsim-e758f2f3c2e0684b: crates/distsim/src/lib.rs crates/distsim/src/allreduce.rs crates/distsim/src/cluster.rs crates/distsim/src/cost.rs crates/distsim/src/engine.rs crates/distsim/src/gpu.rs crates/distsim/src/tree_allreduce.rs
+
+crates/distsim/src/lib.rs:
+crates/distsim/src/allreduce.rs:
+crates/distsim/src/cluster.rs:
+crates/distsim/src/cost.rs:
+crates/distsim/src/engine.rs:
+crates/distsim/src/gpu.rs:
+crates/distsim/src/tree_allreduce.rs:

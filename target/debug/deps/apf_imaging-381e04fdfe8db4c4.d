@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/apf_imaging-381e04fdfe8db4c4.d: crates/imaging/src/lib.rs crates/imaging/src/augment.rs crates/imaging/src/btcv.rs crates/imaging/src/canny.rs crates/imaging/src/filter.rs crates/imaging/src/image.rs crates/imaging/src/integral.rs crates/imaging/src/io.rs crates/imaging/src/noise.rs crates/imaging/src/paip.rs crates/imaging/src/resize.rs
+
+/root/repo/target/debug/deps/apf_imaging-381e04fdfe8db4c4: crates/imaging/src/lib.rs crates/imaging/src/augment.rs crates/imaging/src/btcv.rs crates/imaging/src/canny.rs crates/imaging/src/filter.rs crates/imaging/src/image.rs crates/imaging/src/integral.rs crates/imaging/src/io.rs crates/imaging/src/noise.rs crates/imaging/src/paip.rs crates/imaging/src/resize.rs
+
+crates/imaging/src/lib.rs:
+crates/imaging/src/augment.rs:
+crates/imaging/src/btcv.rs:
+crates/imaging/src/canny.rs:
+crates/imaging/src/filter.rs:
+crates/imaging/src/image.rs:
+crates/imaging/src/integral.rs:
+crates/imaging/src/io.rs:
+crates/imaging/src/noise.rs:
+crates/imaging/src/paip.rs:
+crates/imaging/src/resize.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/apf_imaging-d74e91e85fb9b077.d: crates/imaging/src/lib.rs crates/imaging/src/augment.rs crates/imaging/src/btcv.rs crates/imaging/src/canny.rs crates/imaging/src/filter.rs crates/imaging/src/image.rs crates/imaging/src/integral.rs crates/imaging/src/io.rs crates/imaging/src/noise.rs crates/imaging/src/paip.rs crates/imaging/src/resize.rs
+
+/root/repo/target/debug/deps/libapf_imaging-d74e91e85fb9b077.rlib: crates/imaging/src/lib.rs crates/imaging/src/augment.rs crates/imaging/src/btcv.rs crates/imaging/src/canny.rs crates/imaging/src/filter.rs crates/imaging/src/image.rs crates/imaging/src/integral.rs crates/imaging/src/io.rs crates/imaging/src/noise.rs crates/imaging/src/paip.rs crates/imaging/src/resize.rs
+
+/root/repo/target/debug/deps/libapf_imaging-d74e91e85fb9b077.rmeta: crates/imaging/src/lib.rs crates/imaging/src/augment.rs crates/imaging/src/btcv.rs crates/imaging/src/canny.rs crates/imaging/src/filter.rs crates/imaging/src/image.rs crates/imaging/src/integral.rs crates/imaging/src/io.rs crates/imaging/src/noise.rs crates/imaging/src/paip.rs crates/imaging/src/resize.rs
+
+crates/imaging/src/lib.rs:
+crates/imaging/src/augment.rs:
+crates/imaging/src/btcv.rs:
+crates/imaging/src/canny.rs:
+crates/imaging/src/filter.rs:
+crates/imaging/src/image.rs:
+crates/imaging/src/integral.rs:
+crates/imaging/src/io.rs:
+crates/imaging/src/noise.rs:
+crates/imaging/src/paip.rs:
+crates/imaging/src/resize.rs:

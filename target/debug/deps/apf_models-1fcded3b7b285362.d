@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/apf_models-1fcded3b7b285362.d: crates/models/src/lib.rs crates/models/src/checkpoint.rs crates/models/src/hipt.rs crates/models/src/layers.rs crates/models/src/params.rs crates/models/src/rearrange.rs crates/models/src/swin.rs crates/models/src/transformer.rs crates/models/src/transunet.rs crates/models/src/unet.rs crates/models/src/unetr.rs crates/models/src/vit.rs
+
+/root/repo/target/debug/deps/libapf_models-1fcded3b7b285362.rlib: crates/models/src/lib.rs crates/models/src/checkpoint.rs crates/models/src/hipt.rs crates/models/src/layers.rs crates/models/src/params.rs crates/models/src/rearrange.rs crates/models/src/swin.rs crates/models/src/transformer.rs crates/models/src/transunet.rs crates/models/src/unet.rs crates/models/src/unetr.rs crates/models/src/vit.rs
+
+/root/repo/target/debug/deps/libapf_models-1fcded3b7b285362.rmeta: crates/models/src/lib.rs crates/models/src/checkpoint.rs crates/models/src/hipt.rs crates/models/src/layers.rs crates/models/src/params.rs crates/models/src/rearrange.rs crates/models/src/swin.rs crates/models/src/transformer.rs crates/models/src/transunet.rs crates/models/src/unet.rs crates/models/src/unetr.rs crates/models/src/vit.rs
+
+crates/models/src/lib.rs:
+crates/models/src/checkpoint.rs:
+crates/models/src/hipt.rs:
+crates/models/src/layers.rs:
+crates/models/src/params.rs:
+crates/models/src/rearrange.rs:
+crates/models/src/swin.rs:
+crates/models/src/transformer.rs:
+crates/models/src/transunet.rs:
+crates/models/src/unet.rs:
+crates/models/src/unetr.rs:
+crates/models/src/vit.rs:

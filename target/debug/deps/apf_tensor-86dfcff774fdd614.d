@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/apf_tensor-86dfcff774fdd614.d: crates/tensor/src/lib.rs crates/tensor/src/autograd/mod.rs crates/tensor/src/autograd/ops.rs crates/tensor/src/gradcheck.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libapf_tensor-86dfcff774fdd614.rlib: crates/tensor/src/lib.rs crates/tensor/src/autograd/mod.rs crates/tensor/src/autograd/ops.rs crates/tensor/src/gradcheck.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libapf_tensor-86dfcff774fdd614.rmeta: crates/tensor/src/lib.rs crates/tensor/src/autograd/mod.rs crates/tensor/src/autograd/ops.rs crates/tensor/src/gradcheck.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/autograd/mod.rs:
+crates/tensor/src/autograd/ops.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/conv.rs:
+crates/tensor/src/kernels/gemm.rs:
+crates/tensor/src/kernels/pool.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

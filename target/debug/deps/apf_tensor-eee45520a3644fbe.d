@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/apf_tensor-eee45520a3644fbe.d: crates/tensor/src/lib.rs crates/tensor/src/autograd/mod.rs crates/tensor/src/autograd/ops.rs crates/tensor/src/gradcheck.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/apf_tensor-eee45520a3644fbe: crates/tensor/src/lib.rs crates/tensor/src/autograd/mod.rs crates/tensor/src/autograd/ops.rs crates/tensor/src/gradcheck.rs crates/tensor/src/init.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/autograd/mod.rs:
+crates/tensor/src/autograd/ops.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/conv.rs:
+crates/tensor/src/kernels/gemm.rs:
+crates/tensor/src/kernels/pool.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/apf_train-d0a9d5322626421d.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/imageseg.rs crates/train/src/loss.rs crates/train/src/mcseg.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+/root/repo/target/debug/deps/apf_train-d0a9d5322626421d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/imageseg.rs crates/train/src/loss.rs crates/train/src/mcseg.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+crates/train/src/lib.rs:
+crates/train/src/data.rs:
+crates/train/src/imageseg.rs:
+crates/train/src/loss.rs:
+crates/train/src/mcseg.rs:
+crates/train/src/metrics.rs:
+crates/train/src/optim.rs:
+crates/train/src/trainer.rs:

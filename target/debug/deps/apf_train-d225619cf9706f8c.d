@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/apf_train-d225619cf9706f8c.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/imageseg.rs crates/train/src/loss.rs crates/train/src/mcseg.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+/root/repo/target/debug/deps/libapf_train-d225619cf9706f8c.rlib: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/imageseg.rs crates/train/src/loss.rs crates/train/src/mcseg.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+/root/repo/target/debug/deps/libapf_train-d225619cf9706f8c.rmeta: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/imageseg.rs crates/train/src/loss.rs crates/train/src/mcseg.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+crates/train/src/lib.rs:
+crates/train/src/data.rs:
+crates/train/src/imageseg.rs:
+crates/train/src/loss.rs:
+crates/train/src/mcseg.rs:
+crates/train/src/metrics.rs:
+crates/train/src/optim.rs:
+crates/train/src/trainer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed-0266316c71770f01.d: tests/distributed.rs
+
+/root/repo/target/debug/deps/distributed-0266316c71770f01: tests/distributed.rs
+
+tests/distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-50e2437dd5060d3b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-50e2437dd5060d3b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_overview-550f31ae9d46e9f4.d: crates/bench/src/bin/fig1_overview.rs
+
+/root/repo/target/debug/deps/fig1_overview-550f31ae9d46e9f4: crates/bench/src/bin/fig1_overview.rs
+
+crates/bench/src/bin/fig1_overview.rs:

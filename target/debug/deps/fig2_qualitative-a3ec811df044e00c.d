@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_qualitative-a3ec811df044e00c.d: crates/bench/src/bin/fig2_qualitative.rs
+
+/root/repo/target/debug/deps/fig2_qualitative-a3ec811df044e00c: crates/bench/src/bin/fig2_qualitative.rs
+
+crates/bench/src/bin/fig2_qualitative.rs:

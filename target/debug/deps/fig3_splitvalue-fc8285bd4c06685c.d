@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_splitvalue-fc8285bd4c06685c.d: crates/bench/src/bin/fig3_splitvalue.rs
+
+/root/repo/target/debug/deps/fig3_splitvalue-fc8285bd4c06685c: crates/bench/src/bin/fig3_splitvalue.rs
+
+crates/bench/src/bin/fig3_splitvalue.rs:

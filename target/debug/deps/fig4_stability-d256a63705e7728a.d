@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_stability-d256a63705e7728a.d: crates/bench/src/bin/fig4_stability.rs
+
+/root/repo/target/debug/deps/fig4_stability-d256a63705e7728a: crates/bench/src/bin/fig4_stability.rs
+
+crates/bench/src/bin/fig4_stability.rs:

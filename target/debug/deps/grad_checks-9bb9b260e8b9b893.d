@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grad_checks-9bb9b260e8b9b893.d: crates/tensor/tests/grad_checks.rs
+
+/root/repo/target/debug/deps/grad_checks-9bb9b260e8b9b893: crates/tensor/tests/grad_checks.rs
+
+crates/tensor/tests/grad_checks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-516e3deb2881dd1c.d: crates/models/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-516e3deb2881dd1c: crates/models/tests/model_properties.rs
+
+crates/models/tests/model_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-ddf1abec7f287d81.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-ddf1abec7f287d81: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c11d86edf0c6771e.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c11d86edf0c6771e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8d958fd5981ff158.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8d958fd5981ff158: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

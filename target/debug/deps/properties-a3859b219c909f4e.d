@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a3859b219c909f4e.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a3859b219c909f4e: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

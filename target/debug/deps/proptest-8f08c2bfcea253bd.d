@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8f08c2bfcea253bd.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-8f08c2bfcea253bd: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

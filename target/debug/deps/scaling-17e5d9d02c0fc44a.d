@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-17e5d9d02c0fc44a.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-17e5d9d02c0fc44a: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_complexity-ce731a26f1c46e11.d: crates/bench/src/bin/table1_complexity.rs
+
+/root/repo/target/debug/deps/table1_complexity-ce731a26f1c46e11: crates/bench/src/bin/table1_complexity.rs
+
+crates/bench/src/bin/table1_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_speedup-8991204500680c58.d: crates/bench/src/bin/table2_speedup.rs
+
+/root/repo/target/debug/deps/table2_speedup-8991204500680c58: crates/bench/src/bin/table2_speedup.rs
+
+crates/bench/src/bin/table2_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_quality-e90ee5769184abd3.d: crates/bench/src/bin/table3_quality.rs
+
+/root/repo/target/debug/deps/table3_quality-e90ee5769184abd3: crates/bench/src/bin/table3_quality.rs
+
+crates/bench/src/bin/table3_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_btcv-e00c6204306e77af.d: crates/bench/src/bin/table4_btcv.rs
+
+/root/repo/target/debug/deps/table4_btcv-e00c6204306e77af: crates/bench/src/bin/table4_btcv.rs
+
+crates/bench/src/bin/table4_btcv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_classification-64b509104f69c58b.d: crates/bench/src/bin/table5_classification.rs
+
+/root/repo/target/debug/deps/table5_classification-64b509104f69c58b: crates/bench/src/bin/table5_classification.rs
+
+crates/bench/src/bin/table5_classification.rs:

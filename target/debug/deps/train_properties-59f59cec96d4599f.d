@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/train_properties-59f59cec96d4599f.d: crates/train/tests/train_properties.rs
+
+/root/repo/target/debug/deps/train_properties-59f59cec96d4599f: crates/train/tests/train_properties.rs
+
+crates/train/tests/train_properties.rs:

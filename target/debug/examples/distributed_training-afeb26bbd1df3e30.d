@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_training-afeb26bbd1df3e30.d: examples/distributed_training.rs
+
+/root/repo/target/debug/examples/distributed_training-afeb26bbd1df3e30: examples/distributed_training.rs
+
+examples/distributed_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_organ_ct-c5445754e4bc4e3f.d: examples/multi_organ_ct.rs
+
+/root/repo/target/debug/examples/multi_organ_ct-c5445754e4bc4e3f: examples/multi_organ_ct.rs
+
+examples/multi_organ_ct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pathology_segmentation-57f2a49bf4465e01.d: examples/pathology_segmentation.rs
+
+/root/repo/target/debug/examples/pathology_segmentation-57f2a49bf4465e01: examples/pathology_segmentation.rs
+
+examples/pathology_segmentation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-18141576582a054c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-18141576582a054c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/apf-6c8d1eb497ea5ada.d: src/lib.rs
+
+/root/repo/target/release/deps/libapf-6c8d1eb497ea5ada.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libapf-6c8d1eb497ea5ada.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/apf_core-3dc77d797b728b4f.d: crates/core/src/lib.rs crates/core/src/morton.rs crates/core/src/patchify.rs crates/core/src/pipeline.rs crates/core/src/quadtree.rs crates/core/src/stats.rs crates/core/src/uniform.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libapf_core-3dc77d797b728b4f.rlib: crates/core/src/lib.rs crates/core/src/morton.rs crates/core/src/patchify.rs crates/core/src/pipeline.rs crates/core/src/quadtree.rs crates/core/src/stats.rs crates/core/src/uniform.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libapf_core-3dc77d797b728b4f.rmeta: crates/core/src/lib.rs crates/core/src/morton.rs crates/core/src/patchify.rs crates/core/src/pipeline.rs crates/core/src/quadtree.rs crates/core/src/stats.rs crates/core/src/uniform.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/morton.rs:
+crates/core/src/patchify.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/quadtree.rs:
+crates/core/src/stats.rs:
+crates/core/src/uniform.rs:
+crates/core/src/viz.rs:

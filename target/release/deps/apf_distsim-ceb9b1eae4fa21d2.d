@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/apf_distsim-ceb9b1eae4fa21d2.d: crates/distsim/src/lib.rs crates/distsim/src/allreduce.rs crates/distsim/src/cluster.rs crates/distsim/src/cost.rs crates/distsim/src/engine.rs crates/distsim/src/gpu.rs crates/distsim/src/tree_allreduce.rs
+
+/root/repo/target/release/deps/libapf_distsim-ceb9b1eae4fa21d2.rlib: crates/distsim/src/lib.rs crates/distsim/src/allreduce.rs crates/distsim/src/cluster.rs crates/distsim/src/cost.rs crates/distsim/src/engine.rs crates/distsim/src/gpu.rs crates/distsim/src/tree_allreduce.rs
+
+/root/repo/target/release/deps/libapf_distsim-ceb9b1eae4fa21d2.rmeta: crates/distsim/src/lib.rs crates/distsim/src/allreduce.rs crates/distsim/src/cluster.rs crates/distsim/src/cost.rs crates/distsim/src/engine.rs crates/distsim/src/gpu.rs crates/distsim/src/tree_allreduce.rs
+
+crates/distsim/src/lib.rs:
+crates/distsim/src/allreduce.rs:
+crates/distsim/src/cluster.rs:
+crates/distsim/src/cost.rs:
+crates/distsim/src/engine.rs:
+crates/distsim/src/gpu.rs:
+crates/distsim/src/tree_allreduce.rs:

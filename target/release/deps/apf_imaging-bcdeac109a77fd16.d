@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/apf_imaging-bcdeac109a77fd16.d: crates/imaging/src/lib.rs crates/imaging/src/augment.rs crates/imaging/src/btcv.rs crates/imaging/src/canny.rs crates/imaging/src/filter.rs crates/imaging/src/image.rs crates/imaging/src/integral.rs crates/imaging/src/io.rs crates/imaging/src/noise.rs crates/imaging/src/paip.rs crates/imaging/src/resize.rs
+
+/root/repo/target/release/deps/libapf_imaging-bcdeac109a77fd16.rlib: crates/imaging/src/lib.rs crates/imaging/src/augment.rs crates/imaging/src/btcv.rs crates/imaging/src/canny.rs crates/imaging/src/filter.rs crates/imaging/src/image.rs crates/imaging/src/integral.rs crates/imaging/src/io.rs crates/imaging/src/noise.rs crates/imaging/src/paip.rs crates/imaging/src/resize.rs
+
+/root/repo/target/release/deps/libapf_imaging-bcdeac109a77fd16.rmeta: crates/imaging/src/lib.rs crates/imaging/src/augment.rs crates/imaging/src/btcv.rs crates/imaging/src/canny.rs crates/imaging/src/filter.rs crates/imaging/src/image.rs crates/imaging/src/integral.rs crates/imaging/src/io.rs crates/imaging/src/noise.rs crates/imaging/src/paip.rs crates/imaging/src/resize.rs
+
+crates/imaging/src/lib.rs:
+crates/imaging/src/augment.rs:
+crates/imaging/src/btcv.rs:
+crates/imaging/src/canny.rs:
+crates/imaging/src/filter.rs:
+crates/imaging/src/image.rs:
+crates/imaging/src/integral.rs:
+crates/imaging/src/io.rs:
+crates/imaging/src/noise.rs:
+crates/imaging/src/paip.rs:
+crates/imaging/src/resize.rs:

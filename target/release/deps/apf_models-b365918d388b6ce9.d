@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/apf_models-b365918d388b6ce9.d: crates/models/src/lib.rs crates/models/src/checkpoint.rs crates/models/src/hipt.rs crates/models/src/layers.rs crates/models/src/params.rs crates/models/src/rearrange.rs crates/models/src/swin.rs crates/models/src/transformer.rs crates/models/src/transunet.rs crates/models/src/unet.rs crates/models/src/unetr.rs crates/models/src/vit.rs
+
+/root/repo/target/release/deps/libapf_models-b365918d388b6ce9.rlib: crates/models/src/lib.rs crates/models/src/checkpoint.rs crates/models/src/hipt.rs crates/models/src/layers.rs crates/models/src/params.rs crates/models/src/rearrange.rs crates/models/src/swin.rs crates/models/src/transformer.rs crates/models/src/transunet.rs crates/models/src/unet.rs crates/models/src/unetr.rs crates/models/src/vit.rs
+
+/root/repo/target/release/deps/libapf_models-b365918d388b6ce9.rmeta: crates/models/src/lib.rs crates/models/src/checkpoint.rs crates/models/src/hipt.rs crates/models/src/layers.rs crates/models/src/params.rs crates/models/src/rearrange.rs crates/models/src/swin.rs crates/models/src/transformer.rs crates/models/src/transunet.rs crates/models/src/unet.rs crates/models/src/unetr.rs crates/models/src/vit.rs
+
+crates/models/src/lib.rs:
+crates/models/src/checkpoint.rs:
+crates/models/src/hipt.rs:
+crates/models/src/layers.rs:
+crates/models/src/params.rs:
+crates/models/src/rearrange.rs:
+crates/models/src/swin.rs:
+crates/models/src/transformer.rs:
+crates/models/src/transunet.rs:
+crates/models/src/unet.rs:
+crates/models/src/unetr.rs:
+crates/models/src/vit.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/apf_train-260e11729492b88a.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/imageseg.rs crates/train/src/loss.rs crates/train/src/mcseg.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+/root/repo/target/release/deps/libapf_train-260e11729492b88a.rlib: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/imageseg.rs crates/train/src/loss.rs crates/train/src/mcseg.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+/root/repo/target/release/deps/libapf_train-260e11729492b88a.rmeta: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/imageseg.rs crates/train/src/loss.rs crates/train/src/mcseg.rs crates/train/src/metrics.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+crates/train/src/lib.rs:
+crates/train/src/data.rs:
+crates/train/src/imageseg.rs:
+crates/train/src/loss.rs:
+crates/train/src/mcseg.rs:
+crates/train/src/metrics.rs:
+crates/train/src/optim.rs:
+crates/train/src/trainer.rs:

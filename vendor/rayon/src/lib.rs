@@ -1,0 +1,146 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The hermetic build environment has no crates.io access, so this crate
+//! maps the `par_*` entry points the workspace uses onto plain sequential
+//! `std` iterators. Downstream adaptor chains (`.map`, `.zip`,
+//! `.enumerate().for_each`, `.sum`, `.collect`) compile unchanged because
+//! they are ordinary `Iterator` methods. Results are therefore identical to
+//! upstream rayon's (same reduction order as the sequential spec); only
+//! wall-clock parallelism is lost, which no test in this workspace asserts.
+
+/// Runs both closures and returns both results (sequentially, a-then-b).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (oper_a(), oper_b())
+}
+
+pub mod prelude {
+    //! Traits that put `par_iter`/`par_chunks_mut`/`into_par_iter` in scope.
+
+    /// `.into_par_iter()` on any owned iterable (ranges, vectors).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// The sequential iterator standing in for the parallel one.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `.par_iter()` on anything whose reference iterates.
+    pub trait IntoParallelRefIterator {
+        /// Shared-reference iterator type.
+        type RefIter<'a>: Iterator
+        where
+            Self: 'a;
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> Self::RefIter<'_>;
+    }
+
+    impl<T> IntoParallelRefIterator for [T] {
+        type RefIter<'a>
+            = std::slice::Iter<'a, T>
+        where
+            T: 'a;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> IntoParallelRefIterator for Vec<T> {
+        type RefIter<'a>
+            = std::slice::Iter<'a, T>
+        where
+            T: 'a;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `.par_iter_mut()` on slices and vectors.
+    pub trait IntoParallelRefMutIterator {
+        /// Unique-reference iterator type.
+        type MutIter<'a>: Iterator
+        where
+            Self: 'a;
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> Self::MutIter<'_>;
+    }
+
+    impl<T> IntoParallelRefMutIterator for [T] {
+        type MutIter<'a>
+            = std::slice::IterMut<'a, T>
+        where
+            T: 'a;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> IntoParallelRefMutIterator for Vec<T> {
+        type MutIter<'a>
+            = std::slice::IterMut<'a, T>
+        where
+            T: 'a;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// `.par_chunks()` on slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `.par_chunks_mut()` on slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adaptor_chains_compile_and_agree() {
+        let v: Vec<i32> = (0..10).collect();
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+
+        let mut out = vec![0i32; 6];
+        out.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i as i32;
+            }
+        });
+        assert_eq!(out, vec![0, 0, 1, 1, 2, 2]);
+
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 45);
+
+        let sq: Vec<usize> = (0usize..4).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(sq, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

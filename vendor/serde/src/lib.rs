@@ -1,0 +1,180 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever serializes result/report structures to JSON (via
+//! `serde_json::to_string_pretty`), so the shim collapses serde's data-model
+//! machinery into one trait: [`Serialize`] writes compact JSON directly into
+//! a `String`. The companion `serde_derive` shim generates implementations
+//! for plain structs and fieldless enums. `Deserialize` exists as a marker
+//! (and no-op derive) purely so `use serde::{Deserialize, Serialize}` lines
+//! keep compiling; nothing in the workspace deserializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Writes `self` as compact JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker matching upstream's trait-namespace `Deserialize` import.
+pub trait Deserialize<'de>: Sized {}
+
+/// Escapes and appends a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! serialize_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+serialize_display_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+serialize_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json(&3usize), "3");
+        assert_eq!(json(&-2i32), "-2");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&f32::NAN), "null");
+        assert_eq!(json(&"a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&Some(4u8)), "4");
+        assert_eq!(json(&Option::<u8>::None), "null");
+        assert_eq!(json(&(1u8, "x")), "[1,\"x\"]");
+    }
+}

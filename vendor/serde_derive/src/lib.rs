@@ -1,0 +1,280 @@
+//! Offline stand-in for `serde_derive`, written directly against
+//! `proc_macro` (no `syn`/`quote` available in a hermetic build).
+//!
+//! Supports the shapes this workspace actually derives on:
+//! - structs with named fields -> JSON objects
+//! - tuple structs -> JSON arrays
+//! - unit structs -> `null`
+//! - enums with unit and/or named-field variants -> externally tagged
+//!   (`"Variant"` or `{"Variant":{...}}`), matching upstream serde
+//!
+//! `#[derive(Deserialize)]` expands to nothing: the workspace never
+//! deserializes, the derive only needs to be accepted.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim trait writing compact JSON).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({:?});", msg).parse().unwrap(),
+    }
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Item {
+    kind: ItemKind,
+    name: String,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let item = parse_item(input)?;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+                b.push_str(&format!("::serde::Serialize::serialize_json(&self.{f}, out);\n"));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        ItemKind::TupleStruct(arity) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*arity {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!("::serde::Serialize::serialize_json(&self.{i}, out);\n"));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        ItemKind::UnitStruct => String::from("out.push_str(\"null\");"),
+        ItemKind::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        None => format!("{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),"),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let mut body =
+                                format!("out.push_str(\"{{\\\"{vn}\\\":{{\");\n");
+                            for (i, f) in fields.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                body.push_str(&format!(
+                                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                                     ::serde::Serialize::serialize_json({f}, out);\n"
+                                ));
+                            }
+                            body.push_str("out.push_str(\"}}\");");
+                            format!("{name}::{vn} {{ {binds} }} => {{\n{body}\n}}")
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n{}\n}}\n}}",
+        item.name, body
+    ))
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {:?}", other)),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {:?}", other)),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generics (on `{name}`)"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                kind: ItemKind::NamedStruct(parse_named_fields(g.stream())?),
+                name,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                kind: ItemKind::TupleStruct(count_tuple_fields(g.stream())),
+                name,
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item { kind: ItemKind::UnitStruct, name })
+            }
+            other => Err(format!("unexpected struct body: {:?}", other)),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                kind: ItemKind::Enum(parse_variants(g.stream(), &name)?),
+                name,
+            }),
+            other => Err(format!("unexpected enum body: {:?}", other)),
+        },
+        other => Err(format!("expected struct or enum, found `{other}`")),
+    }
+}
+
+/// Advances past attributes (`#[...]`), doc comments, and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {:?}", other)),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after `{name}`, found {:?}", other)),
+        }
+        // Consume the type: everything until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Arity of a tuple-struct body (top-level comma-separated types).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+/// Variants of an enum body; tuple variants are rejected.
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant, found {:?}", other)),
+        };
+        i += 1;
+        let mut fields = None;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_named_fields(g.stream())?);
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive does not support tuple variants; \
+                     `{enum_name}::{name}` is one"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: skip until comma.
+                while i < tokens.len()
+                    && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    i += 1;
+                }
+                i += 1;
+            }
+            other => return Err(format!("unexpected token after variant: {:?}", other)),
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for `serde_json`: serialization only, over the shim
+//! [`serde::Serialize`] trait (which writes compact JSON directly).
+
+use std::fmt;
+
+/// Serialization error. The shim's serializers are infallible, so this only
+/// exists for signature compatibility.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON encoding of `value`.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Pretty-printed (2-space indented) JSON encoding of `value`.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indents compact JSON. Operates on the encoded text, tracking string
+/// literals so braces inside strings are left alone.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if let Some(&next) = chars.peek() {
+                    if (c == '{' && next == '}') || (c == '[' && next == ']') {
+                        out.push(chars.next().unwrap());
+                        continue;
+                    }
+                }
+                indent += 1;
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_is_indented_and_structurally_equal() {
+        let compact = r#"{"a":[1,2],"b":"x{y","c":{}}"#;
+        let pretty = prettify(compact);
+        assert!(pretty.contains("\"a\": [\n"));
+        assert!(pretty.contains("\"x{y\""), "brace inside string must be untouched");
+        assert!(pretty.contains("\"c\": {}"));
+        let stripped: String = {
+            // Removing whitespace outside strings recovers the compact form.
+            let mut s = String::new();
+            let mut in_str = false;
+            let mut esc = false;
+            for ch in pretty.chars() {
+                if in_str {
+                    s.push(ch);
+                    if esc {
+                        esc = false;
+                    } else if ch == '\\' {
+                        esc = true;
+                    } else if ch == '"' {
+                        in_str = false;
+                    }
+                } else if ch == '"' {
+                    in_str = true;
+                    s.push(ch);
+                } else if !ch.is_whitespace() {
+                    s.push(ch);
+                }
+            }
+            s
+        };
+        assert_eq!(stripped, compact);
+    }
+}
