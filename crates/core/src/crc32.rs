@@ -1,0 +1,113 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! Shared integrity primitive for the fault-tolerance layer: checkpoint
+//! files carry per-tensor and whole-file checksums, and the all-reduce
+//! implementations checksum every message so transient link corruption is
+//! detected instead of silently averaged into the gradients.
+
+/// Byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = TABLE[idx] ^ (self.state >> 8);
+        }
+    }
+
+    /// Final checksum value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// CRC-32 of an `f32` slice, hashing each value's little-endian bytes.
+pub fn crc32_f32(values: &[f32]) -> u32 {
+    let mut h = Crc32::new();
+    for v in values {
+        h.update(&v.to_le_bytes());
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Crc32::new();
+        h.update(&data[..10]);
+        h.update(&data[10..]);
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn f32_hash_matches_byte_hash() {
+        let vals = [1.5f32, -0.25, f32::MIN_POSITIVE, 1e30];
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        assert_eq!(crc32_f32(&vals), crc32(&bytes));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let base = b"gradient segment payload".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupted = base.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "byte {} bit {}", i, bit);
+            }
+        }
+    }
+}

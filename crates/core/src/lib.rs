@@ -31,6 +31,7 @@
 //! assert!(seq.len() < (128 / 4) * (128 / 4)); // shorter than uniform 4x4 grid
 //! ```
 
+pub mod crc32;
 pub mod morton;
 pub mod patchify;
 pub mod pipeline;
@@ -39,6 +40,7 @@ pub mod stats;
 pub mod uniform;
 pub mod viz;
 
+pub use crc32::{crc32, crc32_f32, Crc32};
 pub use morton::{morton_decode, morton_encode};
 pub use patchify::{extract_patches, reconstruct_mask, Patch, PatchSequence};
 pub use pipeline::{AdaptivePatcher, PatcherConfig, PreprocessTiming};

@@ -4,11 +4,36 @@
 //! Each worker owns a full model replica (same seed => identical weights).
 //! Every step, the global batch is sharded across workers; each computes
 //! gradients on its shard; the flattened gradients are averaged with
-//! [`crate::allreduce::ring_allreduce_mean`]; a single AdamW step is applied
-//! to the master parameters which are then broadcast back to the replicas.
-//! This makes data-parallel training mathematically identical to large-batch
-//! single-worker training — and the engine's tests verify exactly that.
+//! [`crate::allreduce::ring_allreduce_mean_checked`]; a single AdamW step
+//! is applied to the master parameters which are then broadcast back to the
+//! replicas. This makes data-parallel training mathematically identical to
+//! large-batch single-worker training — and the engine's tests verify
+//! exactly that.
+//!
+//! ## Fault tolerance
+//!
+//! The engine consults a [`FaultPlan`] at the start of every step and
+//! survives what it finds there:
+//!
+//! - **Worker crashes** remove the replica permanently; the collective is
+//!   rebuilt over the survivors and the batch re-sharded (unevenly if
+//!   needed — shard gradients and losses are weighted by `n_i/B` so the
+//!   degraded step still optimizes the exact global-mean objective).
+//! - **Wire corruption** is caught by the all-reduce checksums; the engine
+//!   retries the collective with its retained gradient buffers.
+//! - **Stragglers** delay their shard; the step completes correctly,
+//!   just slower.
+//! - **Non-finite losses or gradients** (injected or organic) skip the
+//!   update, roll parameters and optimizer back to the last good step, and
+//!   halve the learning rate, with a bounded retry budget.
+//!
+//! Every recovery action is appended to a [`RecoveryEvent`] trace so tests
+//! can assert that identical plans produce identical recoveries.
 
+use std::io;
+use std::path::Path;
+
+use apf_models::checkpoint::{self, CheckpointError};
 use apf_models::params::{ParamId, ParamSet};
 use apf_tensor::tensor::Tensor;
 use apf_train::data::TokenSegDataset;
@@ -16,7 +41,8 @@ use apf_train::loss::{combo_loss, ComboLossConfig};
 use apf_train::optim::{AdamW, AdamWConfig};
 use apf_train::trainer::TokenSegModel;
 
-use crate::allreduce::ring_allreduce_mean;
+use crate::allreduce::{ring_allreduce_mean, ring_allreduce_mean_checked};
+use crate::fault::{FaultKind, FaultPlan, RecoveryEvent};
 
 /// Flattens ordered per-parameter gradients into one buffer (ring input).
 fn flatten_grads(params: &ParamSet, grads: &[(ParamId, Tensor)]) -> Vec<f32> {
@@ -51,20 +77,39 @@ fn unflatten_grads(params: &ParamSet, flat: &[f32]) -> Vec<(ParamId, Tensor)> {
 /// Per-step telemetry from the engine.
 #[derive(Debug, Clone, Copy)]
 pub struct StepReport {
-    /// Mean loss over all shards.
+    /// Weighted mean loss over all shards (weights `n_i/B`).
     pub loss: f64,
     /// Wall-clock seconds of the compute phase (max over workers).
     pub compute_s: f64,
     /// Wall-clock seconds of the all-reduce + update phase.
     pub sync_s: f64,
+    /// Workers that participated in this step.
+    pub world_size: usize,
+    /// True once any worker has been lost: the engine is running a
+    /// degraded configuration relative to its launch world size.
+    pub degraded: bool,
+    /// All-reduce retries forced by checksum failures this step.
+    pub comm_retries: u32,
+    /// True when a non-finite loss/gradient was caught and the update was
+    /// skipped (parameters rolled back, learning rate halved).
+    pub rolled_back: bool,
 }
 
 /// The data-parallel engine over `W` model replicas.
 pub struct DataParallelEngine<M: TokenSegModel + Send> {
     replicas: Vec<M>,
+    /// Original launch rank of each surviving replica (crash bookkeeping).
+    orig_rank: Vec<usize>,
+    initial_workers: usize,
     master: ParamSet,
     opt: AdamW,
     loss_cfg: ComboLossConfig,
+    fault_plan: FaultPlan,
+    step_idx: u64,
+    trace: Vec<RecoveryEvent>,
+    max_comm_retries: u32,
+    max_rollbacks: u32,
+    rollbacks: u32,
 }
 
 impl<M: TokenSegModel + Send> DataParallelEngine<M> {
@@ -85,15 +130,49 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
         let opt = AdamW::new(opt_cfg, master.len());
         DataParallelEngine {
             replicas,
+            orig_rank: (0..workers).collect(),
+            initial_workers: workers,
             master,
             opt,
             loss_cfg: ComboLossConfig::default(),
+            fault_plan: FaultPlan::none(),
+            step_idx: 0,
+            trace: Vec::new(),
+            max_comm_retries: 3,
+            max_rollbacks: 8,
+            rollbacks: 0,
         }
     }
 
-    /// Number of simulated GPUs.
+    /// Installs a fault schedule (see [`FaultPlan`]); builder style.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Number of currently-live simulated GPUs.
     pub fn workers(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// True once any worker has crashed out of the collective.
+    pub fn degraded(&self) -> bool {
+        self.replicas.len() < self.initial_workers
+    }
+
+    /// Engine step counter (increments once per [`Self::step`]).
+    pub fn step_index(&self) -> u64 {
+        self.step_idx
+    }
+
+    /// Current learning-rate scale (halved on every NaN rollback).
+    pub fn lr_scale(&self) -> f32 {
+        self.opt.lr_scale()
+    }
+
+    /// Everything the fault-tolerance machinery observed and did so far.
+    pub fn recovery_trace(&self) -> &[RecoveryEvent] {
+        &self.trace
     }
 
     /// Overrides the loss configuration (default: the paper's 0.5 BCE +
@@ -108,17 +187,98 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
         &self.master
     }
 
+    /// Writes a crash-safe v2 checkpoint: master parameters, full AdamW
+    /// state, and the engine step counter, CRC-protected and atomically
+    /// renamed into place.
+    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut state = self.opt.export_state();
+        state.counters.push(("engine.step".to_string(), self.step_idx));
+        checkpoint::save_with_state(&self.master, &state, path)
+    }
+
+    /// Restores master parameters, optimizer state, and the step counter
+    /// from a checkpoint written by [`Self::save_checkpoint`]. Replicas are
+    /// refreshed from the master at the start of the next step, so training
+    /// resumes bit-identically.
+    pub fn resume_from(&mut self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let state = checkpoint::load_with_state(&mut self.master, path)?;
+        self.opt.import_state(&state);
+        self.step_idx = state.counter("engine.step").unwrap_or(0);
+        Ok(())
+    }
+
+    /// Applies this step's scheduled faults. Returns, for each surviving
+    /// worker position: (straggler delay ms, corrupt outgoing traffic,
+    /// poison gradients with NaN).
+    fn apply_faults(&mut self, step: u64) -> (Vec<u64>, Vec<usize>, Vec<usize>) {
+        let events: Vec<_> = self.fault_plan.events_at(step).copied().collect();
+        // Crashes first: the surviving positions shift, and the remaining
+        // events target the post-crash topology.
+        for e in &events {
+            if let FaultKind::WorkerCrash { rank } = e.kind {
+                let Some(pos) = self.orig_rank.iter().position(|&r| r == rank) else {
+                    continue; // already dead
+                };
+                if self.replicas.len() == 1 {
+                    continue; // never empty the collective
+                }
+                self.replicas.remove(pos);
+                self.orig_rank.remove(pos);
+                self.trace.push(RecoveryEvent::WorkerLost {
+                    step,
+                    rank,
+                    world_after: self.replicas.len(),
+                });
+            }
+        }
+        let mut delays = vec![0u64; self.replicas.len()];
+        let mut corrupt = Vec::new();
+        let mut poison = Vec::new();
+        for e in &events {
+            let Some(pos) = self.orig_rank.iter().position(|&r| r == e.kind.rank()) else {
+                continue; // targets a dead worker
+            };
+            match e.kind {
+                FaultKind::WorkerCrash { .. } => {}
+                FaultKind::GradCorruption { .. } => corrupt.push(pos),
+                FaultKind::Straggler { rank, delay_ms } => {
+                    delays[pos] = delay_ms;
+                    self.trace.push(RecoveryEvent::StragglerObserved { step, rank, delay_ms });
+                }
+                FaultKind::NanGrad { .. } => poison.push(pos),
+            }
+        }
+        (delays, corrupt, poison)
+    }
+
     /// One data-parallel step over a global batch, sharded contiguously
-    /// across workers. `tokens`/`masks` are `[B, L, D]` with `B` divisible
-    /// by the worker count.
+    /// across the live workers. `tokens`/`masks` are `[B, L, D]`; `B` must
+    /// be divisible by the worker count while the engine is at full
+    /// strength. After a crash, uneven shards are allowed: gradients and
+    /// losses are weighted by shard size so the degraded step still
+    /// optimizes the global-mean objective exactly.
     pub fn step(&mut self, tokens: &Tensor, masks: &Tensor) -> StepReport {
+        let step = self.step_idx;
+        let (delays, corrupt, poison) = self.apply_faults(step);
+
         let w = self.replicas.len();
         let b = tokens.dims()[0];
-        assert!(b.is_multiple_of(w), "global batch {} not divisible by {} workers", b, w);
-        let shard = b / w;
+        if !self.degraded() {
+            assert!(b.is_multiple_of(w), "global batch {} not divisible by {} workers", b, w);
+        }
+        // Contiguous shards; the first `b % w` workers take one extra
+        // sample when the batch no longer divides evenly.
+        let base = b / w;
+        let extra = b % w;
+        let sizes: Vec<usize> = (0..w).map(|i| base + usize::from(i < extra)).collect();
+        let mut offsets = Vec::with_capacity(w);
+        let mut acc = 0usize;
+        for &s in &sizes {
+            offsets.push(acc);
+            acc += s;
+        }
         let l = tokens.dims()[1];
         let d = tokens.dims()[2];
-        let xsz = shard * l * d;
 
         // Broadcast master weights to the replicas.
         for r in &mut self.replicas {
@@ -127,22 +287,26 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
 
         let loss_cfg = self.loss_cfg;
         let t0 = std::time::Instant::now();
-        // Compute phase: each worker thread processes its shard.
+        // Compute phase: each worker thread processes its shard. Uneven
+        // shards pre-scale their gradients by `n_i * W / B` so the ring's
+        // uniform mean yields `sum_i (n_i/B) g_i` — the exact global mean.
         let results: Vec<(f64, Vec<f32>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .replicas
                 .iter_mut()
                 .enumerate()
-                .map(|(rank, replica)| {
-                    let xs = Tensor::new(
-                        [shard, l, d],
-                        tokens.data()[rank * xsz..(rank + 1) * xsz].to_vec(),
-                    );
-                    let ys = Tensor::new(
-                        [shard, l, d],
-                        masks.data()[rank * xsz..(rank + 1) * xsz].to_vec(),
-                    );
+                .map(|(pos, replica)| {
+                    let shard = sizes[pos];
+                    let start = offsets[pos] * l * d;
+                    let xs = Tensor::new([shard, l, d], tokens.data()[start..start + shard * l * d].to_vec());
+                    let ys = Tensor::new([shard, l, d], masks.data()[start..start + shard * l * d].to_vec());
+                    let delay_ms = delays[pos];
+                    let poisoned = poison.contains(&pos);
+                    let grad_scale = (shard * w) as f32 / b as f32;
                     scope.spawn(move || {
+                        if delay_ms > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                        }
                         let replica: &M = replica;
                         let mut g = apf_tensor::Graph::new();
                         let bp = replica.params().bind(&mut g);
@@ -156,7 +320,16 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
                             .iter()
                             .filter_map(|(id, v)| g.take_grad(v).map(|t| (id, t)))
                             .collect();
-                        (lv, flatten_grads(replica.params(), &grads))
+                        let mut flat = flatten_grads(replica.params(), &grads);
+                        if grad_scale != 1.0 {
+                            for v in &mut flat {
+                                *v *= grad_scale;
+                            }
+                        }
+                        if poisoned && !flat.is_empty() {
+                            flat[0] = f32::NAN;
+                        }
+                        (lv, flat)
                     })
                 })
                 .collect();
@@ -165,14 +338,86 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
         let compute_s = t0.elapsed().as_secs_f64();
 
         let t1 = std::time::Instant::now();
-        let loss = results.iter().map(|(l, _)| l).sum::<f64>() / w as f64;
+        // Shard losses weighted by shard size; the weights sum to 1.
+        let loss = results
+            .iter()
+            .enumerate()
+            .map(|(i, (lv, _))| lv * sizes[i] as f64 / b as f64)
+            .sum::<f64>();
         let buffers: Vec<Vec<f32>> = results.into_iter().map(|(_, b)| b).collect();
-        let reduced = ring_allreduce_mean(buffers);
-        let grads = unflatten_grads(&self.master, &reduced[0]);
-        self.opt.step(&mut self.master, &grads);
+
+        // Sync phase: checksum-verified all-reduce, retried on transient
+        // corruption with the retained gradient buffers.
+        let mut comm_retries = 0u32;
+        let reduced = if corrupt.is_empty() {
+            ring_allreduce_mean(buffers)
+        } else {
+            let mut attempt = 0u32;
+            loop {
+                // The injected corruption is transient: it hits the first
+                // attempt only, mirroring a one-off link error.
+                let inject: &[usize] = if attempt == 0 { &corrupt } else { &[] };
+                match ring_allreduce_mean_checked(buffers.clone(), inject) {
+                    Ok(r) => break r,
+                    Err(_) => {
+                        attempt += 1;
+                        comm_retries = attempt;
+                        self.trace.push(RecoveryEvent::CommRetry { step, attempt });
+                        assert!(
+                            attempt <= self.max_comm_retries,
+                            "all-reduce corruption persisted through {} retries",
+                            self.max_comm_retries
+                        );
+                    }
+                }
+            }
+        };
+
+        // Non-finite guard: a NaN/Inf loss or gradient skips the update,
+        // restores the last good parameters and optimizer state, and
+        // halves the learning rate (bounded retry budget).
+        let grads_finite = reduced[0].iter().all(|v| v.is_finite());
+        let mut rolled_back = false;
+        if !loss.is_finite() || !grads_finite {
+            rolled_back = true;
+        } else {
+            let snapshot_params = self.master.clone();
+            let snapshot_opt = self.opt.clone();
+            let grads = unflatten_grads(&self.master, &reduced[0]);
+            self.opt.step(&mut self.master, &grads);
+            let params_finite =
+                self.master.iter().all(|(_, _, t)| t.data().iter().all(|v| v.is_finite()));
+            if !params_finite {
+                self.master = snapshot_params;
+                self.opt = snapshot_opt;
+                rolled_back = true;
+            }
+        }
+        if rolled_back {
+            self.rollbacks += 1;
+            assert!(
+                self.rollbacks <= self.max_rollbacks,
+                "non-finite loss persisted through {} rollbacks; aborting",
+                self.max_rollbacks
+            );
+            self.opt.scale_lr(0.5);
+            self.trace.push(RecoveryEvent::RolledBack {
+                step,
+                lr_scale_after: self.opt.lr_scale(),
+            });
+        }
         let sync_s = t1.elapsed().as_secs_f64();
 
-        StepReport { loss, compute_s, sync_s }
+        self.step_idx += 1;
+        StepReport {
+            loss,
+            compute_s,
+            sync_s,
+            world_size: w,
+            degraded: self.degraded(),
+            comm_retries,
+            rolled_back,
+        }
     }
 
     /// Trains one epoch over a dataset; returns mean loss.
@@ -200,6 +445,7 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultEvent, FaultRates};
     use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
     use apf_imaging::paip::{PaipConfig, PaipGenerator};
     use apf_models::rearrange::GridOrder;
@@ -225,10 +471,16 @@ mod tests {
         Unetr2d::new(UnetrConfig::tiny(4, 4, GridOrder::Morton), 42)
     }
 
+    fn params_bits(p: &ParamSet) -> Vec<u32> {
+        p.iter().flat_map(|(_, _, t)| t.data().iter().map(|v| v.to_bits())).collect()
+    }
+
     #[test]
     fn replicas_start_identical() {
         let e = DataParallelEngine::new(factory, 3, AdamWConfig::default());
         assert_eq!(e.workers(), 3);
+        assert!(!e.degraded());
+        assert!(e.recovery_trace().is_empty());
     }
 
     #[test]
@@ -261,6 +513,10 @@ mod tests {
                 r1.loss,
                 r4.loss
             );
+            assert_eq!(r4.world_size, 4);
+            assert!(!r4.degraded);
+            assert_eq!(r4.comm_retries, 0);
+            assert!(!r4.rolled_back);
         }
         // Parameters must match to float tolerance.
         for ((_, n1, t1), (_, _, t4)) in single
@@ -380,5 +636,228 @@ mod tests {
         let mut e = DataParallelEngine::new(factory, 2, AdamWConfig::default());
         let loss = e.train_epoch(&ds, 2, 1);
         assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn crash_recovery_continues_bit_identically_to_surviving_world_size() {
+        // The kill-at-step-k scenario: 3 workers, rank 1 dies at step 2.
+        // A checkpoint taken just before the crash, resumed into a fresh
+        // engine launched at the surviving world size, must reproduce the
+        // faulted engine's post-crash trajectory bit for bit.
+        let ds = dataset(6);
+        let (x, y) = ds.batch(&[0, 1, 2, 3, 4, 5]);
+        let cfg = AdamWConfig { lr: 2e-3, ..Default::default() };
+        let dir = std::env::temp_dir().join(format!("apf_crash_demo_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("step2.apf2");
+
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 2,
+            kind: FaultKind::WorkerCrash { rank: 1 },
+        }]);
+        let mut faulted = DataParallelEngine::new(factory, 3, cfg).with_fault_plan(plan);
+        let mut faulted_losses = Vec::new();
+        for step in 0..5u64 {
+            if step == 2 {
+                faulted.save_checkpoint(&ckpt).unwrap();
+            }
+            let r = faulted.step(&x, &y);
+            faulted_losses.push(r.loss);
+            if step >= 2 {
+                assert_eq!(r.world_size, 2, "step {}", step);
+                assert!(r.degraded);
+            } else {
+                assert_eq!(r.world_size, 3);
+                assert!(!r.degraded);
+            }
+        }
+        assert!(faulted.recovery_trace().contains(&RecoveryEvent::WorkerLost {
+            step: 2,
+            rank: 1,
+            world_after: 2,
+        }));
+
+        // Fresh engine at the surviving world size, resumed from the
+        // pre-crash checkpoint (seed 7 factory proves resume overwrites).
+        let other_factory = || Unetr2d::new(UnetrConfig::tiny(4, 4, GridOrder::Morton), 7);
+        let mut survivor = DataParallelEngine::new(other_factory, 2, cfg);
+        survivor.resume_from(&ckpt).unwrap();
+        assert_eq!(survivor.step_index(), 2);
+        let mut survivor_losses = Vec::new();
+        for _ in 2..5u64 {
+            survivor_losses.push(survivor.step(&x, &y).loss);
+        }
+        assert_eq!(
+            faulted_losses[2..]
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            survivor_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            "post-crash losses must be bit-identical to the surviving-world run"
+        );
+        assert_eq!(
+            params_bits(faulted.master_params()),
+            params_bits(survivor.master_params()),
+            "post-crash parameters must be bit-identical to the surviving-world run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uneven_resharding_preserves_global_mean_objective() {
+        // 4 workers, batch 4; after rank 3 dies the shards are uneven
+        // (2, 1, 1). With the decomposable BCE loss, the weighted degraded
+        // step must still match a single worker on the full batch.
+        let ds = dataset(4);
+        let (x, y) = ds.batch(&[0, 1, 2, 3]);
+        let vit_factory = || {
+            apf_models::vit::ViTSegmenter::new(apf_models::vit::ViTConfig::tiny(16, 16), 42)
+        };
+        let cfg = AdamWConfig { lr: 1e-3, ..Default::default() };
+        let bce_only = ComboLossConfig { bce_weight: 1.0, epsilon: 1.0 };
+
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 0,
+            kind: FaultKind::WorkerCrash { rank: 3 },
+        }]);
+        let mut degraded = DataParallelEngine::new(vit_factory, 4, cfg).with_fault_plan(plan);
+        degraded.set_loss(bce_only);
+        let mut single = DataParallelEngine::new(vit_factory, 1, cfg);
+        single.set_loss(bce_only);
+
+        for step in 0..3 {
+            let rd = degraded.step(&x, &y);
+            let r1 = single.step(&x, &y);
+            assert_eq!(rd.world_size, 3);
+            assert!(rd.degraded);
+            assert!(
+                (rd.loss - r1.loss).abs() < 1e-4,
+                "step {}: degraded loss {} vs single {}",
+                step,
+                rd.loss,
+                r1.loss
+            );
+        }
+        for ((_, n, td), (_, _, t1)) in
+            degraded.master_params().iter().zip(single.master_params().iter())
+        {
+            let max_diff = td
+                .data()
+                .iter()
+                .zip(t1.data().iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_diff < 2e-3, "param {} diverged by {}", n, max_diff);
+        }
+    }
+
+    #[test]
+    fn transient_corruption_is_retried_without_changing_the_result() {
+        let ds = dataset(4);
+        let (x, y) = ds.batch(&[0, 1, 2, 3]);
+        let cfg = AdamWConfig { lr: 1e-3, ..Default::default() };
+
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 1,
+            kind: FaultKind::GradCorruption { rank: 1 },
+        }]);
+        let mut faulted = DataParallelEngine::new(factory, 2, cfg).with_fault_plan(plan);
+        let mut clean = DataParallelEngine::new(factory, 2, cfg);
+
+        for step in 0..3u64 {
+            let rf = faulted.step(&x, &y);
+            let rc = clean.step(&x, &y);
+            assert_eq!(rf.comm_retries, u32::from(step == 1), "step {}", step);
+            assert_eq!(rf.loss.to_bits(), rc.loss.to_bits(), "step {}", step);
+        }
+        assert!(faulted
+            .recovery_trace()
+            .contains(&RecoveryEvent::CommRetry { step: 1, attempt: 1 }));
+        assert_eq!(
+            params_bits(faulted.master_params()),
+            params_bits(clean.master_params()),
+            "retried corruption must not perturb training"
+        );
+    }
+
+    #[test]
+    fn nan_guard_rolls_back_and_halves_lr() {
+        let ds = dataset(4);
+        let (x, y) = ds.batch(&[0, 1, 2, 3]);
+        let cfg = AdamWConfig { lr: 1e-3, ..Default::default() };
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 1,
+            kind: FaultKind::NanGrad { rank: 0 },
+        }]);
+        let mut e = DataParallelEngine::new(factory, 2, cfg).with_fault_plan(plan);
+
+        e.step(&x, &y);
+        let before = params_bits(e.master_params());
+        let r = e.step(&x, &y);
+        assert!(r.rolled_back);
+        assert_eq!(e.lr_scale(), 0.5);
+        assert_eq!(
+            before,
+            params_bits(e.master_params()),
+            "rolled-back step must leave parameters untouched"
+        );
+        assert!(e
+            .recovery_trace()
+            .contains(&RecoveryEvent::RolledBack { step: 1, lr_scale_after: 0.5 }));
+        // Training continues at the halved rate.
+        let r2 = e.step(&x, &y);
+        assert!(!r2.rolled_back);
+        assert!(r2.loss.is_finite());
+        assert_ne!(before, params_bits(e.master_params()));
+    }
+
+    #[test]
+    fn straggler_delays_but_does_not_perturb_training() {
+        let ds = dataset(4);
+        let (x, y) = ds.batch(&[0, 1, 2, 3]);
+        let cfg = AdamWConfig { lr: 1e-3, ..Default::default() };
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 0,
+            kind: FaultKind::Straggler { rank: 1, delay_ms: 20 },
+        }]);
+        let mut slow = DataParallelEngine::new(factory, 2, cfg).with_fault_plan(plan);
+        let mut clean = DataParallelEngine::new(factory, 2, cfg);
+        let rs = slow.step(&x, &y);
+        let rc = clean.step(&x, &y);
+        assert_eq!(rs.loss.to_bits(), rc.loss.to_bits());
+        assert!(slow.recovery_trace().contains(&RecoveryEvent::StragglerObserved {
+            step: 0,
+            rank: 1,
+            delay_ms: 20,
+        }));
+        assert_eq!(params_bits(slow.master_params()), params_bits(clean.master_params()));
+    }
+
+    #[test]
+    fn same_fault_plan_produces_identical_recovery_traces() {
+        let ds = dataset(4);
+        let (x, y) = ds.batch(&[0, 1, 2, 3]);
+        let cfg = AdamWConfig { lr: 1e-3, ..Default::default() };
+        let rates = FaultRates {
+            crash: 0.05,
+            corruption: 0.1,
+            straggler: 0.1,
+            straggler_ms: (1, 3),
+        };
+        let run = |seed: u64| {
+            let plan = FaultPlan::random(seed, 6, 4, rates);
+            let mut e = DataParallelEngine::new(factory, 4, cfg).with_fault_plan(plan);
+            let mut losses = Vec::new();
+            for _ in 0..6 {
+                losses.push(e.step(&x, &y).loss.to_bits());
+            }
+            (losses, e.recovery_trace().to_vec(), params_bits(e.master_params()))
+        };
+        let (l1, t1, p1) = run(11);
+        let (l2, t2, p2) = run(11);
+        assert!(!t1.is_empty(), "seed 11 should schedule at least one fault");
+        assert_eq!(t1, t2, "recovery traces must be deterministic");
+        assert_eq!(l1, l2, "loss trajectories must be deterministic");
+        assert_eq!(p1, p2, "final parameters must be deterministic");
     }
 }

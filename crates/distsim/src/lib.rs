@@ -13,17 +13,24 @@
 //!   calibrated once against a single measured row of the paper.
 //! - [`engine`] — a genuine thread-per-GPU data-parallel trainer whose
 //!   tests prove step-equivalence with single-worker training.
+//! - [`fault`] — deterministic fault injection (crashes, wire corruption,
+//!   stragglers, NaN gradients) and the recovery trace the engine records
+//!   while surviving them.
 
 pub mod allreduce;
 pub mod cluster;
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod gpu;
 pub mod tree_allreduce;
 
-pub use allreduce::{ring_allreduce_mean, ring_allreduce_seconds};
+pub use allreduce::{
+    ring_allreduce_mean, ring_allreduce_mean_checked, ring_allreduce_seconds, AllReduceError,
+};
 pub use cluster::{calibrate, ClusterModel, Prediction};
 pub use cost::{step_cost, ModelDims, StepCost};
 pub use engine::{DataParallelEngine, StepReport};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, RecoveryEvent};
 pub use gpu::{Fabric, GpuSpec};
-pub use tree_allreduce::{tree_allreduce_mean, tree_allreduce_seconds};
+pub use tree_allreduce::{tree_allreduce_mean, tree_allreduce_mean_checked, tree_allreduce_seconds};

@@ -45,48 +45,111 @@ pub fn write_ppm_overlay(
     w.write_all(&bytes)
 }
 
+/// Incremental PGM header parser. Every failure names the offending field
+/// and the byte offset at which it was found, so a malformed file is
+/// diagnosable instead of a panic or a generic "bad header".
+struct PgmHeader<'a> {
+    raw: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PgmHeader<'a> {
+    fn bad(&self, field: &str, detail: impl std::fmt::Display) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("PGM {field}: {detail} (byte offset {})", self.pos),
+        )
+    }
+
+    /// Skips whitespace and `#` comment lines (legal anywhere in a PNM
+    /// header between tokens).
+    fn skip_separators(&mut self) {
+        while let Some(&b) = self.raw.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                while self.raw.get(self.pos).is_some_and(|&c| c != b'\n') {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Next whitespace-delimited token; `field` names it in errors.
+    fn token(&mut self, field: &str) -> io::Result<&'a str> {
+        self.skip_separators();
+        let start = self.pos;
+        while self.raw.get(self.pos).is_some_and(|b| !b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            self.pos = start;
+            return Err(self.bad(field, "header ended before field"));
+        }
+        std::str::from_utf8(&self.raw[start..self.pos]).map_err(|_| {
+            self.pos = start;
+            self.bad(field, "field is not valid UTF-8")
+        })
+    }
+
+    fn number(&mut self, field: &str) -> io::Result<usize> {
+        let start_of_token = {
+            self.skip_separators();
+            self.pos
+        };
+        let tok = self.token(field)?;
+        tok.parse().map_err(|_| {
+            self.pos = start_of_token;
+            self.bad(field, format!("expected a decimal integer, found {tok:?}"))
+        })
+    }
+}
+
 /// Reads a binary PGM (P5) file back into a `[0, 1]` image. Only the subset
-/// written by [`write_pgm`] is supported.
+/// written by [`write_pgm`] is supported (8-bit, maxval 255), but any
+/// malformed header is rejected with an error naming the offending field
+/// and byte offset rather than panicking.
 pub fn read_pgm(path: impl AsRef<Path>) -> io::Result<GrayImage> {
     let mut raw = Vec::new();
     File::open(path)?.read_to_end(&mut raw)?;
-    let header_end = raw
-        .windows(1)
-        .enumerate()
-        .scan(0, |newlines, (i, w)| {
-            if w[0] == b'\n' {
-                *newlines += 1;
-            }
-            Some((i, *newlines))
-        })
-        .find(|&(_, n)| n == 3)
-        .map(|(i, _)| i + 1)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad PGM header"))?;
-    let header = std::str::from_utf8(&raw[..header_end])
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 PGM header"))?;
-    let mut lines = header.lines();
-    let magic = lines.next().unwrap_or("");
+    let mut hdr = PgmHeader { raw: &raw, pos: 0 };
+
+    let magic = hdr.token("magic")?;
     if magic != "P5" {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a P5 PGM"));
+        hdr.pos = 0;
+        return Err(hdr.bad("magic", format!("expected \"P5\", found {magic:?}")));
     }
-    let dims: Vec<usize> = lines
-        .next()
-        .unwrap_or("")
-        .split_whitespace()
-        .filter_map(|t| t.parse().ok())
-        .collect();
-    if dims.len() != 2 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad PGM dims"));
+    let w = hdr.number("width")?;
+    let h = hdr.number("height")?;
+    let maxval = hdr.number("maxval")?;
+    if maxval != 255 {
+        return Err(hdr.bad("maxval", format!("only 255 is supported, found {maxval}")));
     }
-    let (w, h) = (dims[0], dims[1]);
-    let pixels = &raw[header_end..];
-    if pixels.len() < w * h {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated PGM"));
+    // Exactly one whitespace byte separates the header from the raster.
+    match hdr.raw.get(hdr.pos) {
+        Some(b) if b.is_ascii_whitespace() => hdr.pos += 1,
+        Some(b) => {
+            return Err(hdr.bad("raster", format!("expected whitespace before pixel data, found byte {b:#04x}")))
+        }
+        None => return Err(hdr.bad("raster", "file ended before pixel data")),
+    }
+
+    let numel = w
+        .checked_mul(h)
+        .ok_or_else(|| hdr.bad("dimensions", format!("{w} x {h} overflows")))?;
+    let pixels = &raw[hdr.pos..];
+    if pixels.len() < numel {
+        return Err(hdr.bad(
+            "raster",
+            format!("need {numel} pixel bytes for {w} x {h}, found {}", pixels.len()),
+        ));
     }
     Ok(GrayImage::from_raw(
         w,
         h,
-        pixels[..w * h].iter().map(|&b| b as f32 / 255.0).collect(),
+        pixels[..numel].iter().map(|&b| b as f32 / 255.0).collect(),
     ))
 }
 
@@ -107,6 +170,60 @@ mod tests {
         for (a, b) in img.data().iter().zip(back.data().iter()) {
             assert!((a - b).abs() < 1.0 / 255.0 + 1e-4);
         }
+    }
+
+    fn read_bytes(name: &str, bytes: &[u8]) -> io::Result<GrayImage> {
+        let dir = std::env::temp_dir().join("apf_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        read_pgm(&path)
+    }
+
+    #[test]
+    fn malformed_headers_name_field_and_offset() {
+        let err = read_bytes("bad_magic.pgm", b"P6\n2 2\n255\nAAAA").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("magic") && msg.contains("byte offset 0"), "{msg}");
+
+        let err = read_bytes("bad_width.pgm", b"P5\nzz 2\n255\nAAAA").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("width") && msg.contains("byte offset 3"), "{msg}");
+
+        let err = read_bytes("bad_maxval.pgm", b"P5\n2 2\n65535\nAAAA").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("maxval") && msg.contains("65535"), "{msg}");
+
+        let err = read_bytes("no_height.pgm", b"P5\n2").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("height") && msg.contains("ended before"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_raster_reports_byte_counts() {
+        let err = read_bytes("short.pgm", b"P5\n4 4\n255\nAB").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("need 16") && msg.contains("found 2"), "{msg}");
+    }
+
+    #[test]
+    fn oversized_dims_do_not_overflow() {
+        let huge = format!("P5\n{} {}\n255\nAA", usize::MAX, 2);
+        let err = read_bytes("huge.pgm", huge.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (x + y) as f32 / 2.0);
+        let mut bytes = b"P5\n# a comment\n2 2\n255\n".to_vec();
+        bytes.extend(img.data().iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8));
+        let back = read_bytes("comment.pgm", &bytes).unwrap();
+        assert_eq!(back.width(), 2);
+        assert_eq!(back.height(), 2);
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod unet;
 pub mod unetr;
 pub mod vit;
 
-pub use checkpoint::{load as load_checkpoint, save as save_checkpoint};
+pub use checkpoint::{
+    load as load_checkpoint, save as save_checkpoint, CheckpointError, TrainState,
+};
 pub use hipt::{HiptConfig, HiptLite};
 pub use params::{BoundParams, ParamId, ParamSet};
 pub use rearrange::GridOrder;

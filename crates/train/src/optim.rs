@@ -1,6 +1,7 @@
 //! Optimizers: AdamW (decoupled weight decay) with a step-decay schedule —
 //! the paper's training setup (AdamW, lr 1e-4, decay 0.1 at milestones).
 
+use apf_models::checkpoint::TrainState;
 use apf_models::params::{ParamId, ParamSet};
 use apf_tensor::tensor::Tensor;
 
@@ -55,6 +56,11 @@ impl StepDecay {
 }
 
 /// AdamW optimizer with per-parameter moment state.
+///
+/// `Clone` is intentional: the fault-tolerant training loop snapshots the
+/// optimizer alongside the parameters so a bad step (NaN/Inf loss) can be
+/// rolled back exactly.
+#[derive(Clone)]
 pub struct AdamW {
     cfg: AdamWConfig,
     /// (m, v) per parameter slot, lazily initialized.
@@ -62,6 +68,8 @@ pub struct AdamW {
     step: u64,
     schedule: Option<StepDecay>,
     epoch: usize,
+    /// Multiplier applied on top of the schedule; halved by the NaN guard.
+    lr_scale: f32,
 }
 
 impl AdamW {
@@ -73,6 +81,7 @@ impl AdamW {
             step: 0,
             schedule: None,
             epoch: 0,
+            lr_scale: 1.0,
         }
     }
 
@@ -90,7 +99,97 @@ impl AdamW {
     /// Effective learning rate right now.
     pub fn current_lr(&self) -> f32 {
         let f = self.schedule.as_ref().map_or(1.0, |s| s.factor(self.epoch));
-        self.cfg.lr * f
+        self.cfg.lr * f * self.lr_scale
+    }
+
+    /// Multiplies the learning-rate scale (the NaN guard passes 0.5).
+    pub fn scale_lr(&mut self, factor: f32) {
+        self.lr_scale *= factor;
+    }
+
+    /// The current learning-rate scale.
+    pub fn lr_scale(&self) -> f32 {
+        self.lr_scale
+    }
+
+    /// Sets the learning-rate scale (checkpoint restore).
+    pub fn set_lr_scale(&mut self, scale: f32) {
+        self.lr_scale = scale;
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Sets the step counter (checkpoint restore; drives bias correction).
+    pub fn set_step_count(&mut self, step: u64) {
+        self.step = step;
+    }
+
+    /// Read access to the per-parameter `(m, v)` moment slots.
+    pub fn moments(&self) -> &[Option<(Tensor, Tensor)>] {
+        &self.state
+    }
+
+    /// Restores one parameter's moment slot (checkpoint restore).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range for the optimizer's arity.
+    pub fn set_moment(&mut self, index: usize, m: Tensor, v: Tensor) {
+        self.state[index] = Some((m, v));
+    }
+
+    /// Packs the optimizer's state into a checkpointable [`TrainState`]:
+    /// moment tensors as `opt.m.<i>` / `opt.v.<i>`, the step counter as
+    /// `opt.step`, and the learning-rate scale as `opt.lr_scale`.
+    pub fn export_state(&self) -> TrainState {
+        let mut state = TrainState::default();
+        for (i, slot) in self.state.iter().enumerate() {
+            if let Some((m, v)) = slot {
+                state.aux.push((format!("opt.m.{i}"), m.clone()));
+                state.aux.push((format!("opt.v.{i}"), v.clone()));
+            }
+        }
+        state.counters.push(("opt.step".to_string(), self.step));
+        state.scalars.push(("opt.lr_scale".to_string(), self.lr_scale));
+        state
+    }
+
+    /// Restores moment tensors, step counter, and learning-rate scale from
+    /// a [`TrainState`] produced by [`AdamW::export_state`]. Entries for
+    /// parameter indices beyond this optimizer's arity are ignored, as are
+    /// unrelated aux tensors.
+    pub fn import_state(&mut self, state: &TrainState) {
+        for (name, tensor) in &state.aux {
+            let (which, idx) = match name.strip_prefix("opt.m.") {
+                Some(i) => ('m', i),
+                None => match name.strip_prefix("opt.v.") {
+                    Some(i) => ('v', i),
+                    None => continue,
+                },
+            };
+            let Ok(idx) = idx.parse::<usize>() else { continue };
+            if idx >= self.state.len() {
+                continue;
+            }
+            let slot = self.state[idx].get_or_insert_with(|| {
+                (
+                    Tensor::zeros(tensor.shape().clone()),
+                    Tensor::zeros(tensor.shape().clone()),
+                )
+            });
+            match which {
+                'm' => slot.0 = tensor.clone(),
+                _ => slot.1 = tensor.clone(),
+            }
+        }
+        if let Some(step) = state.counter("opt.step") {
+            self.step = step;
+        }
+        if let Some(scale) = state.scalar("opt.lr_scale") {
+            self.lr_scale = scale;
+        }
     }
 
     /// Applies one AdamW update for each `(id, grad)` pair.
@@ -122,6 +221,27 @@ impl AdamW {
             *p = decayed.sub(&update.scale(lr));
         }
     }
+}
+
+/// Clips gradients to a maximum global L2 norm, in place.
+///
+/// Returns the pre-clip norm. When it exceeds `max_norm`, every gradient is
+/// scaled by `max_norm / norm` so the joint update direction is preserved.
+pub fn clip_grad_norm(grads: &mut [(ParamId, Tensor)], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let sq_sum: f64 = grads
+        .iter()
+        .flat_map(|(_, g)| g.data().iter())
+        .map(|&v| (v as f64) * (v as f64))
+        .sum();
+    let norm = sq_sum.sqrt() as f32;
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for (_, g) in grads.iter_mut() {
+            *g = g.scale(scale);
+        }
+    }
+    norm
 }
 
 #[cfg(test)]
@@ -179,5 +299,50 @@ mod tests {
         assert!((opt.current_lr() - 1e-4).abs() < 1e-9);
         opt.set_epoch(10);
         assert!((opt.current_lr() - 1e-5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lr_scale_compounds_with_schedule() {
+        let mut opt = AdamW::new(AdamWConfig::default(), 0)
+            .with_schedule(StepDecay { milestones: vec![10], gamma: 0.1 });
+        opt.scale_lr(0.5);
+        opt.scale_lr(0.5);
+        assert!((opt.lr_scale() - 0.25).abs() < 1e-9);
+        assert!((opt.current_lr() - 2.5e-5).abs() < 1e-10);
+        opt.set_epoch(10);
+        assert!((opt.current_lr() - 2.5e-6).abs() < 1e-11);
+    }
+
+    #[test]
+    fn cloned_optimizer_steps_identically() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("x", Tensor::ones([3]));
+        let mut a = AdamW::new(AdamWConfig { lr: 0.05, ..Default::default() }, ps.len());
+        // Warm up so the moment state is non-trivial before the snapshot.
+        for _ in 0..3 {
+            a.step(&mut ps, &[(id, Tensor::ones([3]))]);
+        }
+        let mut b = a.clone();
+        let mut ps_b = ps.clone();
+        a.step(&mut ps, &[(id, Tensor::ones([3]))]);
+        b.step(&mut ps_b, &[(id, Tensor::ones([3]))]);
+        assert_eq!(ps.get(id).to_vec(), ps_b.get(id).to_vec());
+        assert_eq!(a.step_count(), b.step_count());
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_only_when_needed() {
+        let id = ParamSet::new().add("x", Tensor::zeros([1]));
+        let mut grads = vec![(id, Tensor::new([4], vec![3.0, 0.0, 4.0, 0.0]))];
+        // Norm 5 > 1: clipped to unit norm, direction preserved.
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let clipped = grads[0].1.to_vec();
+        assert!((clipped[0] - 0.6).abs() < 1e-6);
+        assert!((clipped[2] - 0.8).abs() < 1e-6);
+        // Norm 1 <= 10: untouched.
+        let pre2 = clip_grad_norm(&mut grads, 10.0);
+        assert!((pre2 - 1.0).abs() < 1e-6);
+        assert_eq!(grads[0].1.to_vec(), clipped);
     }
 }
