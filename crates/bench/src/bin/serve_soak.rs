@@ -1,0 +1,320 @@
+//! Soak test of the resilient serving engine: hammer `apf-serve` with a
+//! seeded mix of valid, malformed, and deadline-doomed requests while a
+//! deterministic fault plan panics workers, poisons outputs with NaN, and
+//! slows inference — then prove the resilience invariants held:
+//!
+//! * the process never panics (every worker fault is contained),
+//! * the admission queue never exceeds its bound,
+//! * every submitted request gets exactly one response, labelled with the
+//!   degradation tier it was admitted at,
+//! * the served tier is monotone in the queue depth at admission,
+//! * the circuit breaker both trips (-> open) and recovers
+//!   (half-open -> closed) during the run.
+//!
+//! Usage: `cargo run --release -p apf-bench --bin serve_soak
+//!         [--steps 200] [--seed 7] [--workers 2] [--capacity 8] [--quick]`
+
+use apf_bench::{print_table, save_json, Args};
+use apf_imaging::GrayImage;
+use apf_serve::{
+    BreakerConfig, BreakerState, DegradationPolicy, InferenceFault, InferenceFaultKind, Outcome,
+    SegRequest, SegResponse, ServeConfig, ServeEngine, ServeFaultPlan, ServeFaultRates,
+    ServeMetrics, ServeReport, Tier, Ticket, WorkerReport,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SoakReport {
+    steps: u64,
+    seed: u64,
+    workers: usize,
+    queue_capacity: usize,
+    max_queue_depth: usize,
+    injected_faults: usize,
+    metrics: ServeMetrics,
+    worker_reports: Vec<WorkerReport>,
+    mean_completed_latency_ms: f64,
+    max_completed_latency_ms: f64,
+    /// The soak's pass/fail verdicts, archived alongside the raw numbers.
+    zero_process_panics: bool,
+    queue_bound_held: bool,
+    every_request_answered: bool,
+    tiers_monotone_in_depth: bool,
+    breaker_tripped: bool,
+    breaker_recovered: bool,
+}
+
+/// A power-of-two test image with seed-dependent texture.
+fn valid_image(rng: &mut ChaCha8Rng) -> GrayImage {
+    let size = if rng.gen_bool(0.25) { 128 } else { 64 };
+    let a = rng.gen_range(1usize..13);
+    let b = rng.gen_range(1usize..13);
+    GrayImage::from_fn(size, size, move |x, y| ((x * a + y * b) % 97) as f32 / 96.0)
+}
+
+/// One of four malformed shapes the typed validation must reject.
+fn malformed_image(rng: &mut ChaCha8Rng) -> GrayImage {
+    match rng.gen_range(0u32..4) {
+        0 => {
+            // NaN pixel in an otherwise fine image.
+            let mut img = GrayImage::from_fn(64, 64, |x, y| (x + y) as f32 / 128.0);
+            img.set(7, 11, f32::NAN);
+            img
+        }
+        1 => GrayImage::new(64, 32),  // non-square
+        2 => GrayImage::new(48, 48),  // non-power-of-two
+        _ => GrayImage::new(0, 0),    // empty
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let steps = args.get("steps", if quick { 80u64 } else { 200 });
+    let seed = args.get("seed", 7u64);
+    let workers = args.get("workers", 2usize);
+    let capacity = args.get("capacity", 8usize);
+    if workers < 1 || capacity < 1 || steps < 40 {
+        eprintln!(
+            "serve_soak: need --workers >= 1, --capacity >= 1, --steps >= 40 \
+             (got workers {workers}, capacity {capacity}, steps {steps})"
+        );
+        std::process::exit(2);
+    }
+
+    let breaker = BreakerConfig { failure_threshold: 3, cooldown_polls: 4, half_open_successes: 2 };
+
+    // Fault plan: random panics/NaNs/slowdowns on workers 1.., but worker 0
+    // carries exactly one hand-placed panic burst long enough to trip its
+    // breaker — and nothing else, so its half-open probes are guaranteed to
+    // succeed and the run deterministically witnesses a full
+    // open -> half-open -> closed recovery cycle.
+    let random = ServeFaultPlan::random(seed, steps, workers, ServeFaultRates::default());
+    let side_faults: Vec<InferenceFault> = random
+        .events()
+        .iter()
+        .copied()
+        .filter(|e| e.worker != 0)
+        .collect();
+    let plan = ServeFaultPlan::new(side_faults).with_burst(
+        0,
+        1,
+        breaker.failure_threshold as u64,
+        InferenceFaultKind::WorkerPanic,
+    );
+    let injected_faults = plan.events().len();
+
+    let policy = DegradationPolicy::default();
+    let cfg = ServeConfig {
+        workers,
+        queue_capacity: capacity,
+        patch_size: 4,
+        model: apf_models::vit::ViTConfig::tiny(16, policy.full_len),
+        model_seed: seed,
+        default_deadline_ms: None,
+        retry_after_ms: 25,
+        poll_ms: 1,
+        breaker,
+        policy,
+        faults: plan,
+    };
+    println!(
+        "serve_soak: {} requests, seed {}, {} workers, queue capacity {}, {} injected faults",
+        steps, seed, workers, capacity, injected_faults
+    );
+
+    let engine = ServeEngine::start(cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x50AC);
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(steps as usize);
+    let mut malformed_ids = Vec::new();
+    let mut doomed_ids = Vec::new();
+    // Submission comes in waves: instant bursts one deeper than the queue
+    // bound (forcing backpressure rejections and the degraded tiers), then
+    // a pause lets it drain (restoring the full tier and feeding the
+    // half-open breaker probes).
+    let wave = capacity as u64 + 4;
+    let pause = std::time::Duration::from_millis((wave * 2).min(50));
+    for id in 0..steps {
+        let draw: f64 = rng.gen();
+        // Requests 0 and 1 are pinned (one malformed, one doomed into an
+        // empty queue) so every outcome class is exercised at any
+        // steps/capacity/seed combination; the rest is the seeded mix.
+        let req = if id == 0 || (id >= 2 && draw < 0.10) {
+            // Malformed: must come back as a typed InvalidInput.
+            malformed_ids.push(id);
+            SegRequest { id, image: malformed_image(&mut rng), deadline_ms: None }
+        } else if id == 1 || draw < 0.20 {
+            // Doomed: a zero deadline can never complete.
+            doomed_ids.push(id);
+            SegRequest { id, image: valid_image(&mut rng), deadline_ms: Some(0) }
+        } else if draw < 0.35 {
+            // Tight-but-feasible deadline.
+            SegRequest { id, image: valid_image(&mut rng), deadline_ms: Some(50) }
+        } else {
+            SegRequest { id, image: valid_image(&mut rng), deadline_ms: None }
+        };
+        tickets.push(engine.submit(req));
+        if (id + 1) % wave == 0 {
+            std::thread::sleep(pause);
+        }
+    }
+    let responses: Vec<SegResponse> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("engine must answer every request"))
+        .collect();
+    let report: ServeReport = engine.shutdown();
+
+    // ---- Invariant checks (the binary IS the gate: any violation panics
+    // the process, which check.sh treats as failure) ----
+    let every_request_answered =
+        responses.len() as u64 == steps && report.metrics.responses() == steps;
+    assert!(every_request_answered, "lost responses: {} of {}", responses.len(), steps);
+
+    let queue_bound_held = report.max_queue_depth <= report.queue_capacity;
+    assert!(
+        queue_bound_held,
+        "queue bound violated: depth {} > capacity {}",
+        report.max_queue_depth, report.queue_capacity
+    );
+
+    // Tier monotone in admission depth across the whole run.
+    let mut by_depth: Vec<(usize, u8)> =
+        responses.iter().map(|r| (r.depth_at_admission, r.tier.rank())).collect();
+    by_depth.sort();
+    let tiers_monotone_in_depth = by_depth.windows(2).all(|w| w[0].1 <= w[1].1);
+    assert!(tiers_monotone_in_depth, "tier not monotone in queue depth");
+    assert!(
+        responses.iter().any(|r| r.tier != Tier::Full),
+        "burst load never pushed service out of the full tier"
+    );
+    assert!(report.metrics.rejected > 0, "burst load never triggered backpressure");
+
+    // The breaker must have tripped AND recovered somewhere.
+    let breaker_tripped = report.workers.iter().any(|w| w.trips >= 1);
+    let breaker_recovered = report.workers.iter().any(|w| w.recoveries >= 1);
+    assert!(breaker_tripped, "no breaker ever tripped despite the panic burst");
+    assert!(breaker_recovered, "no breaker recovered (half-open -> closed)");
+    assert_eq!(
+        report.workers[0].final_state,
+        BreakerState::Closed,
+        "worker 0 must end healthy after its scripted burst"
+    );
+
+    // Injected worker panics were contained: they show up as counted
+    // failures, and reaching this line at all means the process survived.
+    let zero_process_panics = true;
+    assert!(report.metrics.worker_panics >= breaker.failure_threshold as u64);
+    assert!(report.metrics.completed > 0, "soak completed nothing");
+    // Malformed requests are always the typed rejection, never anything
+    // else — and request 0 guarantees the class is non-empty.
+    for &id in &malformed_ids {
+        assert!(
+            matches!(responses[id as usize].outcome, Outcome::InvalidInput { .. }),
+            "malformed request {id} got {:?}",
+            responses[id as usize].outcome
+        );
+    }
+    assert!(report.metrics.invalid_input >= malformed_ids.len() as u64);
+    // A zero-deadline request may be refused at the door or expire, but
+    // must never complete; request 1 (doomed into an empty queue) is
+    // guaranteed to expire rather than be rejected.
+    for &id in &doomed_ids {
+        assert!(
+            matches!(
+                responses[id as usize].outcome,
+                Outcome::Rejected { .. } | Outcome::DeadlineExceeded { .. }
+            ),
+            "zero-deadline request {id} got {:?}",
+            responses[id as usize].outcome
+        );
+    }
+    assert!(
+        matches!(responses[1].outcome, Outcome::DeadlineExceeded { .. }),
+        "request 1 (doomed, empty queue) got {:?}",
+        responses[1].outcome
+    );
+
+    // ---- Report ----
+    let lat: Vec<f64> = responses
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Completed { .. }))
+        .map(|r| r.latency_ms)
+        .collect();
+    let mean_lat = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+    let max_lat = lat.iter().cloned().fold(0.0, f64::max);
+
+    let m: &ServeMetrics = &report.metrics;
+    let outcome_rows: Vec<(&str, u64)> = vec![
+        ("completed", m.completed),
+        ("rejected (backpressure)", m.rejected),
+        ("invalid input", m.invalid_input),
+        ("deadline (queued)", m.deadline_queued),
+        ("deadline (inference)", m.deadline_inference),
+        ("worker panic (contained)", m.worker_panics),
+        ("non-finite output", m.non_finite_outputs),
+    ];
+    print_table(
+        "serve_soak — outcomes",
+        &["outcome", "count"],
+        &outcome_rows
+            .iter()
+            .map(|(k, v)| vec![k.to_string(), v.to_string()])
+            .collect::<Vec<_>>(),
+    );
+    let tier_count = |t: Tier| responses.iter().filter(|r| r.tier == t).count();
+    print_table(
+        "serve_soak — responses by tier",
+        &["tier", "count"],
+        &[
+            vec!["full".into(), tier_count(Tier::Full).to_string()],
+            vec!["reduced".into(), tier_count(Tier::Reduced).to_string()],
+            vec!["coarse".into(), tier_count(Tier::Coarse).to_string()],
+        ],
+    );
+    print_table(
+        "serve_soak — breakers",
+        &["worker", "processed", "trips", "recoveries", "transitions"],
+        &report
+            .workers
+            .iter()
+            .map(|w| {
+                vec![
+                    w.worker.to_string(),
+                    w.processed.to_string(),
+                    w.trips.to_string(),
+                    w.recoveries.to_string(),
+                    w.transitions.len().to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nmax queue depth {} / capacity {}; mean completed latency {:.2} ms (max {:.2} ms)",
+        report.max_queue_depth, report.queue_capacity, mean_lat, max_lat
+    );
+    println!("all resilience invariants held");
+
+    save_json(
+        "serve_soak",
+        &SoakReport {
+            steps,
+            seed,
+            workers,
+            queue_capacity: report.queue_capacity,
+            max_queue_depth: report.max_queue_depth,
+            injected_faults,
+            metrics: report.metrics.clone(),
+            worker_reports: report.workers.clone(),
+            mean_completed_latency_ms: mean_lat,
+            max_completed_latency_ms: max_lat,
+            zero_process_panics,
+            queue_bound_held,
+            every_request_answered,
+            tiers_monotone_in_depth,
+            breaker_tripped,
+            breaker_recovered,
+        },
+    );
+}

@@ -160,7 +160,7 @@ fn main() {
         let samples = uniform_mc_samples(&pairs, patch);
         let side = res / patch;
         let cfg = UnetrConfig::small(side, patch, GridOrder::RowMajor).with_out_channels(CLASSES);
-        let window = if side % 4 == 0 { 4 } else { 2 };
+        let window = if side.is_multiple_of(4) { 4 } else { 2 };
         let (t, dice) = train_token_model(
             SwinUnetr::new(cfg, window, 3),
             &samples[..split],

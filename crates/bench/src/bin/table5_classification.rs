@@ -46,8 +46,11 @@ struct ClsData {
     test: Vec<(Tensor, Vec<u32>)>,
 }
 
+/// Labelled images: one (image, class) pair per sample.
+type LabelledImages = Vec<(GrayImage, u32)>;
+
 /// Generates the 6-class dataset as raw images plus labels.
-fn class_images(res: usize, per_class: usize) -> (Vec<(GrayImage, u32)>, Vec<(GrayImage, u32)>) {
+fn class_images(res: usize, per_class: usize) -> (LabelledImages, LabelledImages) {
     let gen = PaipGenerator::new(PaipConfig::at_resolution(res));
     let mut train = Vec::new();
     let mut test = Vec::new();

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod crc32;
+pub mod error;
 pub mod morton;
 pub mod patchify;
 pub mod pipeline;
@@ -41,6 +42,7 @@ pub mod uniform;
 pub mod viz;
 
 pub use crc32::{crc32, crc32_f32, Crc32};
+pub use error::PatchError;
 pub use morton::{morton_decode, morton_encode};
 pub use patchify::{extract_patches, reconstruct_mask, Patch, PatchSequence};
 pub use pipeline::{AdaptivePatcher, PatcherConfig, PreprocessTiming};

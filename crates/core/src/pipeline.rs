@@ -9,6 +9,7 @@ use apf_imaging::filter::gaussian_blur;
 use apf_imaging::image::GrayImage;
 use serde::{Deserialize, Serialize};
 
+use crate::error::PatchError;
 use crate::patchify::{extract_patches, PatchSequence};
 use crate::quadtree::{QuadTree, QuadTreeConfig, SplitCriterion};
 
@@ -133,20 +134,63 @@ impl AdaptivePatcher {
     /// Runs blur -> Canny -> quadtree and returns the tree (no patch
     /// extraction). Useful for statistics-only passes (Fig. 3, Table II
     /// sequence lengths).
+    ///
+    /// # Panics
+    /// Panics on input [`AdaptivePatcher::try_tree`] rejects.
     pub fn tree(&self, img: &GrayImage) -> QuadTree {
+        self.try_tree(img)
+            .unwrap_or_else(|e| panic!("adaptive patching failed: {e}"))
+    }
+
+    /// Fallible blur -> Canny -> quadtree. Validates the *input* image
+    /// (geometry and finiteness) before any processing, so malformed
+    /// requests become a typed [`PatchError`] instead of a panic deep in
+    /// the blur, Canny, or tree-build stages.
+    pub fn try_tree(&self, img: &GrayImage) -> Result<QuadTree, PatchError> {
+        Self::validate_input(img, &self.cfg.quadtree)?;
         let blurred = gaussian_blur(img, self.cfg.kernel, self.cfg.sigma);
         let edges = canny(&blurred, self.cfg.canny);
-        QuadTree::build(&edges, &self.cfg.quadtree)
+        QuadTree::try_build(&edges, &self.cfg.quadtree)
+    }
+
+    /// The geometry/finiteness preconditions [`AdaptivePatcher::try_tree`]
+    /// enforces, exposed so admission control can reject a request before
+    /// paying for blur and Canny.
+    pub fn validate_input(img: &GrayImage, cfg: &QuadTreeConfig) -> Result<(), PatchError> {
+        let (w, h) = (img.width(), img.height());
+        if w == 0 || h == 0 {
+            return Err(PatchError::Empty { width: w, height: h });
+        }
+        if w != h {
+            return Err(PatchError::NotSquare { width: w, height: h });
+        }
+        if !w.is_power_of_two() {
+            return Err(PatchError::NonPowerOfTwo { size: w });
+        }
+        if w < 2 * cfg.min_leaf as usize {
+            return Err(PatchError::TooSmall { size: w, min_required: 2 * cfg.min_leaf as usize });
+        }
+        img.validate_finite().map_err(PatchError::from)
     }
 
     /// Full Algorithm-1 pre-processing of one image.
+    ///
+    /// # Panics
+    /// Panics on input [`AdaptivePatcher::try_patchify`] rejects.
     pub fn patchify(&self, img: &GrayImage) -> PatchSequence {
-        let tree = self.tree(img);
+        self.try_patchify(img)
+            .unwrap_or_else(|e| panic!("adaptive patching failed: {e}"))
+    }
+
+    /// Fallible Algorithm-1 pre-processing: typed rejection instead of a
+    /// panic on malformed images.
+    pub fn try_patchify(&self, img: &GrayImage) -> Result<PatchSequence, PatchError> {
+        let tree = self.try_tree(img)?;
         let seq = extract_patches(img, &tree.leaves, self.cfg.patch_size);
-        match self.cfg.target_len {
+        Ok(match self.cfg.target_len {
             Some(len) => seq.fixed_length(len, self.cfg.drop_seed),
             None => seq,
-        }
+        })
     }
 
     /// Pre-processes an image together with its ground-truth mask: both are
@@ -278,6 +322,27 @@ mod tests {
         assert!(!seq.is_empty());
         assert!(timing.total_s() > 0.0);
         assert!(timing.total_s() < 60.0);
+    }
+
+    #[test]
+    fn try_patchify_rejects_bad_inputs_and_accepts_good_ones() {
+        let patcher = AdaptivePatcher::new(PatcherConfig::for_resolution(128));
+        // Non-square.
+        let err = patcher.try_patchify(&GrayImage::new(64, 32)).unwrap_err();
+        assert_eq!(err, crate::error::PatchError::NotSquare { width: 64, height: 32 });
+        // NaN pixel.
+        let mut nan = GrayImage::new(64, 64);
+        nan.set(1, 2, f32::NAN);
+        assert!(matches!(
+            patcher.try_patchify(&nan).unwrap_err(),
+            crate::error::PatchError::NonFinitePixel { x: 1, y: 2, .. }
+        ));
+        // Valid input round-trips identically to the panicking path.
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(128));
+        let s = gen.generate(4);
+        let a = patcher.patchify(&s.image);
+        let b = patcher.try_patchify(&s.image).unwrap();
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use apf_imaging::image::GrayImage;
 use apf_imaging::integral::IntegralImage;
 use serde::{Deserialize, Serialize};
 
+use crate::error::PatchError;
 use crate::morton::morton_encode;
 
 /// When to subdivide a quadrant.
@@ -106,12 +107,32 @@ impl QuadTree {
     /// itself).
     ///
     /// # Panics
-    /// Panics if the image is not square or smaller than `2 * min_leaf`.
+    /// Panics on any input [`QuadTree::try_build`] rejects (zero-sized,
+    /// non-square, non-power-of-two, too small, or non-finite images).
     pub fn build(detail: &GrayImage, cfg: &QuadTreeConfig) -> QuadTree {
-        assert_eq!(detail.width(), detail.height(), "quadtree requires square images");
-        let z = detail.width();
-        assert!(z >= 2 * cfg.min_leaf as usize, "image too small for min_leaf");
-        assert!(cfg.min_leaf >= 1);
+        Self::try_build(detail, cfg).unwrap_or_else(|e| panic!("quadtree build failed: {e}"))
+    }
+
+    /// Fallible tree construction: validates the detail image and returns a
+    /// typed [`PatchError`] instead of panicking, so serving paths can turn
+    /// bad input into a structured rejection.
+    pub fn try_build(detail: &GrayImage, cfg: &QuadTreeConfig) -> Result<QuadTree, PatchError> {
+        let (w, h) = (detail.width(), detail.height());
+        if w == 0 || h == 0 {
+            return Err(PatchError::Empty { width: w, height: h });
+        }
+        if w != h {
+            return Err(PatchError::NotSquare { width: w, height: h });
+        }
+        let z = w;
+        if !z.is_power_of_two() {
+            return Err(PatchError::NonPowerOfTwo { size: z });
+        }
+        assert!(cfg.min_leaf >= 1, "min_leaf must be at least 1");
+        if z < 2 * cfg.min_leaf as usize {
+            return Err(PatchError::TooSmall { size: z, min_required: 2 * cfg.min_leaf as usize });
+        }
+        detail.validate_finite().map_err(PatchError::from)?;
 
         let sums = IntegralImage::new(detail);
         // For the variance criterion we also need sums of squares.
@@ -133,12 +154,12 @@ impl QuadTree {
             max_depth_reached: 0,
             nodes_visited: 0,
         };
-        tree.subdivide(&sums, sq_sums.as_ref(), cfg, 0, 0, z as u32, 0);
+        tree.subdivide(&sums, sq_sums.as_ref(), cfg, 0, 0, z as u32, 0)?;
         if cfg.balance_2to1 {
             tree.enforce_2to1_balance(cfg);
         }
         tree.leaves.sort_by_key(LeafRegion::morton);
-        tree
+        Ok(tree)
     }
 
     /// Repeatedly splits any leaf with an edge-adjacent neighbour more than
@@ -253,23 +274,23 @@ impl QuadTree {
         y: u32,
         size: u32,
         depth: u8,
-    ) {
+    ) -> Result<(), PatchError> {
         self.nodes_visited += 1;
         self.max_depth_reached = self.max_depth_reached.max(depth);
 
         let can_split = depth < cfg.max_depth && size >= 2 * cfg.min_leaf && size >= 2;
-        let wants_split = can_split && self.detail_exceeds(sums, sq_sums, cfg, x, y, size);
+        let wants_split = can_split && self.detail_exceeds(sums, sq_sums, cfg, x, y, size)?;
         if !wants_split {
             self.leaves.push(LeafRegion { x, y, size, depth });
-            return;
+            return Ok(());
         }
         let half = size / 2;
         // NW, NE, SW, SE — recursion order is irrelevant; leaves are
         // Z-sorted afterwards.
-        self.subdivide(sums, sq_sums, cfg, x, y, half, depth + 1);
-        self.subdivide(sums, sq_sums, cfg, x + half, y, half, depth + 1);
-        self.subdivide(sums, sq_sums, cfg, x, y + half, half, depth + 1);
-        self.subdivide(sums, sq_sums, cfg, x + half, y + half, size - half, depth + 1);
+        self.subdivide(sums, sq_sums, cfg, x, y, half, depth + 1)?;
+        self.subdivide(sums, sq_sums, cfg, x + half, y, half, depth + 1)?;
+        self.subdivide(sums, sq_sums, cfg, x, y + half, half, depth + 1)?;
+        self.subdivide(sums, sq_sums, cfg, x + half, y + half, size - half, depth + 1)
     }
 
     fn detail_exceeds(
@@ -280,18 +301,20 @@ impl QuadTree {
         x: u32,
         y: u32,
         size: u32,
-    ) -> bool {
+    ) -> Result<bool, PatchError> {
         let (x, y, s) = (x as usize, y as usize, size as usize);
         match cfg.criterion {
-            SplitCriterion::EdgeCount { split_value } => sums.rect_sum(x, y, s, s) > split_value,
+            SplitCriterion::EdgeCount { split_value } => {
+                Ok(sums.rect_sum(x, y, s, s) > split_value)
+            }
             SplitCriterion::Variance { threshold } => {
                 let n = (s * s) as f64;
                 let mean = sums.rect_sum(x, y, s, s) / n;
                 let mean_sq = sq_sums
-                    .expect("variance criterion requires squared integral")
+                    .ok_or(PatchError::MissingSquaredIntegral)?
                     .rect_sum(x, y, s, s)
                     / n;
-                (mean_sq - mean * mean).max(0.0) > threshold
+                Ok((mean_sq - mean * mean).max(0.0) > threshold)
             }
         }
     }
@@ -389,7 +412,7 @@ mod tests {
         tree.validate_partition().unwrap();
         // Small leaves hug the cross; large leaves fill the quiet corners.
         let sizes: Vec<u32> = tree.leaves.iter().map(|l| l.size).collect();
-        assert!(sizes.iter().any(|&s| s == 2));
+        assert!(sizes.contains(&2));
         assert!(sizes.iter().any(|&s| s >= 8));
     }
 
@@ -555,5 +578,48 @@ mod tests {
         let img = GrayImage::new(16, 16);
         let tree = QuadTree::build(&img, &QuadTreeConfig::default());
         assert_eq!(tree.average_patch_size(), 16.0);
+    }
+
+    #[test]
+    fn try_build_rejects_malformed_images_with_typed_errors() {
+        use crate::error::PatchError;
+        let cfg = QuadTreeConfig::default();
+        assert_eq!(
+            QuadTree::try_build(&GrayImage::new(0, 0), &cfg).unwrap_err(),
+            PatchError::Empty { width: 0, height: 0 }
+        );
+        assert_eq!(
+            QuadTree::try_build(&GrayImage::new(64, 32), &cfg).unwrap_err(),
+            PatchError::NotSquare { width: 64, height: 32 }
+        );
+        assert_eq!(
+            QuadTree::try_build(&GrayImage::new(48, 48), &cfg).unwrap_err(),
+            PatchError::NonPowerOfTwo { size: 48 }
+        );
+        assert_eq!(
+            QuadTree::try_build(&GrayImage::new(2, 2), &cfg).unwrap_err(),
+            PatchError::TooSmall { size: 2, min_required: 4 }
+        );
+        let mut nan = GrayImage::new(16, 16);
+        nan.set(5, 9, f32::NAN);
+        assert!(matches!(
+            QuadTree::try_build(&nan, &cfg).unwrap_err(),
+            PatchError::NonFinitePixel { x: 5, y: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn try_build_matches_build_on_valid_input() {
+        let img = edge_cross(64);
+        let cfg = QuadTreeConfig::default();
+        let a = QuadTree::build(&img, &cfg);
+        let b = QuadTree::try_build(&img, &cfg).unwrap();
+        assert_eq!(a.leaves, b.leaves);
+    }
+
+    #[test]
+    #[should_panic(expected = "quadtree build failed")]
+    fn build_panics_with_typed_message_on_bad_input() {
+        QuadTree::build(&GrayImage::new(10, 10), &QuadTreeConfig::default());
     }
 }

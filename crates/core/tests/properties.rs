@@ -1,8 +1,9 @@
 //! Property-based tests of APF invariants.
 
+use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
 use apf_core::{
-    extract_patches, morton_decode, morton_encode, uniform_patches, QuadTree, QuadTreeConfig,
-    SplitCriterion,
+    extract_patches, morton_decode, morton_encode, uniform_patches, PatchError, QuadTree,
+    QuadTreeConfig, SplitCriterion,
 };
 use apf_imaging::GrayImage;
 use proptest::prelude::*;
@@ -136,5 +137,95 @@ proptest! {
         prop_assert_eq!(seq.len(), (z / p) * (z / p));
         let rec = apf_core::uniform_reconstruct(&seq.to_tensor(), z, p);
         prop_assert_eq!(rec.data(), img.data());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn try_patchify_never_panics_and_classifies_every_input(
+        shape_kind in 0u32..4,
+        zexp in 2usize..8,
+        wa in 0usize..130,
+        hb in 0usize..130,
+        textured in 0u32..2,
+        density in 0.0f64..0.3,
+        seed in 0u64..50,
+        poison_kind in 0u32..4,
+        px in 0usize..200,
+        py in 0usize..200,
+    ) {
+        // Deliberately mix valid shapes with every way a shape can be
+        // wrong — independent uniform draws would almost never produce a
+        // valid power-of-two square, starving the success branch.
+        let (w, h) = match shape_kind {
+            0 => (1usize << zexp, 1usize << zexp), // valid
+            1 => (1usize << zexp, (1usize << zexp) / 2), // non-square
+            2 => (wa, wa),                         // square, maybe non-pow2
+            _ => (wa, hb),                         // anything, incl. empty
+        };
+        // Constant or textured image; optionally poisoned with one
+        // non-finite pixel at a clamped position.
+        let mut img = if textured == 0 {
+            GrayImage::from_fn(w, h, |_, _| 0.5)
+        } else {
+            GrayImage::from_fn(w, h, |x, y| {
+                let hh = seed
+                    .wrapping_add((x as u64) << 32 | y as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                if ((hh >> 33) as f64 / (1u64 << 31) as f64) < density { 1.0 } else { 0.0 }
+            })
+        };
+        let poisoned = poison_kind > 0 && w > 0 && h > 0;
+        if poisoned {
+            let v = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][poison_kind as usize - 1];
+            img.set(px % w, py % h, v);
+        }
+        let patcher = AdaptivePatcher::new(
+            PatcherConfig::for_resolution(w.max(h).max(1)).with_patch_size(4),
+        );
+        // `min_leaf` is 2, so 4 is the smallest acceptable side.
+        match patcher.try_patchify(&img) {
+            Ok(seq) => {
+                // Acceptance implies the preconditions actually held...
+                prop_assert!(w == h && w.is_power_of_two() && w >= 4 && !poisoned);
+                prop_assert!(!seq.is_empty());
+                // ...and the output is a Z-ordered partition.
+                let mortons: Vec<u64> = seq
+                    .patches
+                    .iter()
+                    .filter_map(|p| p.region.map(|r| r.morton()))
+                    .collect();
+                prop_assert_eq!(mortons.len(), seq.len());
+                for pair in mortons.windows(2) {
+                    prop_assert!(pair[0] < pair[1]);
+                }
+                let tree = patcher.try_tree(&img).unwrap();
+                prop_assert!(tree.validate_partition().is_ok());
+                let covered: u64 = tree.leaves.iter().map(|l| l.area()).sum();
+                prop_assert_eq!(covered, (w * h) as u64);
+            }
+            // Rejection must name the *first* violated precondition, in
+            // validation order.
+            Err(e) => match e {
+                PatchError::Empty { .. } => prop_assert!(w == 0 || h == 0),
+                PatchError::NotSquare { .. } => prop_assert!(w != h),
+                PatchError::NonPowerOfTwo { .. } => {
+                    prop_assert!(w == h && !w.is_power_of_two())
+                }
+                PatchError::TooSmall { .. } => {
+                    prop_assert!(w == h && w.is_power_of_two() && w < 4)
+                }
+                PatchError::NonFinitePixel { x, y, value } => {
+                    prop_assert!(poisoned);
+                    prop_assert!(!value.is_finite());
+                    prop_assert!(!img.get(x, y).is_finite());
+                }
+                PatchError::MissingSquaredIntegral => {
+                    prop_assert!(false, "variance integral error from an edge-count build")
+                }
+            },
+        }
     }
 }

@@ -5,6 +5,61 @@
 //! Canny, quadtree) is defined on grayscale anyway, and the paper normalizes
 //! inputs to `[0, 1]`.
 
+/// Typed rejection of an invalid image at the construction boundary.
+///
+/// Mirrors the PGM reader's diagnostics style: every variant names the
+/// offending field and where the problem was found, so bad input is
+/// reportable instead of a panic deep inside the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImageError {
+    /// Width or height is zero.
+    ZeroDimension {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// The pixel buffer length disagrees with `width * height`.
+    BufferSizeMismatch {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+        /// `width * height`.
+        expected: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// A pixel is NaN or infinite.
+    NonFinitePixel {
+        /// Pixel x coordinate.
+        x: usize,
+        /// Pixel y coordinate.
+        y: usize,
+        /// The offending value.
+        value: f32,
+    },
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::ZeroDimension { width, height } => {
+                write!(f, "image dimensions: {width}x{height} has a zero side")
+            }
+            ImageError::BufferSizeMismatch { width, height, expected, actual } => write!(
+                f,
+                "image buffer: {width}x{height} needs {expected} pixels, got {actual}"
+            ),
+            ImageError::NonFinitePixel { x, y, value } => {
+                write!(f, "image pixel ({x}, {y}): non-finite value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
 /// A dense row-major grayscale image with `f32` pixels.
 #[derive(Clone, PartialEq)]
 pub struct GrayImage {
@@ -30,6 +85,40 @@ impl GrayImage {
     pub fn from_raw(width: usize, height: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), width * height, "image buffer size mismatch");
         GrayImage { width, height, data }
+    }
+
+    /// Validating constructor for untrusted buffers (network requests, file
+    /// loaders): rejects zero dimensions, length mismatches, and non-finite
+    /// pixels with a typed [`ImageError`] instead of panicking.
+    pub fn try_from_raw(width: usize, height: usize, data: Vec<f32>) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::ZeroDimension { width, height });
+        }
+        let expected = width * height;
+        if data.len() != expected {
+            return Err(ImageError::BufferSizeMismatch {
+                width,
+                height,
+                expected,
+                actual: data.len(),
+            });
+        }
+        let img = GrayImage { width, height, data };
+        img.validate_finite()?;
+        Ok(img)
+    }
+
+    /// Checks every pixel is finite, reporting the first offender's
+    /// coordinates. Cheap (one linear scan) relative to any downstream use.
+    pub fn validate_finite(&self) -> Result<(), ImageError> {
+        if let Some(i) = self.data.iter().position(|v| !v.is_finite()) {
+            return Err(ImageError::NonFinitePixel {
+                x: i % self.width,
+                y: i / self.width,
+                value: self.data[i],
+            });
+        }
+        Ok(())
     }
 
     /// Builds an image by evaluating `f(x, y)` at every pixel.
@@ -200,5 +289,55 @@ mod tests {
     fn coverage_counts_fraction() {
         let img = GrayImage::from_raw(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
         assert_eq!(img.coverage(0.5), 0.5);
+    }
+
+    #[test]
+    fn try_from_raw_accepts_valid_buffers() {
+        let img = GrayImage::try_from_raw(2, 3, vec![0.5; 6]).unwrap();
+        assert_eq!(img.width(), 2);
+        assert_eq!(img.height(), 3);
+    }
+
+    #[test]
+    fn try_from_raw_rejects_zero_dims() {
+        assert_eq!(
+            GrayImage::try_from_raw(0, 4, vec![]),
+            Err(ImageError::ZeroDimension { width: 0, height: 4 })
+        );
+    }
+
+    #[test]
+    fn try_from_raw_rejects_length_mismatch() {
+        let err = GrayImage::try_from_raw(3, 3, vec![0.0; 8]).unwrap_err();
+        assert_eq!(
+            err,
+            ImageError::BufferSizeMismatch { width: 3, height: 3, expected: 9, actual: 8 }
+        );
+        assert!(err.to_string().contains("needs 9 pixels"));
+    }
+
+    #[test]
+    fn try_from_raw_names_first_non_finite_pixel() {
+        let mut data = vec![0.0; 9];
+        data[5] = f32::NAN; // (x=2, y=1)
+        let err = GrayImage::try_from_raw(3, 3, data).unwrap_err();
+        match err {
+            ImageError::NonFinitePixel { x, y, value } => {
+                assert_eq!((x, y), (2, 1));
+                assert!(value.is_nan());
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_finite_flags_infinities() {
+        let mut img = GrayImage::new(4, 2);
+        assert!(img.validate_finite().is_ok());
+        img.set(3, 1, f32::INFINITY);
+        assert!(matches!(
+            img.validate_finite(),
+            Err(ImageError::NonFinitePixel { x: 3, y: 1, .. })
+        ));
     }
 }

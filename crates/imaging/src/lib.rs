@@ -29,6 +29,6 @@ pub mod resize;
 pub use augment::{augment_pairs, Augmentation};
 pub use canny::{canny, CannyConfig};
 pub use filter::{gaussian_blur, sobel};
-pub use image::GrayImage;
+pub use image::{GrayImage, ImageError};
 pub use integral::IntegralImage;
 pub use resize::{resize_area, resize_bilinear, resize_nearest};

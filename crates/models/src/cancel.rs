@@ -1,0 +1,109 @@
+//! Cooperative cancellation for inference forward passes.
+//!
+//! A serving engine cannot afford to run a transformer stack to completion
+//! for a request whose deadline has already passed — with APF the encoder is
+//! the dominant cost, so the natural preemption points are the gaps *between*
+//! encoder blocks. A [`CancelToken`] carries an explicit cancel flag plus an
+//! optional deadline; the encoder checks it before every block and returns
+//! [`Cancelled`] naming how far it got, leaving the autograd graph valid but
+//! unfinished.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared cancellation handle. Cloning is cheap; all clones observe the same
+/// flag. A token with a deadline reports cancellation automatically once the
+/// deadline passes — no external watcher thread required.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels unless [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), deadline: None }
+    }
+
+    /// A token that auto-cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), deadline: Some(deadline) }
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once cancelled explicitly or past the deadline.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+/// A forward pass was abandoned at a cooperative checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Encoder blocks that completed before the pass was abandoned.
+    pub completed_blocks: usize,
+    /// Total blocks the pass would have run.
+    pub total_blocks: usize,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "forward pass cancelled after {}/{} encoder blocks",
+            self.completed_blocks, self.total_blocks
+        )
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_reads_as_cancelled() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_display_reports_progress() {
+        let c = Cancelled { completed_blocks: 3, total_blocks: 12 };
+        assert_eq!(c.to_string(), "forward pass cancelled after 3/12 encoder blocks");
+    }
+}

@@ -16,6 +16,7 @@
 //! the central claim of the paper is that this swap requires no model
 //! changes, and this crate's API enforces it.
 
+pub mod cancel;
 pub mod checkpoint;
 pub mod hipt;
 pub mod layers;
@@ -28,6 +29,7 @@ pub mod unet;
 pub mod unetr;
 pub mod vit;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use checkpoint::{
     load as load_checkpoint, save as save_checkpoint, CheckpointError, TrainState,
 };

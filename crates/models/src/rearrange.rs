@@ -332,6 +332,6 @@ mod tests {
         let x = g.constant(t);
         let tiled = tile_rows(&mut g, x, 4, 3);
         assert_eq!(g.value(tiled).dims(), &[4, 1, 3]);
-        assert_eq!(g.value(tiled).to_vec(), vec![7., 8., 9.].repeat(4));
+        assert_eq!(g.value(tiled).to_vec(), [7., 8., 9.].repeat(4));
     }
 }

@@ -6,6 +6,7 @@
 
 use apf_tensor::prelude::*;
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::layers::{LayerNorm, Linear, Mlp};
 use crate::params::{BoundParams, ParamSet};
 use crate::rearrange::{merge_heads, split_heads};
@@ -173,6 +174,27 @@ impl TransformerEncoder {
     /// Runs the stack, returning only the final hidden state.
     pub fn forward(&self, g: &mut Graph, bp: &BoundParams, x: Var) -> Var {
         self.forward_with_skips(g, bp, x).0
+    }
+
+    /// Runs the stack with a cooperative cancellation check *between*
+    /// blocks — the serving path's deadline hook. Each block is the unit of
+    /// preemption: a request whose deadline expires mid-stack stops paying
+    /// for the remaining blocks instead of finishing a doomed pass.
+    pub fn forward_with_cancel(
+        &self,
+        g: &mut Graph,
+        bp: &BoundParams,
+        x: Var,
+        cancel: &CancelToken,
+    ) -> Result<Var, Cancelled> {
+        let mut h = x;
+        for (i, blk) in self.blocks.iter().enumerate() {
+            if cancel.is_cancelled() {
+                return Err(Cancelled { completed_blocks: i, total_blocks: self.blocks.len() });
+            }
+            h = blk.forward(g, bp, h);
+        }
+        Ok(self.final_ln.forward(g, bp, h))
     }
 }
 

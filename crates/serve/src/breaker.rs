@@ -1,0 +1,258 @@
+//! Per-worker circuit breaker: closed -> open -> half-open -> closed.
+//!
+//! A worker that keeps panicking or emitting non-finite outputs is taken
+//! out of rotation (open) for a cooldown, then probed with real traffic
+//! (half-open) before being trusted again (closed). The clock is *logical*
+//! — cooldown is counted in `allow()` polls, not wall time — so a seeded
+//! fault plan produces exactly the same transition sequence on every run,
+//! which is what lets the soak gate assert "tripped and recovered"
+//! deterministically.
+
+use serde::Serialize;
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: the worker refuses work for a cooldown period.
+    Open,
+    /// Probing: a limited number of requests test whether the fault cleared.
+    HalfOpen,
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker.
+    pub failure_threshold: u32,
+    /// `allow()` polls an open breaker swallows before going half-open.
+    pub cooldown_polls: u32,
+    /// Consecutive half-open successes required to close again.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown_polls: 8, half_open_successes: 2 }
+    }
+}
+
+/// One recorded state change, stamped with the breaker's logical clock
+/// (total `allow()` calls seen when the transition fired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BreakerTransition {
+    /// Logical time of the transition.
+    pub at_poll: u64,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+/// The breaker itself. Owned by exactly one worker thread, so no locking.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_remaining: u32,
+    probe_successes: u32,
+    polls: u64,
+    transitions: Vec<BreakerTransition>,
+    trips: u32,
+    recoveries: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed (healthy) breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        assert!(cfg.failure_threshold >= 1);
+        assert!(cfg.half_open_successes >= 1);
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_remaining: 0,
+            probe_successes: 0,
+            polls: 0,
+            transitions: Vec::new(),
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    fn transition(&mut self, to: BreakerState) {
+        self.transitions.push(BreakerTransition { at_poll: self.polls, from: self.state, to });
+        self.state = to;
+    }
+
+    /// Called by the worker before pulling a request. Returns whether the
+    /// worker may take one; an open breaker burns one cooldown tick per
+    /// call and flips to half-open when the cooldown expires.
+    pub fn allow(&mut self) -> bool {
+        self.polls += 1;
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.cooldown_remaining = self.cooldown_remaining.saturating_sub(1);
+                if self.cooldown_remaining == 0 {
+                    self.transition(BreakerState::HalfOpen);
+                    self.probe_successes = 0;
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Records a successfully completed inference.
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.half_open_successes {
+                    self.transition(BreakerState::Closed);
+                    self.consecutive_failures = 0;
+                    self.recoveries += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a worker-fault failure (panic or non-finite output).
+    /// Deadline misses are *not* failures — they indict the request, not
+    /// the worker — and must not be fed here.
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip();
+                }
+            }
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.transition(BreakerState::Open);
+        self.cooldown_remaining = self.cfg.cooldown_polls.max(1);
+        self.consecutive_failures = 0;
+        self.probe_successes = 0;
+        self.trips += 1;
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Every transition so far, in order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    /// Times the breaker tripped open.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Times the breaker recovered (half-open -> closed).
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 3, cooldown_polls: 4, half_open_successes: 2 }
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // resets the streak
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn trips_on_consecutive_failures_and_blocks() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Cooldown: 4 polls refused (the 4th flips to half-open and allows).
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_recovers_after_enough_successes() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        while !b.allow() {}
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries(), 1);
+        // Full cycle recorded: Closed->Open->HalfOpen->Closed.
+        let states: Vec<_> = b.transitions().iter().map(|t| t.to).collect();
+        assert_eq!(
+            states,
+            vec![BreakerState::Open, BreakerState::HalfOpen, BreakerState::Closed]
+        );
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        while !b.allow() {}
+        b.record_failure(); // probe fails
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn transition_log_is_deterministic_in_call_sequence() {
+        let run = || {
+            let mut b = CircuitBreaker::new(cfg());
+            for i in 0..40u32 {
+                if b.allow() {
+                    if i % 5 < 3 {
+                        b.record_failure();
+                    } else {
+                        b.record_success();
+                    }
+                }
+            }
+            b.transitions().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

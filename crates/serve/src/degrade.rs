@@ -1,0 +1,179 @@
+//! Graceful degradation tiers driven by queue depth.
+//!
+//! APF's patch budget is the rare knob that lets an overloaded segmentation
+//! service shed *work* instead of *requests*: the paper shows quality falls
+//! off gently as the sequence length shrinks, and PAUMER demonstrates the
+//! same trade at inference time. So under load we first cut the fixed
+//! sequence length `L` (random drop keeps Z-order), and only under severe
+//! load fall back to a coarse uniform grid that skips blur/Canny/quadtree
+//! entirely. Every response is labelled with the tier that produced it.
+
+use apf_core::patchify::{extract_patches, PatchSequence};
+use apf_core::quadtree::LeafRegion;
+use apf_imaging::GrayImage;
+use serde::Serialize;
+
+/// Service tier, ordered from best to most degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Tier {
+    /// Full patch budget: the configured target length.
+    Full,
+    /// Reduced patch budget: shorter `target_len` via random Z-order drop.
+    Reduced,
+    /// Coarse uniform fallback: fixed large-leaf grid, no edge analysis.
+    Coarse,
+}
+
+impl Tier {
+    /// Stable lowercase label for logs and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Reduced => "reduced",
+            Tier::Coarse => "coarse",
+        }
+    }
+
+    /// Tier ordinal (0 = best) for monotonicity checks.
+    pub fn rank(&self) -> u8 {
+        match self {
+            Tier::Full => 0,
+            Tier::Reduced => 1,
+            Tier::Coarse => 2,
+        }
+    }
+}
+
+/// Maps queue depth to a tier and a per-tier patch budget.
+#[derive(Debug, Clone, Serialize)]
+pub struct DegradationPolicy {
+    /// Queue fill fraction at or above which service drops to `Reduced`.
+    pub reduced_at: f64,
+    /// Queue fill fraction at or above which service drops to `Coarse`.
+    pub coarse_at: f64,
+    /// Sequence length `L` served at the full tier.
+    pub full_len: usize,
+    /// Sequence length served at the reduced tier.
+    pub reduced_len: usize,
+    /// Uniform leaf side used by the coarse fallback.
+    pub coarse_leaf: u32,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            reduced_at: 0.5,
+            coarse_at: 0.8,
+            full_len: 64,
+            reduced_len: 32,
+            coarse_leaf: 16,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// The tier served at `depth` queued requests out of `capacity`.
+    /// Monotone in `depth` by construction.
+    pub fn tier_for_depth(&self, depth: usize, capacity: usize) -> Tier {
+        let frac = depth as f64 / capacity.max(1) as f64;
+        if frac >= self.coarse_at {
+            Tier::Coarse
+        } else if frac >= self.reduced_at {
+            Tier::Reduced
+        } else {
+            Tier::Full
+        }
+    }
+
+    /// The patch budget (target sequence length) of a tier. The coarse
+    /// tier's length is image-dependent; this returns its upper bound for
+    /// a `resolution`-sized input.
+    pub fn budget_for(&self, tier: Tier, resolution: usize) -> usize {
+        match tier {
+            Tier::Full => self.full_len,
+            Tier::Reduced => self.reduced_len,
+            Tier::Coarse => {
+                let side = resolution as u32 / self.coarse_leaf.max(1);
+                (side.max(1) as usize).pow(2)
+            }
+        }
+    }
+}
+
+/// The coarse-tier fallback: a Morton-ordered uniform grid of
+/// `leaf x leaf` regions projected to `pm x pm` patches. No blur, no
+/// Canny, no quadtree — O(pixels) with a tiny constant, bounded sequence
+/// length, cannot fail on any square power-of-two image.
+pub fn coarse_uniform_sequence(img: &GrayImage, leaf: u32, pm: usize) -> PatchSequence {
+    let z = img.width() as u32;
+    let leaf = leaf.clamp(1, z);
+    let per_side = z / leaf;
+    let depth = per_side.trailing_zeros() as u8;
+    let mut leaves = Vec::with_capacity((per_side * per_side) as usize);
+    for gy in 0..per_side {
+        for gx in 0..per_side {
+            leaves.push(LeafRegion { x: gx * leaf, y: gy * leaf, size: leaf, depth });
+        }
+    }
+    leaves.sort_by_key(LeafRegion::morton);
+    extract_patches(img, &leaves, pm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_monotone_in_depth() {
+        let p = DegradationPolicy::default();
+        let cap = 20;
+        let mut last = 0u8;
+        for depth in 0..=cap {
+            let rank = p.tier_for_depth(depth, cap).rank();
+            assert!(rank >= last, "tier regressed at depth {depth}");
+            last = rank;
+        }
+        assert_eq!(p.tier_for_depth(0, cap), Tier::Full);
+        assert_eq!(p.tier_for_depth(cap, cap), Tier::Coarse);
+    }
+
+    #[test]
+    fn budgets_shrink_with_degradation() {
+        let p = DegradationPolicy::default();
+        let full = p.budget_for(Tier::Full, 64);
+        let reduced = p.budget_for(Tier::Reduced, 64);
+        let coarse = p.budget_for(Tier::Coarse, 64);
+        assert!(full > reduced, "{full} vs {reduced}");
+        assert!(reduced >= coarse, "{reduced} vs {coarse}");
+    }
+
+    #[test]
+    fn coarse_sequence_tiles_the_image_in_z_order() {
+        let img = GrayImage::from_fn(64, 64, |x, y| ((x + y) % 7) as f32 / 6.0);
+        let seq = coarse_uniform_sequence(&img, 16, 4);
+        assert_eq!(seq.len(), 16);
+        assert!(seq.patches.iter().all(|p| p.pixels.len() == 16));
+        let mortons: Vec<u64> = seq
+            .patches
+            .iter()
+            .filter_map(|p| p.region.map(|r| r.morton()))
+            .collect();
+        for w in mortons.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Leaves tile the full image.
+        let area: u64 = seq
+            .patches
+            .iter()
+            .filter_map(|p| p.region.map(|r| r.area()))
+            .sum();
+        assert_eq!(area, 64 * 64);
+    }
+
+    #[test]
+    fn coarse_sequence_handles_tiny_images() {
+        let img = GrayImage::from_fn(4, 4, |x, _| x as f32 / 3.0);
+        let seq = coarse_uniform_sequence(&img, 16, 4);
+        assert_eq!(seq.len(), 1); // leaf clamped to the whole image
+    }
+}

@@ -1,0 +1,690 @@
+//! The serving engine: admission control, worker pool, breakers, tiers.
+//!
+//! One `ServeEngine` owns a bounded queue and a pool of worker threads,
+//! each holding its own replica of the segmentation model (same seed ->
+//! identical weights) and its own circuit breaker. The request path is:
+//!
+//! ```text
+//! submit --> validate --> tier(queue depth) --> try_push ----> worker pool
+//!    |           |                                 |               |
+//!    |      InvalidInput                    Rejected{retry}        |
+//!    |                                                             v
+//!    |                              deadline check -> patchify(tier budget)
+//!    |                                 -> cancellable forward -> NaN guard
+//!    +---- Ticket <------------------------------ SegResponse ----+
+//! ```
+//!
+//! Every path responds through the ticket channel; no request is dropped
+//! silently, and every response carries the tier it was admitted at.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, Once};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
+use apf_models::cancel::CancelToken;
+use apf_models::vit::{ViTConfig, ViTSegmenter};
+use apf_tensor::prelude::*;
+use serde::Serialize;
+
+use crate::breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
+use crate::degrade::{coarse_uniform_sequence, DegradationPolicy, Tier};
+use crate::fault::{InferenceFaultKind, ServeFaultPlan};
+use crate::queue::{BoundedQueue, Popped};
+use crate::request::{DeadlineStage, FailureReason, Outcome, SegRequest, SegResponse, Ticket};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (model replicas).
+    pub workers: usize,
+    /// Admission queue bound; pushes beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Minimal patch size `P_m`; the model's `patch_dim` must be `P_m^2`.
+    pub patch_size: usize,
+    /// Model hyper-parameters shared by all replicas.
+    pub model: ViTConfig,
+    /// Weight seed; all workers use the same seed (true replicas).
+    pub model_seed: u64,
+    /// Deadline applied when a request does not bring its own.
+    pub default_deadline_ms: Option<u64>,
+    /// Backoff hint returned with `Rejected` outcomes.
+    pub retry_after_ms: u64,
+    /// Worker poll period (queue wait and open-breaker idle sleep).
+    pub poll_ms: u64,
+    /// Per-worker breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Queue-depth -> tier mapping and per-tier budgets.
+    pub policy: DegradationPolicy,
+    /// Injected fault schedule (empty in production use).
+    pub faults: ServeFaultPlan,
+}
+
+impl ServeConfig {
+    /// A small engine for tests: 2 workers, tiny model, 16-deep queue.
+    pub fn small() -> Self {
+        let policy = DegradationPolicy::default();
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            patch_size: 4,
+            model: ViTConfig::tiny(16, policy.full_len),
+            model_seed: 7,
+            default_deadline_ms: None,
+            retry_after_ms: 25,
+            poll_ms: 2,
+            breaker: BreakerConfig::default(),
+            policy,
+            faults: ServeFaultPlan::none(),
+        }
+    }
+}
+
+/// Aggregate outcome counters, filled as responses are issued.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct ServeMetrics {
+    /// Requests submitted (every one gets exactly one response).
+    pub submitted: u64,
+    /// Successful inferences.
+    pub completed: u64,
+    /// Admission rejections (queue full or closed).
+    pub rejected: u64,
+    /// Typed validation failures.
+    pub invalid_input: u64,
+    /// Deadlines blown while queued.
+    pub deadline_queued: u64,
+    /// Deadlines blown mid-forward (cooperative cancellation).
+    pub deadline_inference: u64,
+    /// Worker panics contained by the unwind barrier.
+    pub worker_panics: u64,
+    /// NaN/Inf outputs caught by the output guard.
+    pub non_finite_outputs: u64,
+    /// Responses served at the full tier.
+    pub tier_full: u64,
+    /// Responses served at the reduced tier.
+    pub tier_reduced: u64,
+    /// Responses served at the coarse tier.
+    pub tier_coarse: u64,
+}
+
+impl ServeMetrics {
+    fn record(&mut self, resp: &SegResponse) {
+        match &resp.outcome {
+            Outcome::Completed { .. } => self.completed += 1,
+            Outcome::Rejected { .. } => self.rejected += 1,
+            Outcome::InvalidInput { .. } => self.invalid_input += 1,
+            Outcome::DeadlineExceeded { stage: DeadlineStage::Queued } => {
+                self.deadline_queued += 1
+            }
+            Outcome::DeadlineExceeded { stage: DeadlineStage::Inference { .. } } => {
+                self.deadline_inference += 1
+            }
+            Outcome::WorkerFailure { reason: FailureReason::Panicked } => self.worker_panics += 1,
+            Outcome::WorkerFailure { reason: FailureReason::NonFiniteOutput } => {
+                self.non_finite_outputs += 1
+            }
+        }
+        match resp.tier {
+            Tier::Full => self.tier_full += 1,
+            Tier::Reduced => self.tier_reduced += 1,
+            Tier::Coarse => self.tier_coarse += 1,
+        }
+    }
+
+    /// Responses issued so far (should equal `submitted` after shutdown).
+    pub fn responses(&self) -> u64 {
+        self.completed
+            + self.rejected
+            + self.invalid_input
+            + self.deadline_queued
+            + self.deadline_inference
+            + self.worker_panics
+            + self.non_finite_outputs
+    }
+}
+
+/// One worker's lifetime summary, including its breaker history.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Requests this worker pulled off the queue.
+    pub processed: u64,
+    /// Breaker trips (closed/half-open -> open).
+    pub trips: u32,
+    /// Breaker recoveries (half-open -> closed).
+    pub recoveries: u32,
+    /// Breaker state at shutdown.
+    pub final_state: BreakerState,
+    /// Full transition log.
+    pub transitions: Vec<BreakerTransition>,
+}
+
+/// What `shutdown()` returns: the proof material for the soak gate.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Aggregate outcome counters.
+    pub metrics: ServeMetrics,
+    /// Per-worker summaries.
+    pub workers: Vec<WorkerReport>,
+    /// Highest queue depth ever observed.
+    pub max_queue_depth: usize,
+    /// The configured bound `max_queue_depth` must respect.
+    pub queue_capacity: usize,
+}
+
+struct QueuedRequest {
+    req: SegRequest,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    depth_at_admission: usize,
+    tier: Tier,
+    tx: mpsc::Sender<SegResponse>,
+}
+
+struct Shared {
+    queue: BoundedQueue<QueuedRequest>,
+    metrics: Mutex<ServeMetrics>,
+    submitted: AtomicU64,
+}
+
+impl Shared {
+    fn respond(&self, q: QueuedRequest, outcome: Outcome, worker: Option<usize>) {
+        let resp = SegResponse {
+            id: q.req.id,
+            tier: q.tier,
+            depth_at_admission: q.depth_at_admission,
+            outcome,
+            worker,
+            latency_ms: q.submitted.elapsed().as_secs_f64() * 1e3,
+        };
+        self.metrics.lock().unwrap().record(&resp);
+        // A dropped ticket is the caller's prerogative; ignore send errors.
+        let _ = q.tx.send(resp);
+    }
+}
+
+/// Suppress panic backtraces from engine worker threads: injected and real
+/// worker panics are contained by the unwind barrier and surface as
+/// `WorkerFailure` responses + breaker records, so stderr noise is just
+/// noise. All other threads keep the default hook.
+fn install_quiet_worker_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_worker = thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("apf-serve-worker"));
+            if !on_worker {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The resilient inference engine.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    cfg: ServeConfig,
+    handles: Vec<thread::JoinHandle<WorkerReport>>,
+}
+
+impl ServeEngine {
+    /// Starts the worker pool.
+    pub fn start(cfg: ServeConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert_eq!(
+            cfg.model.patch_dim,
+            cfg.patch_size * cfg.patch_size,
+            "model patch_dim must equal patch_size^2"
+        );
+        assert!(
+            cfg.policy.full_len <= cfg.model.seq_len,
+            "full-tier budget exceeds the positional table"
+        );
+        install_quiet_worker_panics();
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            metrics: Mutex::new(ServeMetrics::default()),
+            submitted: AtomicU64::new(0),
+        });
+        let handles = (0..cfg.workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                let cfg = cfg.clone();
+                thread::Builder::new()
+                    .name(format!("apf-serve-worker-{idx}"))
+                    .spawn(move || worker_loop(idx, &shared, &cfg))
+                    .expect("spawn worker")
+            })
+            .collect();
+        ServeEngine { shared, cfg, handles }
+    }
+
+    /// Submits a request. Never blocks: validation failures and queue-full
+    /// backpressure come back *through the ticket* as immediate responses,
+    /// so callers handle every outcome in one place.
+    pub fn submit(&self, req: SegRequest) -> Ticket {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let depth = self.shared.queue.len();
+        let tier = self.cfg.policy.tier_for_depth(depth, self.cfg.queue_capacity);
+        let deadline_ms = req.deadline_ms.or(self.cfg.default_deadline_ms);
+        let now = Instant::now();
+        let q = QueuedRequest {
+            req,
+            submitted: now,
+            deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+            depth_at_admission: depth,
+            tier,
+            tx,
+        };
+        // Cheap static validation before the request costs anyone anything.
+        let quad = PatcherConfig::for_resolution(q.req.image.width().max(1)).quadtree;
+        if let Err(e) = AdaptivePatcher::validate_input(&q.req.image, &quad) {
+            self.shared.respond(q, Outcome::InvalidInput { reason: e.to_string() }, None);
+            return Ticket { rx };
+        }
+        if let Err((q, _push_err)) = self.shared.queue.try_push(q) {
+            let retry_after_ms = self.cfg.retry_after_ms;
+            self.shared.respond(q, Outcome::Rejected { retry_after_ms }, None);
+        }
+        Ticket { rx }
+    }
+
+    /// Current queue depth (what the next submission's tier will be based
+    /// on).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.shared.metrics.lock().unwrap().clone()
+    }
+
+    /// Closes admission, lets workers drain the queue, joins them, and
+    /// returns the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shared.queue.close();
+        let workers: Vec<WorkerReport> = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("worker thread must not die: panics are contained inside it"))
+            .collect();
+        ServeReport {
+            metrics: self.shared.metrics.lock().unwrap().clone(),
+            workers,
+            max_queue_depth: self.shared.queue.max_depth(),
+            queue_capacity: self.shared.queue.capacity(),
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // `shutdown()` drains `handles`; this only fires when the engine is
+        // dropped without it (e.g. a panicking test) — don't leak threads.
+        self.shared.queue.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
+    let model = ViTSegmenter::new(cfg.model, cfg.model_seed);
+    let mut breaker = CircuitBreaker::new(cfg.breaker);
+    let mut processed: u64 = 0;
+    let poll = Duration::from_millis(cfg.poll_ms.max(1));
+    loop {
+        if !breaker.allow() {
+            // Open breaker: out of rotation for this poll tick.
+            thread::sleep(poll);
+            continue;
+        }
+        let q = match shared.queue.pop_timeout(poll) {
+            Popped::Closed => break,
+            Popped::Empty => continue,
+            Popped::Item(q) => q,
+        };
+        // Blown already? Don't waste inference on it — and don't blame the
+        // worker: deadline misses never feed the breaker.
+        if q.deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.respond(q, Outcome::DeadlineExceeded { stage: DeadlineStage::Queued }, Some(idx));
+            continue;
+        }
+        let fault = cfg.faults.fault_for(idx, processed);
+        processed += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_inference(&model, &q, fault, cfg)))
+            .unwrap_or(Outcome::WorkerFailure { reason: FailureReason::Panicked });
+        match &outcome {
+            Outcome::Completed { .. } => breaker.record_success(),
+            Outcome::WorkerFailure { .. } => breaker.record_failure(),
+            // Deadline misses and validation failures indict the request,
+            // not the worker.
+            _ => {}
+        }
+        shared.respond(q, outcome, Some(idx));
+    }
+    WorkerReport {
+        worker: idx,
+        processed,
+        trips: breaker.trips(),
+        recoveries: breaker.recoveries(),
+        final_state: breaker.state(),
+        transitions: breaker.transitions().to_vec(),
+    }
+}
+
+/// One inference under a tier budget and a deadline. Runs inside the
+/// worker's unwind barrier; a panic here (injected or real) becomes a
+/// `WorkerFailure { Panicked }`.
+fn run_inference(
+    model: &ViTSegmenter,
+    q: &QueuedRequest,
+    fault: Option<InferenceFaultKind>,
+    cfg: &ServeConfig,
+) -> Outcome {
+    if let Some(InferenceFaultKind::SlowInference { delay_ms }) = fault {
+        thread::sleep(Duration::from_millis(delay_ms));
+    }
+    if let Some(InferenceFaultKind::WorkerPanic) = fault {
+        panic!("injected worker panic (fault plan)");
+    }
+    let img = &q.req.image;
+    let pm = cfg.patch_size;
+    let budget = cfg
+        .policy
+        .budget_for(q.tier, img.width())
+        .min(cfg.model.seq_len)
+        .max(1);
+    let seq = match q.tier {
+        Tier::Coarse => coarse_uniform_sequence(img, cfg.policy.coarse_leaf, pm),
+        Tier::Full | Tier::Reduced => {
+            let pc = PatcherConfig::for_resolution(img.width()).with_patch_size(pm);
+            match AdaptivePatcher::new(pc).try_patchify(img) {
+                Ok(seq) => seq,
+                // validate_input already passed at admission, but tier
+                // logic must stay total: surface, don't panic.
+                Err(e) => return Outcome::InvalidInput { reason: e.to_string() },
+            }
+        }
+    };
+    // Enforce the budget by dropping, never padding: a shorter sequence
+    // plus prefix positions is strictly cheaper than padding back to `L`.
+    let seq = if seq.len() > budget { seq.fixed_length(budget, q.req.id) } else { seq };
+    let l = seq.len();
+    let mut tokens = seq.to_tensor().reshape([1, l, pm * pm]);
+    if let Some(InferenceFaultKind::NonFiniteOutput) = fault {
+        // Poison one activation; NaN then propagates through the forward
+        // pass and the output guard must catch it.
+        let mut data = tokens.to_vec();
+        data[0] = f32::NAN;
+        tokens = Tensor::new([1, l, pm * pm], data);
+    }
+    let cancel = match q.deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+    let mut g = Graph::new();
+    let bp = model.params.bind(&mut g);
+    let x = g.constant(tokens);
+    match model.forward_cancellable(&mut g, &bp, x, &cancel) {
+        Err(c) => Outcome::DeadlineExceeded {
+            stage: DeadlineStage::Inference { completed_blocks: c.completed_blocks },
+        },
+        Ok(y) => {
+            let out = g.value(y);
+            if out.has_non_finite() {
+                return Outcome::WorkerFailure { reason: FailureReason::NonFiniteOutput };
+            }
+            let vals = out.to_vec();
+            let positive = vals.iter().filter(|v| **v > 0.0).count();
+            Outcome::Completed {
+                tokens: l,
+                positive_fraction: positive as f32 / vals.len().max(1) as f32,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apf_imaging::GrayImage;
+
+    fn test_image(seed: u64) -> GrayImage {
+        GrayImage::from_fn(64, 64, |x, y| {
+            let v = ((x * 7 + y * 13) as u64 ^ seed) % 97;
+            v as f32 / 96.0
+        })
+    }
+
+    #[test]
+    fn happy_path_completes_at_full_tier() {
+        let engine = ServeEngine::start(ServeConfig::small());
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|id| {
+                engine.submit(SegRequest { id, image: test_image(id), deadline_ms: None })
+            })
+            .collect();
+        for t in tickets {
+            let r = t.wait().expect("every request gets a response");
+            match r.outcome {
+                Outcome::Completed { tokens, .. } => {
+                    assert!((1..=64).contains(&tokens), "budget violated: {tokens}");
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+            assert!(r.latency_ms >= 0.0);
+            assert!(r.worker.is_some());
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.metrics.completed, 4);
+        assert_eq!(report.metrics.responses(), 4);
+        assert_eq!(report.metrics.tier_full, 4);
+    }
+
+    #[test]
+    fn malformed_inputs_get_typed_rejections_and_engine_keeps_serving() {
+        let engine = ServeEngine::start(ServeConfig::small());
+        // Non-square.
+        let r = engine
+            .submit(SegRequest { id: 1, image: GrayImage::new(64, 32), deadline_ms: None })
+            .wait()
+            .unwrap();
+        assert!(matches!(r.outcome, Outcome::InvalidInput { .. }));
+        // NaN pixel.
+        let mut nan = test_image(0);
+        nan.set(3, 4, f32::NAN);
+        let r = engine
+            .submit(SegRequest { id: 2, image: nan, deadline_ms: None })
+            .wait()
+            .unwrap();
+        match &r.outcome {
+            Outcome::InvalidInput { reason } => assert!(reason.contains("non-finite")),
+            other => panic!("expected invalid input, got {other:?}"),
+        }
+        // Non-power-of-two.
+        let r = engine
+            .submit(SegRequest { id: 3, image: GrayImage::new(48, 48), deadline_ms: None })
+            .wait()
+            .unwrap();
+        assert!(matches!(r.outcome, Outcome::InvalidInput { .. }));
+        // Still healthy afterwards.
+        let r = engine
+            .submit(SegRequest { id: 4, image: test_image(4), deadline_ms: None })
+            .wait()
+            .unwrap();
+        assert!(matches!(r.outcome, Outcome::Completed { .. }));
+        let report = engine.shutdown();
+        assert_eq!(report.metrics.invalid_input, 3);
+        assert_eq!(report.metrics.completed, 1);
+    }
+
+    #[test]
+    fn zero_deadline_requests_are_deadline_exceeded_not_failed() {
+        let engine = ServeEngine::start(ServeConfig::small());
+        let r = engine
+            .submit(SegRequest { id: 9, image: test_image(9), deadline_ms: Some(0) })
+            .wait()
+            .unwrap();
+        assert!(
+            matches!(r.outcome, Outcome::DeadlineExceeded { .. }),
+            "got {:?}",
+            r.outcome
+        );
+        let report = engine.shutdown();
+        // Deadline misses never count as worker failures.
+        assert_eq!(report.metrics.worker_panics, 0);
+        assert_eq!(report.metrics.non_finite_outputs, 0);
+        assert!(report.workers.iter().all(|w| w.trips == 0));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure_and_bound_holds() {
+        let mut cfg = ServeConfig::small();
+        cfg.workers = 1;
+        cfg.queue_capacity = 4;
+        // Slow every request down so the queue actually fills.
+        cfg.faults = ServeFaultPlan::new(
+            (0..200)
+                .map(|nth| crate::fault::InferenceFault {
+                    worker: 0,
+                    nth,
+                    kind: InferenceFaultKind::SlowInference { delay_ms: 30 },
+                })
+                .collect(),
+        );
+        let engine = ServeEngine::start(cfg);
+        let tickets: Vec<Ticket> = (0..24)
+            .map(|id| {
+                engine.submit(SegRequest { id, image: test_image(id), deadline_ms: None })
+            })
+            .collect();
+        let responses: Vec<SegResponse> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let rejected = responses
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Rejected { retry_after_ms: 25 }))
+            .count();
+        assert!(rejected > 0, "flooding a 4-deep queue must reject something");
+        let report = engine.shutdown();
+        assert!(
+            report.max_queue_depth <= report.queue_capacity,
+            "queue bound violated: {} > {}",
+            report.max_queue_depth,
+            report.queue_capacity
+        );
+        assert_eq!(report.metrics.responses(), 24);
+    }
+
+    #[test]
+    fn load_degrades_tiers_monotonically_with_depth() {
+        let mut cfg = ServeConfig::small();
+        cfg.workers = 1;
+        cfg.queue_capacity = 8;
+        cfg.faults = ServeFaultPlan::new(
+            (0..100)
+                .map(|nth| crate::fault::InferenceFault {
+                    worker: 0,
+                    nth,
+                    kind: InferenceFaultKind::SlowInference { delay_ms: 25 },
+                })
+                .collect(),
+        );
+        let engine = ServeEngine::start(cfg);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|id| {
+                engine.submit(SegRequest { id, image: test_image(id), deadline_ms: None })
+            })
+            .collect();
+        let responses: Vec<SegResponse> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        // Tier must be a monotone function of the admission depth the
+        // engine recorded, across all responses.
+        let mut by_depth: Vec<(usize, u8)> = responses
+            .iter()
+            .map(|r| (r.depth_at_admission, r.tier.rank()))
+            .collect();
+        by_depth.sort();
+        for w in by_depth.windows(2) {
+            assert!(
+                w[0].1 <= w[1].1,
+                "tier not monotone in depth: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // With a 1-worker engine slowed to 25ms/request and 8 instant
+        // submissions into an 8-deep queue, depth must have climbed enough
+        // to leave Full at least once.
+        assert!(
+            responses.iter().any(|r| r.tier != Tier::Full),
+            "no degradation observed under definite overload"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn breaker_trips_on_panic_burst_and_recovers() {
+        let mut cfg = ServeConfig::small();
+        cfg.workers = 1;
+        cfg.breaker = BreakerConfig { failure_threshold: 2, cooldown_polls: 3, half_open_successes: 2 };
+        cfg.faults = ServeFaultPlan::none().with_burst(0, 1, 2, InferenceFaultKind::WorkerPanic);
+        let engine = ServeEngine::start(cfg);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|id| {
+                engine.submit(SegRequest { id, image: test_image(id), deadline_ms: None })
+            })
+            .collect();
+        let responses: Vec<SegResponse> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let panicked = responses
+            .iter()
+            .filter(|r| {
+                matches!(r.outcome, Outcome::WorkerFailure { reason: FailureReason::Panicked })
+            })
+            .count();
+        assert_eq!(panicked, 2, "exactly the burst panics");
+        let completed = responses
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Completed { .. }))
+            .count();
+        assert_eq!(completed, 6, "everything else completes after recovery");
+        let report = engine.shutdown();
+        let w = &report.workers[0];
+        assert!(w.trips >= 1, "breaker never tripped");
+        assert!(w.recoveries >= 1, "breaker never recovered");
+        assert_eq!(w.final_state, BreakerState::Closed);
+        // The transition log shows the full cycle.
+        let tos: Vec<BreakerState> = w.transitions.iter().map(|t| t.to).collect();
+        assert!(tos.windows(3).any(|w| {
+            w == [BreakerState::Open, BreakerState::HalfOpen, BreakerState::Closed]
+        }));
+    }
+
+    #[test]
+    fn injected_nan_is_caught_by_the_output_guard() {
+        let mut cfg = ServeConfig::small();
+        cfg.workers = 1;
+        cfg.faults = ServeFaultPlan::new(vec![crate::fault::InferenceFault {
+            worker: 0,
+            nth: 0,
+            kind: InferenceFaultKind::NonFiniteOutput,
+        }]);
+        let engine = ServeEngine::start(cfg);
+        let r = engine
+            .submit(SegRequest { id: 0, image: test_image(0), deadline_ms: None })
+            .wait()
+            .unwrap();
+        assert!(matches!(
+            r.outcome,
+            Outcome::WorkerFailure { reason: FailureReason::NonFiniteOutput }
+        ));
+        let report = engine.shutdown();
+        assert_eq!(report.metrics.non_finite_outputs, 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Request/response types of the serving engine.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use apf_imaging::GrayImage;
+
+use crate::degrade::Tier;
+
+/// One segmentation request.
+#[derive(Debug)]
+pub struct SegRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// The image to segment.
+    pub image: GrayImage,
+    /// Latency budget from submission; `None` uses the engine default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Where a deadline was detected as blown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineStage {
+    /// Expired while still queued; no inference work was spent on it.
+    Queued,
+    /// Expired mid-forward-pass; the encoder abandoned the stack
+    /// cooperatively after this many completed blocks.
+    Inference {
+        /// Encoder blocks that ran before cancellation.
+        completed_blocks: usize,
+    },
+}
+
+/// Why a worker failed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The worker panicked; the engine's unwind barrier contained it.
+    Panicked,
+    /// The model produced NaN/Inf logits.
+    NonFiniteOutput,
+}
+
+/// Terminal outcome of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Inference finished inside the deadline.
+    Completed {
+        /// Tokens actually run through the encoder (the served budget).
+        tokens: usize,
+        /// Fraction of pixels predicted positive (quick mask summary).
+        positive_fraction: f32,
+    },
+    /// Admission control refused the request (queue full or shutting
+    /// down); retry after the hinted delay.
+    Rejected {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The image failed validation; `reason` is the typed error rendered.
+    InvalidInput {
+        /// Human-readable rejection cause.
+        reason: String,
+    },
+    /// The deadline expired before a result was produced.
+    DeadlineExceeded {
+        /// Where the expiry was detected.
+        stage: DeadlineStage,
+    },
+    /// The assigned worker failed; the breaker heard about it.
+    WorkerFailure {
+        /// What went wrong.
+        reason: FailureReason,
+    },
+}
+
+impl Outcome {
+    /// Stable lowercase label for logs and JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Completed { .. } => "completed",
+            Outcome::Rejected { .. } => "rejected",
+            Outcome::InvalidInput { .. } => "invalid_input",
+            Outcome::DeadlineExceeded { .. } => "deadline_exceeded",
+            Outcome::WorkerFailure { .. } => "worker_failure",
+        }
+    }
+}
+
+/// The engine's reply. Every response — including rejections — is labelled
+/// with the degradation [`Tier`] in effect when the request was admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Degradation tier assigned at admission.
+    pub tier: Tier,
+    /// Queue depth observed at admission (drives the tier).
+    pub depth_at_admission: usize,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Worker that handled the request, if one did.
+    pub worker: Option<usize>,
+    /// Submission-to-response latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Handle to a pending response.
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<SegResponse>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives. Returns `None` only if the
+    /// engine dropped the request without responding (a bug — every code
+    /// path responds).
+    pub fn wait(self) -> Option<SegResponse> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocks up to `timeout`.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<SegResponse> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
