@@ -17,6 +17,7 @@ use apf_distsim::tree_allreduce::tree_allreduce_seconds;
 use apf_imaging::paip::{PaipConfig, PaipGenerator};
 use apf_models::rearrange::GridOrder;
 use apf_models::unetr::{Unetr2d, UnetrConfig};
+use apf_telemetry::Telemetry;
 use apf_train::data::TokenSegDataset;
 use apf_train::optim::AdamWConfig;
 use serde::Serialize;
@@ -70,21 +71,27 @@ fn main() {
     let mut measured = Vec::new();
     for &w in &counts {
         let mut engine = DataParallelEngine::new(factory, w, AdamWConfig::default());
-        engine.step(&x, &y); // warm-up
+        engine.step(&x, &y); // warm-up, before telemetry attaches
+        // Timing comes from the engine's own registry histograms
+        // (`apf_distsim_step_phase_seconds`), not bench-side stopwatches.
+        let tel = Telemetry::enabled();
+        let mut engine = engine.with_telemetry(tel.clone());
         let reps = if quick { 2 } else { 4 };
-        let mut step_s = 0.0;
-        let mut compute_s = 0.0;
-        let mut sync_s = 0.0;
         for _ in 0..reps {
-            let t0 = std::time::Instant::now();
-            let r = engine.step(&x, &y);
-            step_s += t0.elapsed().as_secs_f64();
-            compute_s += r.compute_s;
-            sync_s += r.sync_s;
+            engine.step(&x, &y);
         }
-        step_s /= reps as f64;
-        compute_s /= reps as f64;
-        sync_s /= reps as f64;
+        let snap = tel.snapshot();
+        let phase_mean = |p: &str| {
+            snap.get("apf_distsim_step_phase_seconds", &[("phase", p)])
+                .and_then(|m| m.histogram.as_ref())
+                .map_or(0.0, |h| h.mean())
+        };
+        let step_s = snap
+            .get("apf_distsim_step_seconds", &[])
+            .and_then(|m| m.histogram.as_ref())
+            .map_or(0.0, |h| h.mean());
+        let compute_s = phase_mean("compute");
+        let sync_s = phase_mean("allreduce") + phase_mean("optimizer");
         if w == 1 {
             t1 = step_s;
         }

@@ -14,16 +14,42 @@
 //! Usage: `cargo run --release -p apf-bench --bin serve_soak
 //!         [--steps 200] [--seed 7] [--workers 2] [--capacity 8] [--quick]`
 
-use apf_bench::{print_table, save_json, Args};
+use apf_bench::{print_table, save_atomic, save_json, Args};
 use apf_imaging::GrayImage;
 use apf_serve::{
     BreakerConfig, BreakerState, DegradationPolicy, InferenceFault, InferenceFaultKind, Outcome,
     SegRequest, SegResponse, ServeConfig, ServeEngine, ServeFaultPlan, ServeFaultRates,
     ServeMetrics, ServeReport, Tier, Ticket, WorkerReport,
 };
+use apf_telemetry::{validate_jsonl, HistogramSnapshot, Telemetry, TelemetrySnapshot};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
+
+/// Latency quantiles derived from one registry histogram (not ad-hoc
+/// timers): the engine records every observation, the soak only reads.
+#[derive(Serialize)]
+struct LatencySummary {
+    count: u64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+impl LatencySummary {
+    fn from_histogram(h: &HistogramSnapshot) -> Self {
+        LatencySummary {
+            count: h.count,
+            mean_ms: h.mean() * 1e3,
+            p50_ms: h.quantile(0.50) * 1e3,
+            p95_ms: h.quantile(0.95) * 1e3,
+            p99_ms: h.quantile(0.99) * 1e3,
+            max_ms: h.max * 1e3,
+        }
+    }
+}
 
 #[derive(Serialize)]
 struct SoakReport {
@@ -35,8 +61,23 @@ struct SoakReport {
     injected_faults: usize,
     metrics: ServeMetrics,
     worker_reports: Vec<WorkerReport>,
-    mean_completed_latency_ms: f64,
-    max_completed_latency_ms: f64,
+    /// Submission-to-response latency over ALL outcomes, from
+    /// `apf_serve_request_latency_seconds`.
+    request_latency: LatencySummary,
+    /// Worker-side inference latency, from
+    /// `apf_serve_inference_latency_seconds`.
+    inference_latency: LatencySummary,
+    /// `apf_serve_responses_total{tier=..}` counters.
+    tier_full: u64,
+    tier_reduced: u64,
+    tier_coarse: u64,
+    /// `apf_serve_breaker_transitions_total{to=..}` counters.
+    breaker_to_open: u64,
+    breaker_to_half_open: u64,
+    breaker_to_closed: u64,
+    /// Spans retained in (and evicted from) the trace ring.
+    trace_events: usize,
+    trace_evicted: u64,
     /// The soak's pass/fail verdicts, archived alongside the raw numbers.
     zero_process_panics: bool,
     queue_bound_held: bool,
@@ -44,6 +85,12 @@ struct SoakReport {
     tiers_monotone_in_depth: bool,
     breaker_tripped: bool,
     breaker_recovered: bool,
+    registry_consistent_with_engine: bool,
+}
+
+/// Reads a labelled counter out of a registry snapshot (0 if absent).
+fn counter(snap: &TelemetrySnapshot, name: &str, labels: &[(&str, &str)]) -> u64 {
+    snap.get(name, labels).map_or(0, |m| m.value as u64)
 }
 
 /// A power-of-two test image with seed-dependent texture.
@@ -106,6 +153,9 @@ fn main() {
     );
     let injected_faults = plan.events().len();
 
+    // The engine publishes into this registry; everything the report says
+    // about latency, tiers, and breaker churn is read back out of it.
+    let tel = Telemetry::enabled();
     let policy = DegradationPolicy::default();
     let cfg = ServeConfig {
         workers,
@@ -119,6 +169,7 @@ fn main() {
         breaker,
         policy,
         faults: plan,
+        telemetry: tel.clone(),
     };
     println!(
         "serve_soak: {} requests, seed {}, {} workers, queue capacity {}, {} injected faults",
@@ -236,16 +287,91 @@ fn main() {
         responses[1].outcome
     );
 
-    // ---- Report ----
-    let lat: Vec<f64> = responses
-        .iter()
-        .filter(|r| matches!(r.outcome, Outcome::Completed { .. }))
-        .map(|r| r.latency_ms)
-        .collect();
-    let mean_lat = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
-    let max_lat = lat.iter().cloned().fold(0.0, f64::max);
+    // ---- Registry-derived report ----
+    // Latency quantiles, tier counts, and breaker churn all come from the
+    // telemetry registry the engine recorded into — the soak's own clocks
+    // are not consulted.
+    let snap = tel.snapshot();
+    let request_latency = LatencySummary::from_histogram(
+        &snap
+            .get("apf_serve_request_latency_seconds", &[])
+            .and_then(|m| m.histogram.clone())
+            .expect("engine recorded request latency"),
+    );
+    let inference_latency = LatencySummary::from_histogram(
+        &snap
+            .get("apf_serve_inference_latency_seconds", &[])
+            .and_then(|m| m.histogram.clone())
+            .expect("engine recorded inference latency"),
+    );
+    let tier_full = counter(&snap, "apf_serve_responses_total", &[("tier", "full")]);
+    let tier_reduced = counter(&snap, "apf_serve_responses_total", &[("tier", "reduced")]);
+    let tier_coarse = counter(&snap, "apf_serve_responses_total", &[("tier", "coarse")]);
+    let breaker_to_open = counter(&snap, "apf_serve_breaker_transitions_total", &[("to", "open")]);
+    let breaker_to_half_open =
+        counter(&snap, "apf_serve_breaker_transitions_total", &[("to", "half_open")]);
+    let breaker_to_closed =
+        counter(&snap, "apf_serve_breaker_transitions_total", &[("to", "closed")]);
 
+    // The registry and the engine's own counters are two independent paths;
+    // they must tell the same story.
     let m: &ServeMetrics = &report.metrics;
+    let engine_transitions: usize = report.workers.iter().map(|w| w.transitions.len()).sum();
+    let registry_consistent_with_engine = counter(&snap, "apf_serve_requests_total", &[]) == steps
+        && request_latency.count == steps
+        && counter(&snap, "apf_serve_outcomes_total", &[("outcome", "completed")]) == m.completed
+        && counter(&snap, "apf_serve_outcomes_total", &[("outcome", "rejected")]) == m.rejected
+        && counter(&snap, "apf_serve_outcomes_total", &[("outcome", "invalid_input")])
+            == m.invalid_input
+        && tier_full + tier_reduced + tier_coarse == steps
+        && (breaker_to_open + breaker_to_half_open + breaker_to_closed) as usize
+            == engine_transitions
+        && breaker_to_open as usize >= report.workers.iter().map(|w| w.trips as usize).sum();
+    assert!(
+        registry_consistent_with_engine,
+        "registry diverged from engine counters:\n{}",
+        snap.render_prometheus()
+    );
+
+    // Prometheus exposition: every metric line carries the apf_ prefix.
+    let prom = snap.render_prometheus();
+    for line in prom.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert!(line.starts_with("apf_"), "unprefixed metric line: {line}");
+    }
+
+    // The span trace must contain at least one completed request's full
+    // tree (request -> inference -> patchify -> forward sharing one id)
+    // and parse as valid JSON lines.
+    let events = tel.trace_events();
+    let has_tree = |id: u64| {
+        ["serve.request", "serve.inference", "serve.patchify", "serve.forward"]
+            .iter()
+            .all(|n| events.iter().any(|e| e.name == *n && e.id == Some(id)))
+    };
+    let traced_tree = events
+        .iter()
+        .filter(|e| e.name == "serve.request")
+        .filter_map(|e| e.id)
+        .find(|&id| has_tree(id));
+    assert!(
+        traced_tree.is_some(),
+        "no request produced a complete span tree ({} events retained)",
+        events.len()
+    );
+    assert!(
+        events.iter().any(|e| e.name == "core.quadtree"),
+        "core-crate spans did not nest into the serve trace"
+    );
+    let trace = tel.trace_jsonl();
+    let trace_lines = validate_jsonl(&trace)
+        .unwrap_or_else(|e| panic!("trace JSONL failed validation: {e}"));
+    assert_eq!(trace_lines, events.len(), "one JSON line per retained span");
+    save_atomic("serve_soak_trace.jsonl", &trace);
+    save_atomic("serve_soak_metrics.prom", &prom);
+
     let outcome_rows: Vec<(&str, u64)> = vec![
         ("completed", m.completed),
         ("rejected (backpressure)", m.rejected),
@@ -263,15 +389,32 @@ fn main() {
             .map(|(k, v)| vec![k.to_string(), v.to_string()])
             .collect::<Vec<_>>(),
     );
-    let tier_count = |t: Tier| responses.iter().filter(|r| r.tier == t).count();
     print_table(
-        "serve_soak — responses by tier",
+        "serve_soak — responses by tier (registry)",
         &["tier", "count"],
         &[
-            vec!["full".into(), tier_count(Tier::Full).to_string()],
-            vec!["reduced".into(), tier_count(Tier::Reduced).to_string()],
-            vec!["coarse".into(), tier_count(Tier::Coarse).to_string()],
+            vec!["full".into(), tier_full.to_string()],
+            vec!["reduced".into(), tier_reduced.to_string()],
+            vec!["coarse".into(), tier_coarse.to_string()],
         ],
+    );
+    print_table(
+        "serve_soak — latency quantiles (registry histograms)",
+        &["histogram", "count", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        &[&request_latency, &inference_latency]
+            .iter()
+            .zip(["request", "inference"])
+            .map(|(l, name)| {
+                vec![
+                    name.to_string(),
+                    l.count.to_string(),
+                    format!("{:.2}", l.p50_ms),
+                    format!("{:.2}", l.p95_ms),
+                    format!("{:.2}", l.p99_ms),
+                    format!("{:.2}", l.max_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     print_table(
         "serve_soak — breakers",
@@ -291,8 +434,16 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     println!(
-        "\nmax queue depth {} / capacity {}; mean completed latency {:.2} ms (max {:.2} ms)",
-        report.max_queue_depth, report.queue_capacity, mean_lat, max_lat
+        "\nmax queue depth {} / capacity {}; request latency p50 {:.2} / p95 {:.2} / p99 {:.2} ms \
+         (registry); traced request {} ({} spans retained, {} evicted)",
+        report.max_queue_depth,
+        report.queue_capacity,
+        request_latency.p50_ms,
+        request_latency.p95_ms,
+        request_latency.p99_ms,
+        traced_tree.unwrap(),
+        events.len(),
+        tel.trace_evicted(),
     );
     println!("all resilience invariants held");
 
@@ -307,14 +458,23 @@ fn main() {
             injected_faults,
             metrics: report.metrics.clone(),
             worker_reports: report.workers.clone(),
-            mean_completed_latency_ms: mean_lat,
-            max_completed_latency_ms: max_lat,
+            request_latency,
+            inference_latency,
+            tier_full,
+            tier_reduced,
+            tier_coarse,
+            breaker_to_open,
+            breaker_to_half_open,
+            breaker_to_closed,
+            trace_events: events.len(),
+            trace_evicted: tel.trace_evicted(),
             zero_process_panics,
             queue_bound_held,
             every_request_answered,
             tiers_monotone_in_depth,
             breaker_tripped,
             breaker_recovered,
+            registry_consistent_with_engine,
         },
     );
 }

@@ -28,4 +28,4 @@ pub mod harness;
 pub mod report;
 
 pub use args::Args;
-pub use report::{print_table, save_json};
+pub use report::{print_table, save_atomic, save_json};

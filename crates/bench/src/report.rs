@@ -53,17 +53,29 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Saves a serializable value as pretty JSON under `results/<name>.json`.
-pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {}", path.display(), e);
-            } else {
-                println!("[saved {}]", path.display());
-            }
+/// Atomically writes `contents` to `results/<file_name>`: the bytes land
+/// in a dot-prefixed temp file first and are renamed into place, so a
+/// crash (or a failed gate that kills the process mid-run) can never
+/// leave a truncated or stale-looking artifact at the final path.
+pub fn save_atomic(file_name: &str, contents: &str) {
+    let dir = results_dir();
+    let path = dir.join(file_name);
+    let tmp = dir.join(format!(".{file_name}.tmp"));
+    let res = fs::write(&tmp, contents).and_then(|()| fs::rename(&tmp, &path));
+    match res {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            eprintln!("warning: could not write {}: {}", path.display(), e);
         }
+    }
+}
+
+/// Saves a serializable value as pretty JSON under `results/<name>.json`
+/// (atomic: temp file + rename).
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => save_atomic(&format!("{name}.json"), &s),
         Err(e) => eprintln!("warning: could not serialize {}: {}", name, e),
     }
 }
@@ -111,6 +123,16 @@ mod tests {
         save_json("unit_test", &vec![1, 2, 3]);
         let p = results_dir().join("unit_test.json");
         assert!(p.exists());
+        std::env::remove_var("APF_RESULTS_DIR");
+    }
+
+    #[test]
+    fn save_atomic_leaves_no_temp_file() {
+        std::env::set_var("APF_RESULTS_DIR", std::env::temp_dir().join("apf_results_atomic_test"));
+        save_atomic("trace.jsonl", "{\"a\":1}\n");
+        let dir = results_dir();
+        assert_eq!(std::fs::read_to_string(dir.join("trace.jsonl")).unwrap(), "{\"a\":1}\n");
+        assert!(!dir.join(".trace.jsonl.tmp").exists(), "temp file must be renamed away");
         std::env::remove_var("APF_RESULTS_DIR");
     }
 }

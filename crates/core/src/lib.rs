@@ -46,7 +46,7 @@ pub use error::PatchError;
 pub use morton::{morton_decode, morton_encode};
 pub use patchify::{extract_patches, reconstruct_mask, Patch, PatchSequence};
 pub use pipeline::{AdaptivePatcher, PatcherConfig, PreprocessTiming};
-pub use quadtree::{LeafRegion, QuadTree, QuadTreeConfig, SplitCriterion};
+pub use quadtree::{LeafRegion, QuadTree, QuadTreeConfig, SplitCriterion, TreeStats};
 pub use stats::{geomean, PatchStats};
 pub use viz::{draw_leaf_grid, leaf_size_map};
 pub use uniform::{uniform_patches, uniform_reconstruct, uniform_sequence_length};

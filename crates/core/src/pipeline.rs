@@ -7,6 +7,7 @@ use std::time::Instant;
 use apf_imaging::canny::{canny, CannyConfig};
 use apf_imaging::filter::gaussian_blur;
 use apf_imaging::image::GrayImage;
+use apf_telemetry::{Gauge, Histogram, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::error::PatchError;
@@ -110,20 +111,132 @@ impl PreprocessTiming {
     }
 }
 
+/// Telemetry handles for the pre-processing hot path. All handles are inert
+/// (one branch per use) when the patcher was built without telemetry.
+#[derive(Clone, Default)]
+struct CoreMetrics {
+    tel: Telemetry,
+    stage_blur_s: Histogram,
+    stage_canny_s: Histogram,
+    stage_quadtree_s: Histogram,
+    stage_extract_s: Histogram,
+    tree_leaves: Histogram,
+    tree_depth: Histogram,
+    seq_len_pre: Histogram,
+    seq_len_post: Histogram,
+    last_leaves: Gauge,
+    last_max_depth: Gauge,
+    last_avg_patch: Gauge,
+    last_min_leaf: Gauge,
+    last_max_leaf: Gauge,
+}
+
+impl CoreMetrics {
+    fn new(tel: Telemetry) -> Self {
+        let stage = |s: String| vec![("stage", s)];
+        CoreMetrics {
+            stage_blur_s: tel.histogram_with(
+                "apf_core_patchify_stage_seconds",
+                stage("blur".to_string()),
+                "Per-stage pre-processing time",
+            ),
+            stage_canny_s: tel.histogram_with(
+                "apf_core_patchify_stage_seconds",
+                stage("canny".to_string()),
+                "Per-stage pre-processing time",
+            ),
+            stage_quadtree_s: tel.histogram_with(
+                "apf_core_patchify_stage_seconds",
+                stage("quadtree".to_string()),
+                "Per-stage pre-processing time",
+            ),
+            stage_extract_s: tel.histogram_with(
+                "apf_core_patchify_stage_seconds",
+                stage("extract".to_string()),
+                "Per-stage pre-processing time",
+            ),
+            tree_leaves: tel.histogram(
+                "apf_core_tree_leaf_count",
+                "Quadtree leaf count (adaptive sequence length) per build",
+            ),
+            tree_depth: tel.histogram(
+                "apf_core_tree_max_depth_levels",
+                "Deepest subdivision level reached per build",
+            ),
+            seq_len_pre: tel.histogram(
+                "apf_core_sequence_len_pre_tokens",
+                "Sequence length before pad/drop",
+            ),
+            seq_len_post: tel.histogram(
+                "apf_core_sequence_len_post_tokens",
+                "Sequence length after pad/drop",
+            ),
+            last_leaves: tel.gauge(
+                "apf_core_last_tree_leaf_count",
+                "Leaf count of the most recent quadtree build",
+            ),
+            last_max_depth: tel.gauge(
+                "apf_core_last_tree_max_depth_levels",
+                "Max depth of the most recent quadtree build",
+            ),
+            last_avg_patch: tel.gauge(
+                "apf_core_last_tree_avg_patch_pixels",
+                "Mean leaf side of the most recent quadtree build",
+            ),
+            last_min_leaf: tel.gauge(
+                "apf_core_last_tree_min_leaf_pixels",
+                "Smallest leaf side of the most recent quadtree build",
+            ),
+            last_max_leaf: tel.gauge(
+                "apf_core_last_tree_max_leaf_pixels",
+                "Largest leaf side of the most recent quadtree build",
+            ),
+            tel,
+        }
+    }
+
+    /// Publishes the build-time statistics stored on a tree.
+    fn observe_tree(&self, tree: &QuadTree) {
+        self.tree_leaves.record(tree.stats.leaf_count as f64);
+        self.tree_depth.record(tree.max_depth_reached as f64);
+        self.last_leaves.set(tree.stats.leaf_count as f64);
+        self.last_max_depth.set(tree.max_depth_reached as f64);
+        self.last_avg_patch.set(tree.stats.average_patch_size);
+        self.last_min_leaf.set(tree.stats.min_leaf_size as f64);
+        self.last_max_leaf.set(tree.stats.max_leaf_size as f64);
+    }
+}
+
 /// The APF pre-processor: turns images into mixed-scale patch sequences.
 ///
 /// Stateless and cheap to clone; one instance can serve a whole dataset.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct AdaptivePatcher {
     cfg: PatcherConfig,
+    metrics: CoreMetrics,
+}
+
+impl std::fmt::Debug for AdaptivePatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptivePatcher")
+            .field("cfg", &self.cfg)
+            .field("telemetry", &self.metrics.tel)
+            .finish()
+    }
 }
 
 impl AdaptivePatcher {
-    /// Creates a patcher from a configuration.
+    /// Creates a patcher from a configuration, without telemetry.
     pub fn new(cfg: PatcherConfig) -> Self {
+        Self::with_telemetry(cfg, Telemetry::disabled())
+    }
+
+    /// Creates a patcher whose stage timings, tree statistics, and sequence
+    /// lengths are recorded into `tel` (inert if `tel` is disabled).
+    pub fn with_telemetry(cfg: PatcherConfig, tel: Telemetry) -> Self {
         assert!(cfg.kernel % 2 == 1, "blur kernel must be odd");
         assert!(cfg.patch_size >= 1);
-        AdaptivePatcher { cfg }
+        AdaptivePatcher { cfg, metrics: CoreMetrics::new(tel) }
     }
 
     /// The patcher's configuration.
@@ -148,9 +261,23 @@ impl AdaptivePatcher {
     /// the blur, Canny, or tree-build stages.
     pub fn try_tree(&self, img: &GrayImage) -> Result<QuadTree, PatchError> {
         Self::validate_input(img, &self.cfg.quadtree)?;
-        let blurred = gaussian_blur(img, self.cfg.kernel, self.cfg.sigma);
-        let edges = canny(&blurred, self.cfg.canny);
-        QuadTree::try_build(&edges, &self.cfg.quadtree)
+        let blurred = {
+            let _span = self.metrics.tel.span("core.blur");
+            let _t = self.metrics.stage_blur_s.start_timer();
+            gaussian_blur(img, self.cfg.kernel, self.cfg.sigma)
+        };
+        let edges = {
+            let _span = self.metrics.tel.span("core.canny");
+            let _t = self.metrics.stage_canny_s.start_timer();
+            canny(&blurred, self.cfg.canny)
+        };
+        let tree = {
+            let _span = self.metrics.tel.span("core.quadtree");
+            let _t = self.metrics.stage_quadtree_s.start_timer();
+            QuadTree::try_build(&edges, &self.cfg.quadtree)?
+        };
+        self.metrics.observe_tree(&tree);
+        Ok(tree)
     }
 
     /// The geometry/finiteness preconditions [`AdaptivePatcher::try_tree`]
@@ -185,12 +312,20 @@ impl AdaptivePatcher {
     /// Fallible Algorithm-1 pre-processing: typed rejection instead of a
     /// panic on malformed images.
     pub fn try_patchify(&self, img: &GrayImage) -> Result<PatchSequence, PatchError> {
+        let _span = self.metrics.tel.span("core.patchify");
         let tree = self.try_tree(img)?;
-        let seq = extract_patches(img, &tree.leaves, self.cfg.patch_size);
-        Ok(match self.cfg.target_len {
+        let seq = {
+            let _span = self.metrics.tel.span("core.extract");
+            let _t = self.metrics.stage_extract_s.start_timer();
+            extract_patches(img, &tree.leaves, self.cfg.patch_size)
+        };
+        self.metrics.seq_len_pre.record(seq.len() as f64);
+        let seq = match self.cfg.target_len {
             Some(len) => seq.fixed_length(len, self.cfg.drop_seed),
             None => seq,
-        })
+        };
+        self.metrics.seq_len_post.record(seq.len() as f64);
+        Ok(seq)
     }
 
     /// Pre-processes an image together with its ground-truth mask: both are
@@ -232,6 +367,7 @@ impl AdaptivePatcher {
     /// Like [`AdaptivePatcher::patchify`] but returns a stage-by-stage
     /// wall-clock breakdown (the paper's overhead experiment).
     pub fn timed_patchify(&self, img: &GrayImage) -> (PatchSequence, PreprocessTiming) {
+        let _span = self.metrics.tel.span("core.patchify");
         let mut t = PreprocessTiming::default();
         let t0 = Instant::now();
         let blurred = gaussian_blur(img, self.cfg.kernel, self.cfg.sigma);
@@ -244,14 +380,24 @@ impl AdaptivePatcher {
         let t2 = Instant::now();
         let tree = QuadTree::build(&edges, &self.cfg.quadtree);
         t.quadtree_s = t2.elapsed().as_secs_f64();
+        self.metrics.observe_tree(&tree);
 
         let t3 = Instant::now();
         let seq = extract_patches(img, &tree.leaves, self.cfg.patch_size);
+        self.metrics.seq_len_pre.record(seq.len() as f64);
         let seq = match self.cfg.target_len {
             Some(len) => seq.fixed_length(len, self.cfg.drop_seed),
             None => seq,
         };
         t.extract_s = t3.elapsed().as_secs_f64();
+        self.metrics.seq_len_post.record(seq.len() as f64);
+
+        // The same wall-clock figures flow into the registry histograms, so
+        // timed and untimed paths report through one substrate.
+        self.metrics.stage_blur_s.record(t.blur_s);
+        self.metrics.stage_canny_s.record(t.canny_s);
+        self.metrics.stage_quadtree_s.record(t.quadtree_s);
+        self.metrics.stage_extract_s.record(t.extract_s);
         (seq, t)
     }
 }
@@ -343,6 +489,41 @@ mod tests {
         let a = patcher.patchify(&s.image);
         let b = patcher.try_patchify(&s.image).unwrap();
         assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn telemetry_records_stages_tree_stats_and_seq_lengths() {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(128));
+        let s = gen.generate(5);
+        let tel = Telemetry::enabled();
+        let patcher = AdaptivePatcher::with_telemetry(
+            PatcherConfig::for_resolution(128).with_target_len(64),
+            tel.clone(),
+        );
+        let seq = patcher.try_patchify(&s.image).unwrap();
+        assert_eq!(seq.len(), 64);
+
+        let snap = tel.snapshot();
+        for stage in ["blur", "canny", "quadtree", "extract"] {
+            let m = snap
+                .get("apf_core_patchify_stage_seconds", &[("stage", stage)])
+                .unwrap_or_else(|| panic!("missing stage {stage}"));
+            assert_eq!(m.histogram.as_ref().unwrap().count, 1, "{stage}");
+        }
+        let tree = patcher.tree(&s.image);
+        let leaves = snap.get("apf_core_last_tree_leaf_count", &[]).unwrap();
+        assert_eq!(leaves.value, tree.stats.leaf_count as f64);
+        let post = snap.get("apf_core_sequence_len_post_tokens", &[]).unwrap();
+        assert_eq!(post.histogram.as_ref().unwrap().max, 64.0);
+
+        // Span tree: core.patchify wraps the stage spans.
+        let names: Vec<&str> = tel.trace_events().iter().map(|e| e.name).collect();
+        for n in ["core.patchify", "core.blur", "core.canny", "core.quadtree", "core.extract"] {
+            assert!(names.contains(&n), "missing span {n} in {names:?}");
+        }
+        // Disabled telemetry records nothing and changes nothing.
+        let plain = AdaptivePatcher::new(PatcherConfig::for_resolution(128).with_target_len(64));
+        assert_eq!(plain.try_patchify(&s.image).unwrap().len(), 64);
     }
 
     #[test]

@@ -88,6 +88,63 @@ impl LeafRegion {
     }
 }
 
+/// Leaf and depth statistics of a built tree, computed once at the end of
+/// construction (after Z-sorting and any 2:1 balancing) and stored on the
+/// tree, so consumers — stats reports, bench binaries, telemetry gauges —
+/// read them instead of re-walking the leaves.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TreeStats {
+    /// Number of leaves (the adaptive sequence length before pad/drop).
+    pub leaf_count: usize,
+    /// Mean leaf side length in pixels (reported in Fig. 3).
+    pub average_patch_size: f64,
+    /// Smallest leaf side present (0 for an empty tree).
+    pub min_leaf_size: u32,
+    /// Largest leaf side present (0 for an empty tree).
+    pub max_leaf_size: u32,
+    /// Leaf side -> count, ascending by side.
+    pub size_histogram: Vec<(u32, usize)>,
+    /// Leaf depth -> count, ascending by depth.
+    pub depth_histogram: Vec<(u8, usize)>,
+}
+
+impl TreeStats {
+    /// Statistics of an empty leaf set.
+    pub fn empty() -> TreeStats {
+        TreeStats {
+            leaf_count: 0,
+            average_patch_size: 0.0,
+            min_leaf_size: 0,
+            max_leaf_size: 0,
+            size_histogram: Vec::new(),
+            depth_histogram: Vec::new(),
+        }
+    }
+
+    /// One pass over the final leaf set.
+    pub fn compute(leaves: &[LeafRegion]) -> TreeStats {
+        if leaves.is_empty() {
+            return TreeStats::empty();
+        }
+        let mut size_hist = std::collections::BTreeMap::new();
+        let mut depth_hist = std::collections::BTreeMap::new();
+        let mut size_sum = 0u64;
+        for l in leaves {
+            *size_hist.entry(l.size).or_insert(0usize) += 1;
+            *depth_hist.entry(l.depth).or_insert(0usize) += 1;
+            size_sum += l.size as u64;
+        }
+        TreeStats {
+            leaf_count: leaves.len(),
+            average_patch_size: size_sum as f64 / leaves.len() as f64,
+            min_leaf_size: *size_hist.keys().next().unwrap(),
+            max_leaf_size: *size_hist.keys().next_back().unwrap(),
+            size_histogram: size_hist.into_iter().collect(),
+            depth_histogram: depth_hist.into_iter().collect(),
+        }
+    }
+}
+
 /// A built quadtree: Z-ordered leaves plus build statistics.
 #[derive(Debug, Clone)]
 pub struct QuadTree {
@@ -99,6 +156,8 @@ pub struct QuadTree {
     pub max_depth_reached: u8,
     /// Total quadrants examined during the build.
     pub nodes_visited: usize,
+    /// Leaf/depth statistics, frozen at build time.
+    pub stats: TreeStats,
 }
 
 impl QuadTree {
@@ -153,12 +212,16 @@ impl QuadTree {
             leaves: Vec::new(),
             max_depth_reached: 0,
             nodes_visited: 0,
+            stats: TreeStats::empty(),
         };
         tree.subdivide(&sums, sq_sums.as_ref(), cfg, 0, 0, z as u32, 0)?;
         if cfg.balance_2to1 {
             tree.enforce_2to1_balance(cfg);
         }
         tree.leaves.sort_by_key(LeafRegion::morton);
+        // Single stats pass over the final leaf set; everything downstream
+        // (PatchStats, benches, telemetry gauges) reads the stored copy.
+        tree.stats = TreeStats::compute(&tree.leaves);
         Ok(tree)
     }
 
@@ -329,12 +392,10 @@ impl QuadTree {
         self.leaves.is_empty()
     }
 
-    /// Mean leaf side length in pixels (reported in Fig. 3).
+    /// Mean leaf side length in pixels (reported in Fig. 3), read from the
+    /// statistics frozen at build time.
     pub fn average_patch_size(&self) -> f64 {
-        if self.leaves.is_empty() {
-            return 0.0;
-        }
-        self.leaves.iter().map(|l| l.size as f64).sum::<f64>() / self.leaves.len() as f64
+        self.stats.average_patch_size
     }
 
     /// Verifies the partition invariant: leaves are disjoint and tile the
@@ -606,6 +667,27 @@ mod tests {
             QuadTree::try_build(&nan, &cfg).unwrap_err(),
             PatchError::NonFinitePixel { x: 5, y: 9, .. }
         ));
+    }
+
+    #[test]
+    fn stored_stats_match_a_fresh_walk() {
+        for balance in [false, true] {
+            let cfg = QuadTreeConfig {
+                criterion: SplitCriterion::EdgeCount { split_value: 4.0 },
+                max_depth: 6,
+                min_leaf: 2,
+                balance_2to1: balance,
+            };
+            let tree = QuadTree::build(&edge_cross(64), &cfg);
+            assert_eq!(tree.stats, TreeStats::compute(&tree.leaves));
+            assert_eq!(tree.stats.leaf_count, tree.len());
+            assert!(tree.stats.min_leaf_size <= tree.stats.max_leaf_size);
+            let total: usize = tree.stats.size_histogram.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, tree.len());
+            let total_d: usize = tree.stats.depth_histogram.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total_d, tree.len());
+        }
+        assert_eq!(TreeStats::compute(&[]), TreeStats::empty());
     }
 
     #[test]

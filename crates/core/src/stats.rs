@@ -22,21 +22,19 @@ pub struct PatchStats {
 }
 
 impl PatchStats {
-    /// Computes statistics for a built tree.
+    /// Statistics for a built tree, read from the leaf/depth summary the
+    /// tree froze at build time (no re-walk of the leaves).
     pub fn from_tree(tree: &QuadTree) -> PatchStats {
-        let mut hist = std::collections::BTreeMap::new();
-        for l in &tree.leaves {
-            *hist.entry(l.size).or_insert(0usize) += 1;
-        }
-        let min_size = hist.keys().next().copied().unwrap_or(1).max(1);
+        let s = &tree.stats;
+        let min_size = s.min_leaf_size.max(1);
         let uniform = (tree.resolution / min_size as usize).pow(2);
         PatchStats {
             resolution: tree.resolution,
-            sequence_length: tree.len(),
-            average_patch_size: tree.average_patch_size(),
+            sequence_length: s.leaf_count,
+            average_patch_size: s.average_patch_size,
             max_depth: tree.max_depth_reached,
-            size_histogram: hist.into_iter().collect(),
-            reduction_vs_uniform: uniform as f64 / tree.len().max(1) as f64,
+            size_histogram: s.size_histogram.clone(),
+            reduction_vs_uniform: uniform as f64 / s.leaf_count.max(1) as f64,
         }
     }
 }

@@ -35,6 +35,7 @@ use std::path::Path;
 
 use apf_models::checkpoint::{self, CheckpointError};
 use apf_models::params::{ParamId, ParamSet};
+use apf_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use apf_tensor::tensor::Tensor;
 use apf_train::data::TokenSegDataset;
 use apf_train::loss::{combo_loss, ComboLossConfig};
@@ -95,6 +96,63 @@ pub struct StepReport {
     pub rolled_back: bool,
 }
 
+/// Registry handles for the engine (`apf_distsim_*`). All handles are
+/// inert when built from [`Telemetry::disabled`].
+#[derive(Clone, Default)]
+struct DistTel {
+    tel: Telemetry,
+    compute_s: Histogram,
+    allreduce_s: Histogram,
+    optimizer_s: Histogram,
+    step_s: Histogram,
+    steps_total: Counter,
+    comm_bytes: Counter,
+    comm_retries: Counter,
+    rollbacks: Counter,
+    workers_lost: Counter,
+    world_size: Gauge,
+}
+
+impl DistTel {
+    fn new(tel: Telemetry) -> Self {
+        let phase = |p: &'static str| {
+            tel.histogram_with(
+                "apf_distsim_step_phase_seconds",
+                vec![("phase", p.to_string())],
+                "Wall-clock seconds per data-parallel step phase",
+            )
+        };
+        DistTel {
+            compute_s: phase("compute"),
+            allreduce_s: phase("allreduce"),
+            optimizer_s: phase("optimizer"),
+            step_s: tel.histogram(
+                "apf_distsim_step_seconds",
+                "Wall-clock seconds per full data-parallel step",
+            ),
+            steps_total: tel.counter("apf_distsim_steps_total", "Completed engine steps"),
+            comm_bytes: tel.counter(
+                "apf_distsim_comm_bytes_total",
+                "Bytes moved over the simulated ring (2(W-1)N x 4 per attempt)",
+            ),
+            comm_retries: tel.counter(
+                "apf_distsim_comm_retries_total",
+                "All-reduce retries forced by checksum failures",
+            ),
+            rollbacks: tel.counter(
+                "apf_distsim_rollbacks_total",
+                "Updates skipped by the non-finite guard (params restored, LR halved)",
+            ),
+            workers_lost: tel.counter(
+                "apf_distsim_workers_lost_total",
+                "Replicas permanently removed by injected crashes",
+            ),
+            world_size: tel.gauge("apf_distsim_world_size", "Live workers in the collective"),
+            tel,
+        }
+    }
+}
+
 /// The data-parallel engine over `W` model replicas.
 pub struct DataParallelEngine<M: TokenSegModel + Send> {
     replicas: Vec<M>,
@@ -110,6 +168,7 @@ pub struct DataParallelEngine<M: TokenSegModel + Send> {
     max_comm_retries: u32,
     max_rollbacks: u32,
     rollbacks: u32,
+    tm: DistTel,
 }
 
 impl<M: TokenSegModel + Send> DataParallelEngine<M> {
@@ -141,12 +200,21 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
             max_comm_retries: 3,
             max_rollbacks: 8,
             rollbacks: 0,
+            tm: DistTel::default(),
         }
     }
 
     /// Installs a fault schedule (see [`FaultPlan`]); builder style.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Records per-phase step timing, comms volume/retries, and recovery
+    /// events into `tel` (`apf_distsim_*` metrics); builder style.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tm = DistTel::new(tel);
+        self.tm.world_size.set(self.replicas.len() as f64);
         self
     }
 
@@ -224,6 +292,7 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
                 }
                 self.replicas.remove(pos);
                 self.orig_rank.remove(pos);
+                self.tm.workers_lost.inc();
                 self.trace.push(RecoveryEvent::WorkerLost {
                     step,
                     rank,
@@ -259,9 +328,12 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
     /// optimizes the global-mean objective exactly.
     pub fn step(&mut self, tokens: &Tensor, masks: &Tensor) -> StepReport {
         let step = self.step_idx;
+        let _step_span = self.tm.tel.span_id("distsim.step", step);
+        let _step_timer = self.tm.step_s.start_timer();
         let (delays, corrupt, poison) = self.apply_faults(step);
 
         let w = self.replicas.len();
+        self.tm.world_size.set(w as f64);
         let b = tokens.dims()[0];
         if !self.degraded() {
             assert!(b.is_multiple_of(w), "global batch {} not divisible by {} workers", b, w);
@@ -286,6 +358,7 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
         }
 
         let loss_cfg = self.loss_cfg;
+        let compute_span = self.tm.tel.span_id("distsim.compute", step);
         let t0 = std::time::Instant::now();
         // Compute phase: each worker thread processes its shard. Uneven
         // shards pre-scale their gradients by `n_i * W / B` so the ring's
@@ -336,6 +409,8 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
             handles.into_iter().map(|h| h.join().expect("worker")).collect()
         });
         let compute_s = t0.elapsed().as_secs_f64();
+        drop(compute_span);
+        self.tm.compute_s.record(compute_s);
 
         let t1 = std::time::Instant::now();
         // Shard losses weighted by shard size; the weights sum to 1.
@@ -346,28 +421,40 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
             .sum::<f64>();
         let buffers: Vec<Vec<f32>> = results.into_iter().map(|(_, b)| b).collect();
 
+        // Each ring pass moves 2(W-1)/W chunks of the N-float buffer per
+        // worker: 2(W-1)·N·4 bytes total per attempt.
+        let bytes_per_attempt =
+            (2 * w.saturating_sub(1) * buffers.first().map_or(0, Vec::len) * 4) as u64;
+
         // Sync phase: checksum-verified all-reduce, retried on transient
         // corruption with the retained gradient buffers.
         let mut comm_retries = 0u32;
-        let reduced = if corrupt.is_empty() {
-            ring_allreduce_mean(buffers)
-        } else {
-            let mut attempt = 0u32;
-            loop {
-                // The injected corruption is transient: it hits the first
-                // attempt only, mirroring a one-off link error.
-                let inject: &[usize] = if attempt == 0 { &corrupt } else { &[] };
-                match ring_allreduce_mean_checked(buffers.clone(), inject) {
-                    Ok(r) => break r,
-                    Err(_) => {
-                        attempt += 1;
-                        comm_retries = attempt;
-                        self.trace.push(RecoveryEvent::CommRetry { step, attempt });
-                        assert!(
-                            attempt <= self.max_comm_retries,
-                            "all-reduce corruption persisted through {} retries",
-                            self.max_comm_retries
-                        );
+        let reduced = {
+            let _span = self.tm.tel.span_id("distsim.allreduce", step);
+            let _t = self.tm.allreduce_s.start_timer();
+            self.tm.comm_bytes.add(bytes_per_attempt);
+            if corrupt.is_empty() {
+                ring_allreduce_mean(buffers)
+            } else {
+                let mut attempt = 0u32;
+                loop {
+                    // The injected corruption is transient: it hits the first
+                    // attempt only, mirroring a one-off link error.
+                    let inject: &[usize] = if attempt == 0 { &corrupt } else { &[] };
+                    match ring_allreduce_mean_checked(buffers.clone(), inject) {
+                        Ok(r) => break r,
+                        Err(_) => {
+                            attempt += 1;
+                            comm_retries = attempt;
+                            self.tm.comm_retries.inc();
+                            self.tm.comm_bytes.add(bytes_per_attempt);
+                            self.trace.push(RecoveryEvent::CommRetry { step, attempt });
+                            assert!(
+                                attempt <= self.max_comm_retries,
+                                "all-reduce corruption persisted through {} retries",
+                                self.max_comm_retries
+                            );
+                        }
                     }
                 }
             }
@@ -376,6 +463,8 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
         // Non-finite guard: a NaN/Inf loss or gradient skips the update,
         // restores the last good parameters and optimizer state, and
         // halves the learning rate (bounded retry budget).
+        let update_span = self.tm.tel.span_id("distsim.update", step);
+        let update_timer = self.tm.optimizer_s.start_timer();
         let grads_finite = reduced[0].iter().all(|v| v.is_finite());
         let mut rolled_back = false;
         if !loss.is_finite() || !grads_finite {
@@ -395,6 +484,7 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
         }
         if rolled_back {
             self.rollbacks += 1;
+            self.tm.rollbacks.inc();
             assert!(
                 self.rollbacks <= self.max_rollbacks,
                 "non-finite loss persisted through {} rollbacks; aborting",
@@ -406,9 +496,12 @@ impl<M: TokenSegModel + Send> DataParallelEngine<M> {
                 lr_scale_after: self.opt.lr_scale(),
             });
         }
+        drop(update_timer);
+        drop(update_span);
         let sync_s = t1.elapsed().as_secs_f64();
 
         self.step_idx += 1;
+        self.tm.steps_total.inc();
         StepReport {
             loss,
             compute_s,
@@ -778,6 +871,59 @@ mod tests {
             params_bits(clean.master_params()),
             "retried corruption must not perturb training"
         );
+    }
+
+    #[test]
+    fn telemetry_mirrors_step_reports_and_recovery_events() {
+        let ds = dataset(4);
+        let (x, y) = ds.batch(&[0, 1, 2, 3]);
+        let cfg = AdamWConfig { lr: 1e-3, ..Default::default() };
+        let plan = FaultPlan::new(vec![
+            FaultEvent { step: 1, kind: FaultKind::GradCorruption { rank: 1 } },
+            FaultEvent { step: 2, kind: FaultKind::NanGrad { rank: 0 } },
+            FaultEvent { step: 3, kind: FaultKind::WorkerCrash { rank: 1 } },
+        ]);
+        let tel = apf_telemetry::Telemetry::enabled();
+        let mut e = DataParallelEngine::new(factory, 2, cfg)
+            .with_fault_plan(plan)
+            .with_telemetry(tel.clone());
+
+        let mut retries = 0u64;
+        let mut rollbacks = 0u64;
+        for _ in 0..4u64 {
+            let r = e.step(&x, &y);
+            retries += u64::from(r.comm_retries);
+            rollbacks += u64::from(r.rolled_back);
+        }
+        assert_eq!(retries, 1);
+        assert_eq!(rollbacks, 1);
+
+        let snap = tel.snapshot();
+        let val = |name: &str| snap.get(name, &[]).map(|m| m.value).unwrap_or(-1.0);
+        assert_eq!(val("apf_distsim_steps_total"), 4.0);
+        assert_eq!(val("apf_distsim_comm_retries_total"), retries as f64);
+        assert_eq!(val("apf_distsim_rollbacks_total"), rollbacks as f64);
+        assert_eq!(val("apf_distsim_workers_lost_total"), 1.0);
+        assert_eq!(val("apf_distsim_world_size"), 1.0, "gauge reflects the post-crash world");
+        // 4 ring attempts at W=2 (3 full-strength steps, one of them
+        // retried) each move 2(W-1)·n·4 bytes; the post-crash solo step
+        // moves nothing.
+        let n = e.master_params().num_scalars() as u64;
+        let attempts = 4;
+        let w = 2u64;
+        assert_eq!(val("apf_distsim_comm_bytes_total"), (attempts * 2 * (w - 1) * n * 4) as f64);
+
+        for phase in ["compute", "allreduce", "optimizer"] {
+            let h = snap
+                .get("apf_distsim_step_phase_seconds", &[("phase", phase)])
+                .and_then(|m| m.histogram.clone())
+                .unwrap_or_else(|| panic!("phase {} registered", phase));
+            assert_eq!(h.count, 4, "phase {} recorded every step", phase);
+        }
+        let names: Vec<&str> = tel.trace_events().iter().map(|e| e.name).collect();
+        for name in ["distsim.step", "distsim.compute", "distsim.allreduce", "distsim.update"] {
+            assert!(names.contains(&name), "missing span {}", name);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
 use apf_models::cancel::CancelToken;
 use apf_models::vit::{ViTConfig, ViTSegmenter};
 use apf_tensor::prelude::*;
+use apf_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use serde::Serialize;
 
 use crate::breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
@@ -61,6 +62,10 @@ pub struct ServeConfig {
     pub policy: DegradationPolicy,
     /// Injected fault schedule (empty in production use).
     pub faults: ServeFaultPlan,
+    /// Telemetry sink for the engine's gauges, histograms, counters, and
+    /// spans. [`Telemetry::disabled`] keeps the hot path at one branch per
+    /// instrumentation point.
+    pub telemetry: Telemetry,
 }
 
 impl ServeConfig {
@@ -79,6 +84,135 @@ impl ServeConfig {
             breaker: BreakerConfig::default(),
             policy,
             faults: ServeFaultPlan::none(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Registry handles for the serving hot path; all inert when the engine was
+/// configured with a disabled [`Telemetry`].
+#[derive(Clone)]
+struct ServeTel {
+    tel: Telemetry,
+    queue_depth: Gauge,
+    admission_s: Histogram,
+    queue_wait_s: Histogram,
+    inference_s: Histogram,
+    request_s: Histogram,
+    requests_total: Counter,
+    faults_injected: Counter,
+    tier_full: Counter,
+    tier_reduced: Counter,
+    tier_coarse: Counter,
+    outcome_completed: Counter,
+    outcome_rejected: Counter,
+    outcome_invalid: Counter,
+    outcome_deadline_queued: Counter,
+    outcome_deadline_inference: Counter,
+    outcome_worker_panic: Counter,
+    outcome_non_finite: Counter,
+    breaker_to_open: Counter,
+    breaker_to_half_open: Counter,
+    breaker_to_closed: Counter,
+}
+
+impl ServeTel {
+    fn new(tel: Telemetry) -> Self {
+        let tier = |t: &'static str| {
+            tel.counter_with(
+                "apf_serve_responses_total",
+                vec![("tier", t.to_string())],
+                "Responses by degradation tier",
+            )
+        };
+        let outcome = |o: &'static str| {
+            tel.counter_with(
+                "apf_serve_outcomes_total",
+                vec![("outcome", o.to_string())],
+                "Responses by outcome class",
+            )
+        };
+        let breaker_to = |s: &'static str| {
+            tel.counter_with(
+                "apf_serve_breaker_transitions_total",
+                vec![("to", s.to_string())],
+                "Circuit-breaker state transitions by destination state",
+            )
+        };
+        ServeTel {
+            queue_depth: tel.gauge(
+                "apf_serve_queue_depth",
+                "Admission queue depth after the most recent push/pop",
+            ),
+            admission_s: tel.histogram(
+                "apf_serve_admission_latency_seconds",
+                "Time spent in submit(): validation + tiering + enqueue",
+            ),
+            queue_wait_s: tel.histogram(
+                "apf_serve_queue_wait_seconds",
+                "Submission-to-worker-pop wait",
+            ),
+            inference_s: tel.histogram(
+                "apf_serve_inference_latency_seconds",
+                "Worker-side inference time (patchify + forward)",
+            ),
+            request_s: tel.histogram(
+                "apf_serve_request_latency_seconds",
+                "Submission-to-response latency, all outcomes",
+            ),
+            requests_total: tel.counter("apf_serve_requests_total", "Requests submitted"),
+            faults_injected: tel.counter(
+                "apf_serve_faults_injected_total",
+                "Faults the injection plan actually fired",
+            ),
+            tier_full: tier("full"),
+            tier_reduced: tier("reduced"),
+            tier_coarse: tier("coarse"),
+            outcome_completed: outcome("completed"),
+            outcome_rejected: outcome("rejected"),
+            outcome_invalid: outcome("invalid_input"),
+            outcome_deadline_queued: outcome("deadline_queued"),
+            outcome_deadline_inference: outcome("deadline_inference"),
+            outcome_worker_panic: outcome("worker_panic"),
+            outcome_non_finite: outcome("non_finite_output"),
+            breaker_to_open: breaker_to("open"),
+            breaker_to_half_open: breaker_to("half_open"),
+            breaker_to_closed: breaker_to("closed"),
+            tel,
+        }
+    }
+
+    fn record_response(&self, resp: &SegResponse) {
+        self.request_s.record(resp.latency_ms / 1e3);
+        match resp.tier {
+            Tier::Full => self.tier_full.inc(),
+            Tier::Reduced => self.tier_reduced.inc(),
+            Tier::Coarse => self.tier_coarse.inc(),
+        }
+        match &resp.outcome {
+            Outcome::Completed { .. } => self.outcome_completed.inc(),
+            Outcome::Rejected { .. } => self.outcome_rejected.inc(),
+            Outcome::InvalidInput { .. } => self.outcome_invalid.inc(),
+            Outcome::DeadlineExceeded { stage: DeadlineStage::Queued } => {
+                self.outcome_deadline_queued.inc()
+            }
+            Outcome::DeadlineExceeded { stage: DeadlineStage::Inference { .. } } => {
+                self.outcome_deadline_inference.inc()
+            }
+            Outcome::WorkerFailure { reason: FailureReason::Panicked } => {
+                self.outcome_worker_panic.inc()
+            }
+            Outcome::WorkerFailure { reason: FailureReason::NonFiniteOutput } => {
+                self.outcome_non_finite.inc()
+            }
+        }
+    }
+
+    fn record_breaker_transition(&self, to: BreakerState) {
+        match to {
+            BreakerState::Open => self.breaker_to_open.inc(),
+            BreakerState::HalfOpen => self.breaker_to_half_open.inc(),
+            BreakerState::Closed => self.breaker_to_closed.inc(),
         }
     }
 }
@@ -189,6 +323,7 @@ struct Shared {
     queue: BoundedQueue<QueuedRequest>,
     metrics: Mutex<ServeMetrics>,
     submitted: AtomicU64,
+    tm: ServeTel,
 }
 
 impl Shared {
@@ -202,6 +337,7 @@ impl Shared {
             latency_ms: q.submitted.elapsed().as_secs_f64() * 1e3,
         };
         self.metrics.lock().unwrap().record(&resp);
+        self.tm.record_response(&resp);
         // A dropped ticket is the caller's prerogative; ignore send errors.
         let _ = q.tx.send(resp);
     }
@@ -251,6 +387,7 @@ impl ServeEngine {
             queue: BoundedQueue::new(cfg.queue_capacity),
             metrics: Mutex::new(ServeMetrics::default()),
             submitted: AtomicU64::new(0),
+            tm: ServeTel::new(cfg.telemetry.clone()),
         });
         let handles = (0..cfg.workers)
             .map(|idx| {
@@ -269,6 +406,10 @@ impl ServeEngine {
     /// backpressure come back *through the ticket* as immediate responses,
     /// so callers handle every outcome in one place.
     pub fn submit(&self, req: SegRequest) -> Ticket {
+        let tm = &self.shared.tm;
+        let _admit_span = tm.tel.span_id("serve.submit", req.id);
+        let _admit_timer = tm.admission_s.start_timer();
+        tm.requests_total.inc();
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let depth = self.shared.queue.len();
@@ -293,6 +434,7 @@ impl ServeEngine {
             let retry_after_ms = self.cfg.retry_after_ms;
             self.shared.respond(q, Outcome::Rejected { retry_after_ms }, None);
         }
+        self.shared.tm.queue_depth.set(self.shared.queue.len() as f64);
         Ticket { rx }
     }
 
@@ -340,9 +482,18 @@ fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
     let model = ViTSegmenter::new(cfg.model, cfg.model_seed);
     let mut breaker = CircuitBreaker::new(cfg.breaker);
     let mut processed: u64 = 0;
+    // Breaker transitions already mirrored into the registry; the breaker
+    // itself stays telemetry-free.
+    let mut transitions_seen = 0usize;
     let poll = Duration::from_millis(cfg.poll_ms.max(1));
     loop {
-        if !breaker.allow() {
+        let allowed = breaker.allow();
+        // allow() can itself transition (open -> half-open after cooldown).
+        for t in &breaker.transitions()[transitions_seen..] {
+            shared.tm.record_breaker_transition(t.to);
+        }
+        transitions_seen = breaker.transitions().len();
+        if !allowed {
             // Open breaker: out of rotation for this poll tick.
             thread::sleep(poll);
             continue;
@@ -352,6 +503,9 @@ fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
             Popped::Empty => continue,
             Popped::Item(q) => q,
         };
+        shared.tm.queue_wait_s.record(q.submitted.elapsed().as_secs_f64());
+        shared.tm.queue_depth.set(shared.queue.len() as f64);
+        let _req_span = shared.tm.tel.span_id("serve.request", q.req.id);
         // Blown already? Don't waste inference on it — and don't blame the
         // worker: deadline misses never feed the breaker.
         if q.deadline.is_some_and(|d| Instant::now() >= d) {
@@ -359,9 +513,16 @@ fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
             continue;
         }
         let fault = cfg.faults.fault_for(idx, processed);
+        if fault.is_some() {
+            shared.tm.faults_injected.inc();
+        }
         processed += 1;
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_inference(&model, &q, fault, cfg)))
-            .unwrap_or(Outcome::WorkerFailure { reason: FailureReason::Panicked });
+        let outcome = {
+            let _span = shared.tm.tel.span_id("serve.inference", q.req.id);
+            let _t = shared.tm.inference_s.start_timer();
+            catch_unwind(AssertUnwindSafe(|| run_inference(&model, &q, fault, cfg, &shared.tm)))
+                .unwrap_or(Outcome::WorkerFailure { reason: FailureReason::Panicked })
+        };
         match &outcome {
             Outcome::Completed { .. } => breaker.record_success(),
             Outcome::WorkerFailure { .. } => breaker.record_failure(),
@@ -369,7 +530,14 @@ fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
             // not the worker.
             _ => {}
         }
+        for t in &breaker.transitions()[transitions_seen..] {
+            shared.tm.record_breaker_transition(t.to);
+        }
+        transitions_seen = breaker.transitions().len();
         shared.respond(q, outcome, Some(idx));
+    }
+    for t in &breaker.transitions()[transitions_seen..] {
+        shared.tm.record_breaker_transition(t.to);
     }
     WorkerReport {
         worker: idx,
@@ -389,6 +557,7 @@ fn run_inference(
     q: &QueuedRequest,
     fault: Option<InferenceFaultKind>,
     cfg: &ServeConfig,
+    tm: &ServeTel,
 ) -> Outcome {
     if let Some(InferenceFaultKind::SlowInference { delay_ms }) = fault {
         thread::sleep(Duration::from_millis(delay_ms));
@@ -403,15 +572,20 @@ fn run_inference(
         .budget_for(q.tier, img.width())
         .min(cfg.model.seq_len)
         .max(1);
-    let seq = match q.tier {
-        Tier::Coarse => coarse_uniform_sequence(img, cfg.policy.coarse_leaf, pm),
-        Tier::Full | Tier::Reduced => {
-            let pc = PatcherConfig::for_resolution(img.width()).with_patch_size(pm);
-            match AdaptivePatcher::new(pc).try_patchify(img) {
-                Ok(seq) => seq,
-                // validate_input already passed at admission, but tier
-                // logic must stay total: surface, don't panic.
-                Err(e) => return Outcome::InvalidInput { reason: e.to_string() },
+    let seq = {
+        let _span = tm.tel.span_id("serve.patchify", q.req.id);
+        match q.tier {
+            Tier::Coarse => coarse_uniform_sequence(img, cfg.policy.coarse_leaf, pm),
+            Tier::Full | Tier::Reduced => {
+                let pc = PatcherConfig::for_resolution(img.width()).with_patch_size(pm);
+                // Same telemetry sink as the engine, so core stage spans
+                // nest inside this request's span tree.
+                match AdaptivePatcher::with_telemetry(pc, tm.tel.clone()).try_patchify(img) {
+                    Ok(seq) => seq,
+                    // validate_input already passed at admission, but tier
+                    // logic must stay total: surface, don't panic.
+                    Err(e) => return Outcome::InvalidInput { reason: e.to_string() },
+                }
             }
         }
     };
@@ -431,6 +605,7 @@ fn run_inference(
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
+    let _fwd_span = tm.tel.span_id("serve.forward", q.req.id);
     let mut g = Graph::new();
     let bp = model.params.bind(&mut g);
     let x = g.constant(tokens);
@@ -664,6 +839,78 @@ mod tests {
         assert!(tos.windows(3).any(|w| {
             w == [BreakerState::Open, BreakerState::HalfOpen, BreakerState::Closed]
         }));
+    }
+
+    #[test]
+    fn telemetry_registry_mirrors_serve_metrics_and_traces_requests() {
+        let tel = Telemetry::enabled();
+        let mut cfg = ServeConfig::small();
+        cfg.telemetry = tel.clone();
+        let engine = ServeEngine::start(cfg);
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|id| {
+                let img = if id == 5 { GrayImage::new(48, 48) } else { test_image(id) };
+                engine.submit(SegRequest { id, image: img, deadline_ms: None })
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let report = engine.shutdown();
+        let snap = tel.snapshot();
+
+        // Counters agree with the mutex-guarded ServeMetrics.
+        let get = |name: &str, labels: &[(&str, &str)]| {
+            snap.get(name, labels).map_or(0.0, |m| m.value) as u64
+        };
+        assert_eq!(get("apf_serve_requests_total", &[]), 6);
+        assert_eq!(
+            get("apf_serve_outcomes_total", &[("outcome", "completed")]),
+            report.metrics.completed
+        );
+        assert_eq!(
+            get("apf_serve_outcomes_total", &[("outcome", "invalid_input")]),
+            report.metrics.invalid_input
+        );
+        assert_eq!(
+            get("apf_serve_responses_total", &[("tier", "full")]),
+            report.metrics.tier_full
+        );
+        // Latency histograms saw every response; queue-wait only the popped.
+        let req_lat = snap.get("apf_serve_request_latency_seconds", &[]).unwrap();
+        assert_eq!(req_lat.histogram.as_ref().unwrap().count, 6);
+        assert_eq!(
+            snap.get("apf_serve_admission_latency_seconds", &[])
+                .unwrap()
+                .histogram
+                .as_ref()
+                .unwrap()
+                .count,
+            6
+        );
+
+        // At least one completed request produced a span tree:
+        // serve.request > serve.inference > serve.patchify > core.* and
+        // serve.forward, all tagged with the same request id.
+        let evs = tel.trace_events();
+        let id = evs
+            .iter()
+            .find(|e| e.name == "serve.forward")
+            .expect("forward span")
+            .id
+            .expect("forward spans carry the request id");
+        for name in ["serve.request", "serve.inference", "serve.patchify"] {
+            assert!(
+                evs.iter().any(|e| e.name == name && e.id == Some(id)),
+                "missing {name} for request {id}"
+            );
+        }
+        assert!(evs.iter().any(|e| e.name == "core.quadtree"));
+
+        // Exposition is prefixed and parseable quantities.
+        let text = tel.render_prometheus();
+        assert!(text.contains("apf_serve_requests_total 6"));
+        apf_telemetry::validate_jsonl(&tel.trace_jsonl()).unwrap();
     }
 
     #[test]

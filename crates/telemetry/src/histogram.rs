@@ -1,0 +1,323 @@
+//! Log-bucketed histograms with atomic recording and quantile estimation.
+//!
+//! Values land in buckets whose upper edges grow geometrically: [`SUB_BUCKETS`]
+//! buckets per factor of two, starting at [`MIN_VALUE`]. The bucket array is
+//! fixed-size, so recording is one `fetch_add` on an `AtomicU64` plus a few
+//! CAS updates for sum/min/max — no locks, no allocation, safe from any
+//! thread. Quantiles (p50/p95/p99) are estimated by walking the cumulative
+//! counts; the estimate is exact to within one log-bucket of the true order
+//! statistic, which for 4 sub-buckets per octave means a relative error
+//! bound of 2^(1/4) ≈ 19%.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Smallest value with its own bucket; everything at or below it (including
+/// zero and negatives) lands in bucket 0.
+pub const MIN_VALUE: f64 = 1e-9;
+/// Buckets per factor of two.
+pub const SUB_BUCKETS: usize = 4;
+/// Powers of two covered above [`MIN_VALUE`] (1e-9 · 2^64 ≈ 1.8e10).
+pub const OCTAVES: usize = 64;
+/// Total bucket count: bucket 0 (underflow) + the log grid + overflow.
+pub const NUM_BUCKETS: usize = OCTAVES * SUB_BUCKETS + 2;
+
+/// Bucket index a value is recorded into.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= MIN_VALUE {
+        // NaN, negatives, zero, and tiny values all underflow to bucket 0.
+        return 0;
+    }
+    // Subtract logs rather than dividing: v / MIN_VALUE overflows to
+    // infinity for huge v. Clamp while still in f64 for the same reason.
+    let pos = ((v.log2() - MIN_VALUE.log2()) * SUB_BUCKETS as f64).floor();
+    pos.clamp(0.0, (NUM_BUCKETS - 2) as f64) as usize + 1
+}
+
+/// Upper edge of a bucket (inclusive); the overflow bucket reports infinity.
+pub fn bucket_upper(idx: usize) -> f64 {
+    if idx == 0 {
+        MIN_VALUE
+    } else if idx >= NUM_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        MIN_VALUE * 2f64.powf(idx as f64 / SUB_BUCKETS as f64)
+    }
+}
+
+fn atomic_f64_update(cell: &AtomicU64, v: f64, pick: impl Fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = pick(f64::from_bits(cur), v);
+        match cell.compare_exchange_weak(
+            cur,
+            new.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// The shared storage behind a [`crate::Histogram`] handle.
+pub struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramCore {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        HistogramCore {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one observation. Lock-free; NaN is coerced to 0.
+    pub fn record(&self, v: f64) {
+        let v = if v.is_nan() { 0.0 } else { v };
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, v, |a, b| a + b);
+        atomic_f64_update(&self.min_bits, v, f64::min);
+        atomic_f64_update(&self.max_bits, v, f64::max);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy (counters are relaxed; a
+    /// snapshot taken during concurrent recording may straddle an update,
+    /// which is fine for reporting).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: if count == 0 { 0.0 } else { f64::from_bits(self.min_bits.load(Ordering::Relaxed)) },
+            max: if count == 0 { 0.0 } else { f64::from_bits(self.max_bits.load(Ordering::Relaxed)) },
+            buckets,
+        }
+    }
+}
+
+/// A frozen histogram: sparse `(bucket index, count)` pairs plus moments.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot { count: 0, sum: 0.0, min: 0.0, max: 0.0, buckets: Vec::new() }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper edge of the bucket
+    /// containing the order statistic of rank `ceil(q · count)`, clamped to
+    /// the recorded `[min, max]` range so the estimate is always a value
+    /// that could plausibly have been observed. Within one log-bucket of
+    /// the exact order statistic by construction.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(idx, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper(idx as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges two snapshots: bucket-wise sum, combined moments. Merging is
+    /// equivalent (bucket-exactly; sums to float tolerance) to recording
+    /// the union of both sample sets into one histogram.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = std::collections::BTreeMap::new();
+        for &(i, n) in self.buckets.iter().chain(other.buckets.iter()) {
+            *buckets.entry(i).or_insert(0u64) += n;
+        }
+        let count = self.count + other.count;
+        HistogramSnapshot {
+            count,
+            sum: self.sum + other.sum,
+            min: match (self.count, other.count) {
+                (0, _) => other.min,
+                (_, 0) => self.min,
+                _ => self.min.min(other.min),
+            },
+            max: match (self.count, other.count) {
+                (0, _) => other.max,
+                (_, 0) => self.max,
+                _ => self.max.max(other.max),
+            },
+            buckets: buckets.into_iter().collect(),
+        }
+    }
+}
+
+/// RAII timer recording elapsed seconds into a histogram on drop. When the
+/// handle is disabled the timer never reads the clock.
+pub struct HistTimer {
+    start: Option<(Instant, std::sync::Arc<HistogramCore>)>,
+}
+
+impl HistTimer {
+    pub(crate) fn new(core: Option<std::sync::Arc<HistogramCore>>) -> Self {
+        HistTimer { start: core.map(|c| (Instant::now(), c)) }
+    }
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some((t0, core)) = self.start.take() {
+            core.record(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_monotone_and_cover() {
+        for i in 1..NUM_BUCKETS - 1 {
+            assert!(bucket_upper(i) > bucket_upper(i - 1), "bucket {i}");
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e300), NUM_BUCKETS - 1);
+        // A value sits at or below its bucket's upper edge and above the
+        // previous bucket's edge.
+        for v in [1e-9, 3e-7, 0.001, 0.5, 1.0, 7.3, 1000.0, 123456.0] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i) * (1.0 + 1e-12), "{v} above edge of {i}");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1) * (1.0 - 1e-12), "{v} below bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = HistogramCore::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        // One-log-bucket accuracy: within a factor of 2^(1/4) of the truth.
+        let tol = 2f64.powf(1.0 / SUB_BUCKETS as f64) * (1.0 + 1e-9);
+        for (q, exact) in [(0.5, 50.0), (0.95, 95.0), (0.99, 99.0)] {
+            let est = s.quantile(q);
+            assert!(
+                est / exact <= tol && exact / est <= tol,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let s = HistogramCore::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_is_bucket_exact() {
+        let a = HistogramCore::new();
+        let b = HistogramCore::new();
+        let u = HistogramCore::new();
+        for v in [0.1, 0.2, 5.0] {
+            a.record(v);
+            u.record(v);
+        }
+        for v in [0.15, 40.0] {
+            b.record(v);
+            u.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        let union = u.snapshot();
+        assert_eq!(merged.buckets, union.buckets);
+        assert_eq!(merged.count, union.count);
+        assert_eq!(merged.min, union.min);
+        assert_eq!(merged.max, union.max);
+        assert!((merged.sum - union.sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(HistogramCore::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64 * 1e-6);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,632 @@
+//! The metrics registry and the [`Telemetry`] facade.
+//!
+//! A [`Telemetry`] is either **enabled** (backed by a shared registry and a
+//! trace sink) or **disabled** (a null pointer in a trench coat). Handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) hold `Option<Arc<..>>` storage:
+//! from a disabled telemetry every handle is `None`, so the hot-path cost of
+//! instrumentation is a single branch on an already-loaded pointer — no
+//! clock reads, no atomics, no allocation. This is what lets the
+//! `telemetry_overhead` gate demand <2% on a real workload.
+//!
+//! The registry itself takes a `Mutex` only at **registration** time
+//! (typically once per process per metric); recording goes straight to the
+//! atomic storage behind the handle. Registering the same `(name, labels)`
+//! pair twice returns a handle to the same storage, so components can be
+//! instantiated repeatedly without double-counting metric families.
+
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+use crate::histogram::{HistTimer, HistogramCore, HistogramSnapshot};
+use crate::span::{SpanGuard, TraceEvent, TraceSink};
+
+/// Label set attached to a metric: `(key, value)` pairs, order-significant.
+pub type Labels = Vec<(&'static str, String)>;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Storage {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+struct MetricEntry {
+    name: &'static str,
+    labels: Labels,
+    help: &'static str,
+    kind: Kind,
+    storage: Storage,
+}
+
+struct Inner {
+    metrics: Mutex<Vec<MetricEntry>>,
+    sink: TraceSink,
+}
+
+impl Inner {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<MetricEntry>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Shared telemetry facade: cloning is cheap and every clone talks to the
+/// same registry and trace sink.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Telemetry")
+                .field("metrics", &inner.lock().len())
+                .field("trace_events", &inner.sink.len())
+                .finish(),
+            None => f.write_str("Telemetry(disabled)"),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+/// Default trace-sink capacity for [`Telemetry::enabled`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
+
+impl Telemetry {
+    /// An enabled telemetry with the default trace-sink capacity.
+    pub fn enabled() -> Self {
+        Telemetry::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled telemetry retaining at most `capacity` spans.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                metrics: Mutex::new(Vec::new()),
+                sink: TraceSink::new(capacity),
+            })),
+        }
+    }
+
+    /// A disabled telemetry: every handle it creates is inert and costs one
+    /// branch per use.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this telemetry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn register<S>(
+        &self,
+        name: &'static str,
+        labels: Labels,
+        help: &'static str,
+        kind: Kind,
+        make: impl FnOnce() -> Storage,
+        extract: impl Fn(&Storage) -> Option<S>,
+    ) -> Option<S> {
+        let inner = self.inner.as_ref()?;
+        debug_assert!(
+            name.starts_with("apf_"),
+            "metric names follow the apf_<crate>_<name>_<unit> convention: {name}"
+        );
+        let mut metrics = inner.lock();
+        if let Some(existing) = metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+        {
+            assert!(
+                existing.kind == kind,
+                "metric {name} re-registered as {} (was {})",
+                kind.as_str(),
+                existing.kind.as_str()
+            );
+            return extract(&existing.storage);
+        }
+        let storage = make();
+        let handle = extract(&storage);
+        metrics.push(MetricEntry { name, labels, help, kind, storage });
+        handle
+    }
+
+    /// Registers (or re-attaches to) a monotonically increasing counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        self.counter_with(name, Vec::new(), help)
+    }
+
+    /// Labelled variant of [`Telemetry::counter`].
+    pub fn counter_with(&self, name: &'static str, labels: Labels, help: &'static str) -> Counter {
+        Counter {
+            cell: self.register(
+                name,
+                labels,
+                help,
+                Kind::Counter,
+                || Storage::Counter(Arc::new(AtomicU64::new(0))),
+                |s| match s {
+                    Storage::Counter(c) => Some(Arc::clone(c)),
+                    _ => None,
+                },
+            ),
+        }
+    }
+
+    /// Registers (or re-attaches to) an f64 gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        self.gauge_with(name, Vec::new(), help)
+    }
+
+    /// Labelled variant of [`Telemetry::gauge`].
+    pub fn gauge_with(&self, name: &'static str, labels: Labels, help: &'static str) -> Gauge {
+        Gauge {
+            bits: self.register(
+                name,
+                labels,
+                help,
+                Kind::Gauge,
+                || Storage::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+                |s| match s {
+                    Storage::Gauge(g) => Some(Arc::clone(g)),
+                    _ => None,
+                },
+            ),
+        }
+    }
+
+    /// Registers (or re-attaches to) a log-bucketed histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        self.histogram_with(name, Vec::new(), help)
+    }
+
+    /// Labelled variant of [`Telemetry::histogram`].
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        labels: Labels,
+        help: &'static str,
+    ) -> Histogram {
+        Histogram {
+            core: self.register(
+                name,
+                labels,
+                help,
+                Kind::Histogram,
+                || Storage::Histogram(Arc::new(HistogramCore::new())),
+                |s| match s {
+                    Storage::Histogram(h) => Some(Arc::clone(h)),
+                    _ => None,
+                },
+            ),
+        }
+    }
+
+    /// Opens a span named `"<crate>.<operation>"`; closes (and records)
+    /// when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.inner {
+            Some(inner) => SpanGuard::enter(&inner.sink, name, None),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// Like [`Telemetry::span`] but tagged with a correlation id (e.g. a
+    /// request id) so one request's span tree can be picked out of a trace.
+    pub fn span_id(&self, name: &'static str, id: u64) -> SpanGuard {
+        match &self.inner {
+            Some(inner) => SpanGuard::enter(&inner.sink, name, Some(id)),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// Completed spans retained by the ring, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.sink.events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Spans as Chrome `trace_event` JSON lines (empty string if disabled).
+    pub fn trace_jsonl(&self) -> String {
+        match &self.inner {
+            Some(inner) => inner.sink.to_jsonl(),
+            None => String::new(),
+        }
+    }
+
+    /// Spans evicted from the bounded trace ring so far.
+    pub fn trace_evicted(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.sink.evicted(),
+            None => 0,
+        }
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut metrics = Vec::new();
+        if let Some(inner) = &self.inner {
+            for m in inner.lock().iter() {
+                let (value, histogram) = match &m.storage {
+                    Storage::Counter(c) => (c.load(Ordering::Relaxed) as f64, None),
+                    Storage::Gauge(g) => (f64::from_bits(g.load(Ordering::Relaxed)), None),
+                    Storage::Histogram(h) => (h.count() as f64, Some(h.snapshot())),
+                };
+                metrics.push(MetricSnapshot {
+                    name: m.name.to_string(),
+                    labels: m
+                        .labels
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                    kind: m.kind.as_str().to_string(),
+                    help: m.help.to_string(),
+                    value,
+                    histogram,
+                });
+            }
+        }
+        TelemetrySnapshot { metrics }
+    }
+
+    /// Prometheus text exposition (format 0.0.4). Histograms are rendered
+    /// as summaries: `_count`, `_sum`, and `quantile`-labelled sample lines
+    /// for p50/p95/p99, plus `_min`/`_max` gauges.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra)
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        // Label values are short identifiers in this codebase; escape the
+        // three characters the exposition format cares about anyway.
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(ch),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One metric frozen at snapshot time.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricSnapshot {
+    /// Metric name (`apf_<crate>_<name>_<unit>`).
+    pub name: String,
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Help text.
+    pub help: String,
+    /// Counter/gauge value; for histograms, the observation count.
+    pub value: f64,
+    /// Bucket data for histograms.
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+/// Every registered metric at a point in time.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetrySnapshot {
+    /// Snapshot entries in registration order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Finds a metric by name and exact label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+
+    /// Prometheus text exposition of the snapshot.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut seen_header: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !seen_header.contains(&m.name.as_str()) {
+                seen_header.push(&m.name);
+                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+                let ty = if m.kind == "histogram" { "summary" } else { &m.kind };
+                out.push_str(&format!("# TYPE {} {}\n", m.name, ty));
+            }
+            match &m.histogram {
+                None => {
+                    out.push_str(&m.name);
+                    render_labels(&mut out, &m.labels, None);
+                    out.push(' ');
+                    out.push_str(&fmt_value(m.value));
+                    out.push('\n');
+                }
+                Some(h) => {
+                    for (q, qs) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        out.push_str(&m.name);
+                        render_labels(&mut out, &m.labels, Some(("quantile", qs)));
+                        out.push(' ');
+                        out.push_str(&fmt_value(h.quantile(q)));
+                        out.push('\n');
+                    }
+                    for (suffix, v) in [
+                        ("_sum", h.sum),
+                        ("_count", h.count as f64),
+                        ("_min", h.min),
+                        ("_max", h.max),
+                    ] {
+                        out.push_str(&m.name);
+                        out.push_str(suffix);
+                        render_labels(&mut out, &m.labels, None);
+                        out.push(' ');
+                        out.push_str(&fmt_value(v));
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Handle to a monotonically increasing counter; inert when its telemetry
+/// is disabled.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// An inert counter (what a disabled telemetry hands out).
+    pub fn noop() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when inert).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to an f64 gauge; inert when its telemetry is disabled.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    bits: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// An inert gauge.
+    pub fn noop() -> Self {
+        Gauge { bits: None }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(b) = &self.bits {
+            b.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when inert).
+    pub fn get(&self) -> f64 {
+        self.bits
+            .as_ref()
+            .map_or(0.0, |b| f64::from_bits(b.load(Ordering::Relaxed)))
+    }
+}
+
+/// Handle to a log-bucketed histogram; inert when its telemetry is
+/// disabled.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// An inert histogram.
+    pub fn noop() -> Self {
+        Histogram { core: None }
+    }
+
+    /// Records one observation (lock-free).
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if let Some(c) = &self.core {
+            c.record(v);
+        }
+    }
+
+    /// Starts a timer that records elapsed **seconds** on drop. Inert
+    /// handles return a timer that never reads the clock.
+    #[inline]
+    pub fn start_timer(&self) -> HistTimer {
+        HistTimer::new(self.core.as_ref().map(Arc::clone))
+    }
+
+    /// Observation count (0 when inert).
+    pub fn count(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.count())
+    }
+
+    /// Frozen copy of the distribution (empty when inert).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |c| c.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let t = Telemetry::disabled();
+        let c = t.counter("apf_test_ops_total", "ops");
+        let g = t.gauge("apf_test_depth", "depth");
+        let h = t.histogram("apf_test_latency_seconds", "latency");
+        c.inc();
+        g.set(5.0);
+        h.record(1.0);
+        drop(h.start_timer());
+        drop(t.span("test.noop"));
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert!(t.trace_events().is_empty());
+        assert!(t.snapshot().metrics.is_empty());
+        assert_eq!(format!("{t:?}"), "Telemetry(disabled)");
+    }
+
+    #[test]
+    fn reregistration_shares_storage() {
+        let t = Telemetry::enabled();
+        let a = t.counter("apf_test_ops_total", "ops");
+        let b = t.counter("apf_test_ops_total", "ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+        // Distinct labels get distinct storage.
+        let l1 = t.counter_with(
+            "apf_test_tier_total",
+            vec![("tier", "full".to_string())],
+            "per-tier",
+        );
+        let l2 = t.counter_with(
+            "apf_test_tier_total",
+            vec![("tier", "coarse".to_string())],
+            "per-tier",
+        );
+        l1.inc();
+        assert_eq!(l1.get(), 1);
+        assert_eq!(l2.get(), 0);
+        assert_eq!(t.snapshot().metrics.len(), 3);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_prefix_and_quantiles() {
+        let t = Telemetry::enabled();
+        t.counter("apf_test_ops_total", "ops").add(5);
+        t.gauge("apf_test_queue_depth", "queue").set(2.0);
+        let h = t.histogram_with(
+            "apf_test_latency_seconds",
+            vec![("phase", "forward".to_string())],
+            "latency",
+        );
+        for i in 1..=10 {
+            h.record(i as f64 * 0.01);
+        }
+        let text = t.render_prometheus();
+        for line in text.lines() {
+            let metric_line = line.strip_prefix("# HELP ").or_else(|| line.strip_prefix("# TYPE ")).unwrap_or(line);
+            assert!(
+                metric_line.starts_with("apf_"),
+                "unprefixed exposition line: {line}"
+            );
+        }
+        assert!(text.contains("apf_test_ops_total 5"));
+        assert!(text.contains("apf_test_queue_depth 2"));
+        assert!(text.contains("apf_test_latency_seconds{phase=\"forward\",quantile=\"0.5\"}"));
+        assert!(text.contains("apf_test_latency_seconds_count{phase=\"forward\"} 10"));
+        assert!(text.contains("# TYPE apf_test_latency_seconds summary"));
+    }
+
+    #[test]
+    fn snapshot_get_and_span_ids() {
+        let t = Telemetry::enabled();
+        t.counter_with(
+            "apf_test_tier_total",
+            vec![("tier", "full".to_string())],
+            "per-tier",
+        )
+        .add(4);
+        let snap = t.snapshot();
+        let m = snap.get("apf_test_tier_total", &[("tier", "full")]).unwrap();
+        assert_eq!(m.value, 4.0);
+        assert!(snap.get("apf_test_tier_total", &[("tier", "coarse")]).is_none());
+
+        drop(t.span_id("test.req", 42));
+        let evs = t.trace_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, Some(42));
+    }
+}

@@ -1,0 +1,295 @@
+//! Structured spans: a thread-local depth stack, RAII guards, and a bounded
+//! ring-buffer trace sink that dumps Chrome `trace_event`-compatible JSON
+//! lines.
+//!
+//! Design constraints:
+//!
+//! * **Drop-safe.** The per-thread state is a plain `Cell<usize>` depth
+//!   counter — no `RefCell`, nothing a panic can poison. A panic unwinding
+//!   through a [`SpanGuard`] runs its `Drop`, which restores the depth it
+//!   captured at entry, so the stack is consistent again the moment the
+//!   unwind passes (verified with `catch_unwind` in the crate tests).
+//! * **Bounded.** The sink is a fixed-capacity ring: old events are evicted,
+//!   never the process's memory. Evictions are counted so a report can say
+//!   how much history was lost.
+//! * **Monotonic.** Timestamps are microseconds since a process-wide
+//!   `Instant` anchor, immune to wall-clock steps.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Process-wide monotonic anchor; all span timestamps are relative to it.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process anchor.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+fn thread_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+thread_local! {
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Current span nesting depth of the calling thread (tests/diagnostics).
+pub fn current_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+/// One completed span, in Chrome `trace_event` "complete event" form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name, `"<crate>.<operation>"` by convention.
+    pub name: &'static str,
+    /// Start, microseconds since the process anchor.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Stable per-thread id (1-based, assignment order).
+    pub tid: u64,
+    /// Nesting depth at entry (0 = root span).
+    pub depth: usize,
+    /// Optional correlation id (e.g. the request id).
+    pub id: Option<u64>,
+}
+
+impl TraceEvent {
+    /// Chrome trace category: the `<crate>` prefix of the name.
+    pub fn category(&self) -> &'static str {
+        self.name.split('.').next().unwrap_or(self.name)
+    }
+
+    /// Renders the event as one Chrome `trace_event` JSON object (phase
+    /// `"X"`, a complete event). Names are `'static` identifiers chosen in
+    /// code, so no string escaping is required.
+    pub fn to_json(&self) -> String {
+        let id_arg = match self.id {
+            Some(id) => format!(",\"id\":{id}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}{}}}}}",
+            self.name,
+            self.category(),
+            self.ts_us,
+            self.dur_us,
+            self.tid,
+            self.depth,
+            id_arg
+        )
+    }
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    evicted: u64,
+}
+
+/// Bounded, shareable span sink.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl TraceSink {
+    /// A sink retaining the most recent `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        TraceSink {
+            inner: Arc::new(Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity: capacity.max(1),
+                evicted: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        // A panic while holding the (tiny) critical section must not take
+        // tracing down with it.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(&self, ev: TraceEvent) {
+        let mut ring = self.lock();
+        if ring.events.len() >= ring.capacity {
+            ring.events.pop_front();
+            ring.evicted += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the capacity bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.lock().evicted
+    }
+
+    /// Dumps the retained spans as JSON lines, one Chrome `trace_event`
+    /// complete-event object per line (load with `jq -s .` or any
+    /// `trace_event` viewer that accepts a JSON array of these objects).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.lock().events.iter() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// RAII span: records a [`TraceEvent`] covering its lifetime. Obtained from
+/// [`crate::Telemetry::span`]; a disabled telemetry hands out inert guards
+/// that never read the clock.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    sink: TraceSink,
+    name: &'static str,
+    id: Option<u64>,
+    start_us: u64,
+    tid: u64,
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// An inert guard (disabled telemetry).
+    pub fn noop() -> Self {
+        SpanGuard { active: None }
+    }
+
+    pub(crate) fn enter(sink: &TraceSink, name: &'static str, id: Option<u64>) -> Self {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                sink: sink.clone(),
+                name,
+                id,
+                start_us: now_us(),
+                tid: thread_tid(),
+                depth,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            // Restore the depth captured at entry rather than decrementing:
+            // even if an inner guard somehow leaked, the stack re-converges.
+            DEPTH.with(|d| d.set(a.depth));
+            a.sink.push(TraceEvent {
+                name: a.name,
+                ts_us: a.start_us,
+                dur_us: now_us().saturating_sub(a.start_us),
+                tid: a.tid,
+                depth: a.depth,
+                id: a.id,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_depths_and_containment() {
+        let sink = TraceSink::new(16);
+        {
+            let _a = SpanGuard::enter(&sink, "test.outer", Some(7));
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _b = SpanGuard::enter(&sink, "test.inner", None);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        assert_eq!(current_depth(), 0);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        // Inner closes first.
+        assert_eq!(evs[0].name, "test.inner");
+        assert_eq!(evs[0].depth, 1);
+        assert_eq!(evs[1].name, "test.outer");
+        assert_eq!(evs[1].depth, 0);
+        assert_eq!(evs[1].id, Some(7));
+        // Parent interval contains the child interval.
+        assert!(evs[1].ts_us <= evs[0].ts_us);
+        assert!(evs[1].ts_us + evs[1].dur_us >= evs[0].ts_us + evs[0].dur_us);
+        assert_eq!(evs[0].category(), "test");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let sink = TraceSink::new(3);
+        for i in 0..5u64 {
+            drop(SpanGuard::enter(&sink, "test.e", Some(i)));
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(sink.evicted(), 2);
+        assert_eq!(evs[0].id, Some(2));
+        assert_eq!(evs[2].id, Some(4));
+    }
+
+    #[test]
+    fn json_shape_is_chrome_compatible() {
+        let ev = TraceEvent {
+            name: "serve.request",
+            ts_us: 12,
+            dur_us: 34,
+            tid: 2,
+            depth: 1,
+            id: Some(9),
+        };
+        let s = ev.to_json();
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"cat\":\"serve\""));
+        assert!(s.contains("\"ts\":12"));
+        assert!(s.contains("\"dur\":34"));
+        assert!(s.contains("\"id\":9"));
+        crate::jsonl::validate_json(&s).expect("trace event must be valid JSON");
+    }
+}

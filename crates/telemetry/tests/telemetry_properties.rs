@@ -1,0 +1,143 @@
+//! Property tests for histogram quantile accuracy and merge semantics,
+//! plus panic-safety tests for the span stack.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use apf_telemetry::histogram::{bucket_index, HistogramCore};
+use apf_telemetry::{current_depth, Telemetry};
+use proptest::prelude::*;
+
+/// Exact order statistic at quantile `q` under the same rank convention the
+/// histogram uses: rank `ceil(q · n)` clamped to `[1, n]`, 1-indexed.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantile_estimate_within_one_log_bucket(
+        samples in prop::collection::vec(1e-6f64..1e4, 1..=400)
+    ) {
+        let h = HistogramCore::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.95, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            let (be, bx) = (bucket_index(est), bucket_index(exact));
+            prop_assert!(
+                be.abs_diff(bx) <= 1,
+                "q={}: estimate {} (bucket {}) vs exact {} (bucket {})",
+                q, est, be, exact, bx
+            );
+            // The clamp to [min, max] also keeps the estimate inside the
+            // observed range.
+            prop_assert!(est >= snap.min && est <= snap.max);
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(
+        xs in prop::collection::vec(1e-6f64..1e4, 0..=200),
+        ys in prop::collection::vec(1e-6f64..1e4, 0..=200)
+    ) {
+        let (a, b, u) = (HistogramCore::new(), HistogramCore::new(), HistogramCore::new());
+        for &v in &xs {
+            a.record(v);
+            u.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            u.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        let union = u.snapshot();
+        prop_assert_eq!(merged.count, union.count);
+        prop_assert_eq!(merged.buckets.clone(), union.buckets.clone());
+        prop_assert_eq!(merged.min, union.min);
+        prop_assert_eq!(merged.max, union.max);
+        // Sums may differ by float addition order only.
+        let scale = union.sum.abs().max(1.0);
+        prop_assert!(
+            (merged.sum - union.sum).abs() <= 1e-9 * scale,
+            "sum mismatch: {} vs {}", merged.sum, union.sum
+        );
+        // Quantiles of the merged snapshot match the union's exactly —
+        // they are computed from identical bucket data.
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(merged.quantile(q), union.quantile(q));
+        }
+    }
+}
+
+#[test]
+fn panic_inside_span_does_not_poison_the_stack() {
+    let tel = Telemetry::enabled();
+    assert_eq!(current_depth(), 0);
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _outer = tel.span("test.outer");
+        let _inner = tel.span("test.inner");
+        assert_eq!(current_depth(), 2);
+        panic!("boom");
+    }));
+    assert!(result.is_err());
+
+    // The unwind ran both guards' Drops: depth is back to 0 and both spans
+    // were still recorded.
+    assert_eq!(current_depth(), 0);
+    let evs = tel.trace_events();
+    assert_eq!(evs.len(), 2);
+    assert_eq!(evs[0].name, "test.inner");
+    assert_eq!(evs[1].name, "test.outer");
+
+    // The stack is fully usable afterwards: new spans nest from depth 0.
+    {
+        let _next = tel.span("test.after");
+        assert_eq!(current_depth(), 1);
+    }
+    let evs = tel.trace_events();
+    assert_eq!(evs[2].name, "test.after");
+    assert_eq!(evs[2].depth, 0);
+}
+
+#[test]
+fn panic_while_sink_is_shared_across_threads_keeps_recording() {
+    let tel = Telemetry::enabled();
+    let tel2 = tel.clone();
+    std::thread::spawn(move || {
+        let _s = tel2.span("test.doomed");
+        panic!("thread dies inside a span");
+    })
+    .join()
+    .unwrap_err();
+
+    // The dead thread's span was recorded on unwind, and this thread can
+    // keep tracing through the same (unpoisoned) sink.
+    {
+        let _s = tel.span("test.survivor");
+    }
+    let names: Vec<&str> = tel.trace_events().iter().map(|e| e.name).collect();
+    assert!(names.contains(&"test.doomed"));
+    assert!(names.contains(&"test.survivor"));
+}
+
+#[test]
+fn trace_jsonl_round_trips_through_the_validator() {
+    let tel = Telemetry::enabled();
+    for i in 0..5u64 {
+        let _outer = tel.span_id("test.request", i);
+        let _inner = tel.span("test.phase");
+    }
+    let doc = tel.trace_jsonl();
+    let lines = apf_telemetry::validate_jsonl(&doc).expect("trace must be valid JSON lines");
+    assert_eq!(lines, 10);
+}

@@ -9,6 +9,7 @@ use apf_models::params::{BoundParams, ParamId, ParamSet};
 use apf_models::swin::SwinUnetr;
 use apf_models::unetr::Unetr2d;
 use apf_models::vit::{ViTClassifier, ViTSegmenter};
+use apf_telemetry::{Histogram, Telemetry};
 use apf_tensor::prelude::*;
 use serde::Serialize;
 
@@ -126,6 +127,42 @@ pub(crate) fn apply_grads(g: &mut Graph, bp: &BoundParams, params: &mut ParamSet
     opt.step(params, &grads);
 }
 
+/// Per-phase step timing handles (`apf_train_step_phase_seconds{phase=..}`).
+/// Every handle is inert when built from [`Telemetry::disabled`], so the
+/// uninstrumented path costs one branch per phase.
+#[derive(Clone, Default)]
+pub(crate) struct TrainTel {
+    pub(crate) tel: Telemetry,
+    pub(crate) batch_gen_s: Histogram,
+    pub(crate) forward_s: Histogram,
+    pub(crate) backward_s: Histogram,
+    pub(crate) optimizer_s: Histogram,
+    pub(crate) step_s: Histogram,
+}
+
+impl TrainTel {
+    pub(crate) fn new(tel: Telemetry) -> Self {
+        let phase = |p: &'static str| {
+            tel.histogram_with(
+                "apf_train_step_phase_seconds",
+                vec![("phase", p.to_string())],
+                "Wall-clock seconds per training-step phase",
+            )
+        };
+        TrainTel {
+            batch_gen_s: phase("batch_gen"),
+            forward_s: phase("forward"),
+            backward_s: phase("backward"),
+            optimizer_s: phase("optimizer"),
+            step_s: tel.histogram(
+                "apf_train_step_seconds",
+                "Wall-clock seconds per full gradient step",
+            ),
+            tel,
+        }
+    }
+}
+
 /// Trainer for token-sequence segmentation models.
 pub struct SegTrainer<M: TokenSegModel> {
     /// The model being trained.
@@ -134,11 +171,18 @@ pub struct SegTrainer<M: TokenSegModel> {
     loss_cfg: ComboLossConfig,
     epoch: usize,
     grad_clip: Option<f32>,
+    tm: TrainTel,
 }
 
 impl<M: TokenSegModel> SegTrainer<M> {
     /// Creates a trainer with AdamW and the paper's combined loss.
     pub fn new(model: M, opt_cfg: AdamWConfig) -> Self {
+        Self::with_telemetry(model, opt_cfg, Telemetry::disabled())
+    }
+
+    /// Like [`SegTrainer::new`], but records per-phase step timing
+    /// (batch-gen / forward / backward / optimizer) into `tel`.
+    pub fn with_telemetry(model: M, opt_cfg: AdamWConfig, tel: Telemetry) -> Self {
         let opt = AdamW::new(opt_cfg, model.params().len());
         SegTrainer {
             model,
@@ -146,6 +190,7 @@ impl<M: TokenSegModel> SegTrainer<M> {
             loss_cfg: ComboLossConfig::default(),
             epoch: 0,
             grad_clip: None,
+            tm: TrainTel::new(tel),
         }
     }
 
@@ -158,19 +203,33 @@ impl<M: TokenSegModel> SegTrainer<M> {
 
     /// One gradient step on a batch; returns the loss.
     pub fn step(&mut self, tokens: &Tensor, masks: &Tensor) -> f64 {
+        let _step_span = self.tm.tel.span("train.step");
+        let _step_timer = self.tm.step_s.start_timer();
         let mut g = Graph::new();
         let bp = self.model.params().bind(&mut g);
         let x = g.constant(tokens.clone());
         let y = g.constant(masks.clone());
-        let logits = self.model.forward(&mut g, &bp, x, true);
-        let loss = combo_loss(&mut g, logits, y, self.loss_cfg);
-        g.backward(loss);
-        let lv = g.value(loss).item() as f64;
-        let mut grads = collect_grads(&mut g, &bp);
-        if let Some(max_norm) = self.grad_clip {
-            crate::optim::clip_grad_norm(&mut grads, max_norm);
+        let loss = {
+            let _span = self.tm.tel.span("train.forward");
+            let _t = self.tm.forward_s.start_timer();
+            let logits = self.model.forward(&mut g, &bp, x, true);
+            combo_loss(&mut g, logits, y, self.loss_cfg)
+        };
+        let lv = {
+            let _span = self.tm.tel.span("train.backward");
+            let _t = self.tm.backward_s.start_timer();
+            g.backward(loss);
+            g.value(loss).item() as f64
+        };
+        {
+            let _span = self.tm.tel.span("train.optimizer");
+            let _t = self.tm.optimizer_s.start_timer();
+            let mut grads = collect_grads(&mut g, &bp);
+            if let Some(max_norm) = self.grad_clip {
+                crate::optim::clip_grad_norm(&mut grads, max_norm);
+            }
+            self.opt.step(self.model.params_mut(), &grads);
         }
-        self.opt.step(self.model.params_mut(), &grads);
         lv
     }
 
@@ -253,7 +312,11 @@ impl<M: TokenSegModel> SegTrainer<M> {
         let mut train_loss = 0.0;
         let batches = train.epoch_batches(batch_size, self.epoch as u64);
         for b in &batches {
-            let (x, y) = train.batch(b);
+            let (x, y) = {
+                let _span = self.tm.tel.span("train.batch_gen");
+                let _t = self.tm.batch_gen_s.start_timer();
+                train.batch(b)
+            };
             train_loss += self.step(&x, &y);
         }
         train_loss /= batches.len().max(1) as f64;
@@ -554,6 +617,43 @@ mod tests {
         };
         assert!(diff(&unclipped, &tight) > 0.0, "tight clip changed nothing");
         assert_eq!(diff(&unclipped, &loose), 0.0, "loose clip altered the step");
+    }
+
+    #[test]
+    fn telemetry_records_per_phase_step_timing() {
+        let ds = tiny_dataset(4);
+        let train = ds.subset(&[0, 1, 2]);
+        let val = ds.subset(&[3]);
+        let tel = Telemetry::enabled();
+        let model = Unetr2d::new(UnetrConfig::tiny(4, 4, GridOrder::Morton), 5);
+        let mut tr = SegTrainer::with_telemetry(model, AdamWConfig::default(), tel.clone());
+        tr.run_epoch(&train, &val, 2, false);
+
+        let snap = tel.snapshot();
+        let steps = snap
+            .get("apf_train_step_seconds", &[])
+            .and_then(|m| m.histogram.clone())
+            .expect("step histogram registered");
+        assert_eq!(steps.count, 2, "2 batches of 2 over 3 samples -> 2 steps");
+        for phase in ["batch_gen", "forward", "backward", "optimizer"] {
+            let h = snap
+                .get("apf_train_step_phase_seconds", &[("phase", phase)])
+                .and_then(|m| m.histogram.clone())
+                .unwrap_or_else(|| panic!("phase {} registered", phase));
+            assert_eq!(h.count, 2, "phase {} recorded once per step", phase);
+            assert!(h.sum >= 0.0);
+        }
+        // The span trace carries one train.step tree per step, with the
+        // three phases nested beneath it.
+        let names: Vec<&str> = tel.trace_events().iter().map(|e| e.name).collect();
+        for name in ["train.step", "train.forward", "train.backward", "train.optimizer"] {
+            assert!(names.contains(&name), "missing span {} in {:?}", name, names);
+        }
+
+        // A disabled trainer must behave identically with zero registry.
+        let model2 = Unetr2d::new(UnetrConfig::tiny(4, 4, GridOrder::Morton), 5);
+        let mut plain = SegTrainer::new(model2, AdamWConfig::default());
+        plain.step(&val.batch(&[0]).0, &val.batch(&[0]).1);
     }
 
     #[test]

@@ -14,6 +14,18 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> serve_soak resilience gate"
+# A failed soak must not leave yesterday's results lying around looking
+# fresh: clear the artifacts up front and require the binary (which writes
+# atomically via temp-file + rename) to have produced them again.
+rm -f results/serve_soak.json results/serve_soak_trace.jsonl results/serve_soak_metrics.prom
 cargo run --release -q -p apf-bench --bin serve_soak -- --steps 200 --seed 7
+for f in results/serve_soak.json results/serve_soak_trace.jsonl results/serve_soak_metrics.prom; do
+  test -s "$f" || { echo "missing soak artifact: $f" >&2; exit 1; }
+done
+
+echo "==> telemetry_overhead gate (disabled hooks < 2%)"
+rm -f results/telemetry_overhead.json
+cargo run --release -q -p apf-bench --bin telemetry_overhead
+test -s results/telemetry_overhead.json || { echo "missing telemetry_overhead.json" >&2; exit 1; }
 
 echo "==> all checks passed"
