@@ -1,0 +1,275 @@
+//! Gate: the fast-path tensor kernels must actually be fast.
+//!
+//! Two measurements, both judged by the fastest observed iteration
+//! (timing noise is strictly additive, so the minimum estimates the
+//! uninterrupted cost):
+//!
+//! 1. **SGEMM** at a transformer projection shape (256 x 768 x 768): the
+//!    packed/tiled kernel must deliver at least [`MIN_GEMM_SPEEDUP`]x the
+//!    throughput of the row-streaming `gemm_naive` it replaced.
+//! 2. **Attention** at serving scale (S = 1024, 4 batch-heads, Dh = 64):
+//!    the fused streaming kernel must beat an *honest* materialized arm
+//!    that uses the same fast GEMM for `q k^T` and `p v` plus a row
+//!    softmax — i.e. fusing must win even against the upgraded baseline,
+//!    not just against the old naive one.
+//!
+//! The run installs a live global telemetry registry, so the report also
+//! captures the `apf_tensor_*` counters (packed-panel reuse, fused-kernel
+//! hits) as a cross-check that the intended code paths executed.
+//!
+//! Usage: `cargo run --release -p apf-bench --bin kernel_bench
+//!         [--iters 7] [--quick]`
+
+use apf_bench::{print_table, save_json, Args};
+use apf_tensor::kernels::attention::fused_attention_forward;
+use apf_tensor::kernels::gemm::{gemm, gemm_naive, gemm_packed};
+use apf_tensor::prelude::*;
+use apf_telemetry::Telemetry;
+use serde::Serialize;
+
+/// Acceptance bound for the packed SGEMM (issue: ">= 2x at 256x768x768").
+const MIN_GEMM_SPEEDUP: f64 = 2.0;
+/// Re-measure attempts before the gate gives up on a noisy machine.
+const MAX_ATTEMPTS: usize = 4;
+
+const GEMM_M: usize = 256;
+const GEMM_K: usize = 768;
+const GEMM_N: usize = 768;
+
+const ATTN_BH: usize = 4;
+const ATTN_S: usize = 1024;
+const ATTN_DH: usize = 64;
+
+#[derive(Serialize)]
+struct KernelReport {
+    gemm_shape: [usize; 3],
+    gemm_naive_s: f64,
+    gemm_packed_s: f64,
+    gemm_naive_gflops: f64,
+    gemm_packed_gflops: f64,
+    gemm_speedup: f64,
+    min_gemm_speedup: f64,
+    attn_shape: [usize; 3],
+    attn_materialized_s: f64,
+    attn_fused_s: f64,
+    attn_speedup: f64,
+    counters: Counters,
+    passed: bool,
+}
+
+#[derive(Serialize)]
+struct Counters {
+    gemm_packed_total: f64,
+    gemm_naive_total: f64,
+    packed_panels_total: f64,
+    packed_panel_reuse_total: f64,
+    fused_attention_total: f64,
+}
+
+fn min_time(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Materialized attention built from the SAME fast GEMM plus a row
+/// softmax — the strongest non-fused baseline available in this codebase.
+#[allow(clippy::too_many_arguments)]
+fn attention_materialized(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    bh: usize,
+    s: usize,
+    dh: usize,
+    scale: f32,
+    kt: &mut [f32],
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
+    for b in 0..bh {
+        let qb = &q[b * s * dh..(b + 1) * s * dh];
+        let kb = &k[b * s * dh..(b + 1) * s * dh];
+        let vb = &v[b * s * dh..(b + 1) * s * dh];
+        // Transpose K so the contraction is a plain [S,Dh] x [Dh,S] GEMM.
+        for r in 0..s {
+            for c in 0..dh {
+                kt[c * s + r] = kb[r * dh + c];
+            }
+        }
+        gemm(qb, kt, scores, s, dh, s);
+        for row in scores.chunks_mut(s) {
+            let mx = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b * scale));
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x * scale - mx).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        gemm(scores, vb, &mut out[b * s * dh..(b + 1) * s * dh], s, s, dh);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let iters = args.get("iters", if quick { 3usize } else { 7 });
+
+    let tel = Telemetry::enabled();
+    Telemetry::install_global(tel.clone());
+
+    // ---- SGEMM: packed vs naive at a transformer projection shape ----
+    let a = Tensor::rand_uniform([GEMM_M, GEMM_K], -1.0, 1.0, 1).to_vec();
+    let b = Tensor::rand_uniform([GEMM_K, GEMM_N], -1.0, 1.0, 2).to_vec();
+    let mut c = vec![0.0f32; GEMM_M * GEMM_N];
+    let flops = 2.0 * GEMM_M as f64 * GEMM_K as f64 * GEMM_N as f64;
+
+    // ---- Attention: fused streaming vs materialized-with-fast-GEMM ----
+    let q = Tensor::rand_uniform([ATTN_BH, ATTN_S, ATTN_DH], -1.0, 1.0, 3).to_vec();
+    let k = Tensor::rand_uniform([ATTN_BH, ATTN_S, ATTN_DH], -1.0, 1.0, 4).to_vec();
+    let v = Tensor::rand_uniform([ATTN_BH, ATTN_S, ATTN_DH], -1.0, 1.0, 5).to_vec();
+    let scale = 1.0 / (ATTN_DH as f32).sqrt();
+    let mut kt = vec![0.0f32; ATTN_DH * ATTN_S];
+    let mut scores = vec![0.0f32; ATTN_S * ATTN_S];
+    let mut out_m = vec![0.0f32; ATTN_BH * ATTN_S * ATTN_DH];
+    let mut out_f = vec![0.0f32; ATTN_BH * ATTN_S * ATTN_DH];
+    let mut lse = vec![0.0f32; ATTN_BH * ATTN_S];
+
+    // Timing noise is additive, so minima only improve with more samples:
+    // a failing attempt re-measures every arm and keeps the global best,
+    // which converges on the true cost instead of flaking on a noisy run.
+    let (mut naive_s, mut packed_s) = (f64::INFINITY, f64::INFINITY);
+    let (mut mat_s, mut fused_s) = (f64::INFINITY, f64::INFINITY);
+    let (mut gemm_speedup, mut attn_speedup) = (0.0, 0.0);
+    for attempt in 0..MAX_ATTEMPTS {
+        naive_s = naive_s.min(min_time(iters, || {
+            gemm_naive(&a, &b, std::hint::black_box(&mut c), GEMM_M, GEMM_K, GEMM_N);
+        }));
+        packed_s = packed_s.min(min_time(iters, || {
+            gemm_packed(&a, &b, std::hint::black_box(&mut c), GEMM_M, GEMM_K, GEMM_N);
+        }));
+        mat_s = mat_s.min(min_time(iters, || {
+            attention_materialized(
+                &q,
+                &k,
+                &v,
+                ATTN_BH,
+                ATTN_S,
+                ATTN_DH,
+                scale,
+                &mut kt,
+                &mut scores,
+                std::hint::black_box(&mut out_m),
+            );
+        }));
+        fused_s = fused_s.min(min_time(iters, || {
+            fused_attention_forward(
+                &q,
+                &k,
+                &v,
+                None,
+                ATTN_BH,
+                ATTN_S,
+                ATTN_S,
+                ATTN_DH,
+                scale,
+                32,
+                64,
+                std::hint::black_box(&mut out_f),
+                &mut lse,
+            );
+        }));
+        gemm_speedup = naive_s / packed_s;
+        attn_speedup = mat_s / fused_s;
+        if gemm_speedup >= MIN_GEMM_SPEEDUP && attn_speedup > 1.0 {
+            break;
+        }
+        eprintln!(
+            "attempt {}: SGEMM {:.2}x / attention {:.2}x below gate; re-measuring",
+            attempt + 1,
+            gemm_speedup,
+            attn_speedup
+        );
+    }
+
+    // Sanity: the two attention arms agree (fusing must not change math).
+    for (i, (f, m)) in out_f.iter().zip(out_m.iter()).enumerate() {
+        assert!((f - m).abs() < 1e-4, "attention arms diverged at {}: {} vs {}", i, f, m);
+    }
+
+    let snap = tel.snapshot();
+    let count = |name: &str| snap.get(name, &[]).map_or(0.0, |m| m.value);
+    let counters = Counters {
+        gemm_packed_total: count("apf_tensor_gemm_packed_total"),
+        gemm_naive_total: count("apf_tensor_gemm_naive_total"),
+        packed_panels_total: count("apf_tensor_packed_panels_total"),
+        packed_panel_reuse_total: count("apf_tensor_packed_panel_reuse_total"),
+        fused_attention_total: count("apf_tensor_fused_attention_total"),
+    };
+    let passed = gemm_speedup >= MIN_GEMM_SPEEDUP && attn_speedup > 1.0;
+
+    print_table(
+        "kernel_bench — fast-path kernels vs naive references",
+        &["measurement", "value"],
+        &[
+            vec![
+                format!("gemm_naive {}x{}x{}", GEMM_M, GEMM_K, GEMM_N),
+                format!("{:.4} s  ({:.2} GFLOP/s)", naive_s, flops / naive_s / 1e9),
+            ],
+            vec![
+                "gemm_packed (same shape)".into(),
+                format!("{:.4} s  ({:.2} GFLOP/s)", packed_s, flops / packed_s / 1e9),
+            ],
+            vec!["gemm speedup".into(), format!("{:.2}x (need >= {:.1}x)", gemm_speedup, MIN_GEMM_SPEEDUP)],
+            vec![
+                format!("attention materialized S={}", ATTN_S),
+                format!("{:.4} s", mat_s),
+            ],
+            vec!["attention fused (same shape)".into(), format!("{:.4} s", fused_s)],
+            vec!["attention speedup".into(), format!("{:.2}x (need > 1x)", attn_speedup)],
+            vec!["packed panels / reuse".into(), format!("{} / {}", counters.packed_panels_total, counters.packed_panel_reuse_total)],
+        ],
+    );
+    save_json(
+        "kernel_bench",
+        &KernelReport {
+            gemm_shape: [GEMM_M, GEMM_K, GEMM_N],
+            gemm_naive_s: naive_s,
+            gemm_packed_s: packed_s,
+            gemm_naive_gflops: flops / naive_s / 1e9,
+            gemm_packed_gflops: flops / packed_s / 1e9,
+            gemm_speedup,
+            min_gemm_speedup: MIN_GEMM_SPEEDUP,
+            attn_shape: [ATTN_BH, ATTN_S, ATTN_DH],
+            attn_materialized_s: mat_s,
+            attn_fused_s: fused_s,
+            attn_speedup,
+            counters,
+            passed,
+        },
+    );
+    assert!(
+        gemm_speedup >= MIN_GEMM_SPEEDUP,
+        "packed SGEMM speedup {:.2}x below the {:.1}x gate",
+        gemm_speedup,
+        MIN_GEMM_SPEEDUP
+    );
+    assert!(
+        attn_speedup > 1.0,
+        "fused attention ({:.4} s) lost to the materialized path ({:.4} s)",
+        fused_s,
+        mat_s
+    );
+    println!(
+        "kernel gate passed: SGEMM {:.2}x, fused attention {:.2}x",
+        gemm_speedup, attn_speedup
+    );
+}

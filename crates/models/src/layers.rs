@@ -35,6 +35,20 @@ impl Linear {
         let y = g.matmul(x, bp.var(self.w));
         g.badd(y, bp.var(self.b))
     }
+
+    /// Applies the layer followed by GELU as one fused `gelu(xW + b)` node
+    /// (bias-add and activation share a single output buffer). Under
+    /// `APF_NAIVE_KERNELS` this falls back to the unfused
+    /// `badd` + `gelu` pair.
+    pub fn forward_bias_gelu(&self, g: &mut Graph, bp: &BoundParams, x: Var) -> Var {
+        let y = g.matmul(x, bp.var(self.w));
+        if apf_tensor::kernels::naive_kernels() {
+            let y = g.badd(y, bp.var(self.b));
+            g.gelu(y)
+        } else {
+            g.bias_gelu(y, bp.var(self.b))
+        }
+    }
 }
 
 /// Layer normalization over the last dim with learned affine.
@@ -75,10 +89,10 @@ impl Mlp {
         }
     }
 
-    /// Applies the block.
+    /// Applies the block. The first linear + GELU run as one fused node
+    /// (see [`Linear::forward_bias_gelu`]).
     pub fn forward(&self, g: &mut Graph, bp: &BoundParams, x: Var) -> Var {
-        let h = self.fc1.forward(g, bp, x);
-        let h = g.gelu(h);
+        let h = self.fc1.forward_bias_gelu(g, bp, x);
         self.fc2.forward(g, bp, h)
     }
 }

@@ -45,6 +45,11 @@ impl MultiHeadAttention {
     /// still produces a query/output row, which the loss can ignore).
     /// Use this when sequences are padded to a fixed `L` (Algorithm 1's
     /// zero-padding) so padding cannot dilute the attention of real tokens.
+    ///
+    /// The score computation dispatches on the kernel mode: the default is
+    /// the fused streaming kernel (one graph node, no `[B*H, L, L]` score
+    /// tensor); `APF_NAIVE_KERNELS` rebuilds the original materialized
+    /// matmul/softmax subgraph for bisection.
     pub fn forward_with_key_mask(
         &self,
         g: &mut Graph,
@@ -57,6 +62,12 @@ impl MultiHeadAttention {
         let (b, l, d) = (dims[0], dims[1], dims[2]);
         assert_eq!(d, self.dim);
         let dh = d / self.heads;
+        if let Some(mask) = key_mask {
+            assert_eq!(mask.len(), b, "one key mask per batch sample");
+            for sample_mask in mask {
+                assert_eq!(sample_mask.len(), l, "mask length must equal L");
+            }
+        }
 
         let q = self.wq.forward(g, bp, x);
         let k = self.wk.forward(g, bp, x);
@@ -65,30 +76,48 @@ impl MultiHeadAttention {
         let q = split_heads(g, q, b, l, self.heads, dh);
         let k = split_heads(g, k, b, l, self.heads, dh);
         let v = split_heads(g, v, b, l, self.heads, dh);
+        let scale = 1.0 / (dh as f32).sqrt();
 
-        let kt = g.transpose_last(k);
-        let mut scores = g.matmul(q, kt); // [B*H, L, L]
-        scores = g.scale(scores, 1.0 / (dh as f32).sqrt());
-        if let Some(mask) = key_mask {
-            assert_eq!(mask.len(), b, "one key mask per batch sample");
-            // Additive bias: -1e9 on masked keys, tiled over heads and
-            // query rows.
-            let mut bias = Vec::with_capacity(b * self.heads * l * l);
-            for sample_mask in mask {
-                assert_eq!(sample_mask.len(), l, "mask length must equal L");
-                let row: Vec<f32> = sample_mask
-                    .iter()
-                    .map(|&keep| if keep { 0.0 } else { -1e9 })
-                    .collect();
-                for _ in 0..self.heads * l {
-                    bias.extend_from_slice(&row);
+        let out = if apf_tensor::kernels::naive_kernels() {
+            let kt = g.transpose_last(k);
+            let mut scores = g.matmul(q, kt); // [B*H, L, L]
+            scores = g.scale(scores, scale);
+            if let Some(mask) = key_mask {
+                // Additive bias: -1e9 on masked keys, tiled over heads and
+                // query rows.
+                let mut bias = Vec::with_capacity(b * self.heads * l * l);
+                for sample_mask in mask {
+                    let row: Vec<f32> = sample_mask
+                        .iter()
+                        .map(|&keep| if keep { 0.0 } else { -1e9 })
+                        .collect();
+                    for _ in 0..self.heads * l {
+                        bias.extend_from_slice(&row);
+                    }
                 }
+                let bias = g.constant(Tensor::new([b * self.heads, l, l], bias));
+                scores = g.add(scores, bias);
             }
-            let bias = g.constant(Tensor::new([b * self.heads, l, l], bias));
-            scores = g.add(scores, bias);
-        }
-        let attn = g.softmax(scores);
-        let out = g.matmul(attn, v); // [B*H, L, Dh]
+            let attn = g.softmax(scores);
+            g.matmul(attn, v) // [B*H, L, Dh]
+        } else {
+            // Fused path: the mask shrinks to a per-key bias row ([B*H, L]
+            // instead of [B*H, L, L]) and the scores never materialize.
+            let key_bias = key_mask.map(|mask| {
+                let mut bias = Vec::with_capacity(b * self.heads * l);
+                for sample_mask in mask {
+                    let row: Vec<f32> = sample_mask
+                        .iter()
+                        .map(|&keep| if keep { 0.0 } else { -1e9 })
+                        .collect();
+                    for _ in 0..self.heads {
+                        bias.extend_from_slice(&row);
+                    }
+                }
+                std::sync::Arc::new(bias)
+            });
+            g.fused_attention(q, k, v, scale, key_bias)
+        };
 
         let out = merge_heads(g, out, b, l, self.heads, dh);
         self.wo.forward(g, bp, out)
@@ -320,24 +349,37 @@ mod tests {
     }
 
     #[test]
-    fn attention_cost_grows_with_sequence_length() {
-        // Graph node count is a proxy for work: quadratic attention should
-        // create the same node count, but value sizes grow; check the score
-        // matrix is L x L.
+    fn fused_attention_avoids_score_matrix_and_matches_naive_path() {
+        // The fused kernel is the default; its defining property is that no
+        // [B*H, L, L] score tensor ever appears on the tape, while the
+        // output matches the materialized matmul/softmax path.
         let mut ps = ParamSet::new();
         let attn = MultiHeadAttention::new(&mut ps, "a", 4, 1, 9);
+        let x = Tensor::rand_uniform([1, 6, 4], -1.0, 1.0, 10);
+
+        apf_tensor::kernels::force_kernel_mode(Some(apf_tensor::kernels::KernelMode::Fast));
         let mut g = Graph::new();
         let bp = ps.bind(&mut g);
-        let x = g.constant(Tensor::rand_uniform([1, 6, 4], -1.0, 1.0, 10));
+        let xv = g.constant(x.clone());
         let before = g.len();
-        let _ = attn.forward(&mut g, &bp, x);
-        // Find the softmax node and verify its [B*H, L, L] shape.
-        let mut found = false;
-        for i in before..g.len() {
-            if g.node_value(i).dims() == [1, 6, 6] {
-                found = true;
-            }
+        let out_fast = attn.forward(&mut g, &bp, xv);
+        let fast_vals = g.value(out_fast).to_vec();
+        let has_score_node = (before..g.len()).any(|i| g.node_value(i).dims() == [1, 6, 6]);
+        assert!(!has_score_node, "fused path materialized an L x L score matrix");
+
+        apf_tensor::kernels::force_kernel_mode(Some(apf_tensor::kernels::KernelMode::Naive));
+        let mut g = Graph::new();
+        let bp = ps.bind(&mut g);
+        let xv = g.constant(x);
+        let before = g.len();
+        let out_naive = attn.forward(&mut g, &bp, xv);
+        let naive_vals = g.value(out_naive).to_vec();
+        let has_score_node = (before..g.len()).any(|i| g.node_value(i).dims() == [1, 6, 6]);
+        assert!(has_score_node, "naive path should materialize the L x L score matrix");
+        apf_tensor::kernels::force_kernel_mode(None);
+
+        for (i, (f, n)) in fast_vals.iter().zip(naive_vals.iter()).enumerate() {
+            assert!((f - n).abs() < 1e-5, "elem {}: fused {} vs naive {}", i, f, n);
         }
-        assert!(found, "no L x L attention matrix found");
     }
 }

@@ -97,6 +97,9 @@ impl Default for Telemetry {
 /// Default trace-sink capacity for [`Telemetry::enabled`].
 pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
 
+/// Process-global registry slot (see [`Telemetry::install_global`]).
+static GLOBAL: std::sync::OnceLock<Telemetry> = std::sync::OnceLock::new();
+
 impl Telemetry {
     /// An enabled telemetry with the default trace-sink capacity.
     pub fn enabled() -> Self {
@@ -122,6 +125,21 @@ impl Telemetry {
     /// Whether this telemetry records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Installs `tel` as the process-global registry that free functions
+    /// (e.g. the `apf-tensor` kernels) report into. First install wins;
+    /// returns `false` if a global was already set. Installing a disabled
+    /// telemetry is allowed and pins the process to "no kernel metrics".
+    pub fn install_global(tel: Telemetry) -> bool {
+        GLOBAL.set(tel).is_ok()
+    }
+
+    /// The process-global registry, if one has been installed. Costs one
+    /// atomic load; callers on hot paths should cache the handles they
+    /// register, not this lookup's result.
+    pub fn global() -> Option<&'static Telemetry> {
+        GLOBAL.get()
     }
 
     fn register<S>(
@@ -628,5 +646,19 @@ mod tests {
         let evs = t.trace_events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].id, Some(42));
+    }
+
+    #[test]
+    fn global_install_is_first_wins() {
+        let t = Telemetry::enabled();
+        t.counter("apf_test_global_total", "marker").inc();
+        // First install claims the slot (another test in this binary cannot
+        // have installed first: this is the only installer).
+        assert!(Telemetry::install_global(t));
+        let g = Telemetry::global().expect("global just installed");
+        assert_eq!(g.snapshot().get("apf_test_global_total", &[]).unwrap().value, 1.0);
+        // Second install loses and mutates nothing.
+        assert!(!Telemetry::install_global(Telemetry::disabled()));
+        assert!(Telemetry::global().unwrap().is_enabled());
     }
 }

@@ -97,6 +97,23 @@ pub enum Op {
     /// Mean softmax cross-entropy on logits viewed as `[R, C]` with integer
     /// class targets.
     SoftmaxCrossEntropy { logits: Var, targets: Arc<Vec<u32>> },
+    /// Streaming scaled-dot-product attention over `[BH, Lq, Dh]` q and
+    /// `[BH, Lk, Dh]` k/v, never materializing the `Lq x Lk` scores.
+    /// `key_bias` (`[BH, Lk]`, not differentiated) is the key-padding mask
+    /// as an additive score bias. Backward recomputes score tiles from the
+    /// log-sum-exp saved in [`Aux::Lse`].
+    FusedAttention {
+        q: Var,
+        k: Var,
+        v: Var,
+        scale: f32,
+        key_bias: Option<Arc<Vec<f32>>>,
+        q_tile: usize,
+        k_tile: usize,
+    },
+    /// Fused `gelu(x + b)` with the trailing-suffix broadcast of
+    /// [`Op::BAdd`].
+    BiasGelu { x: Var, b: Var },
 }
 
 /// Saved forward-pass byproducts needed by some backward rules.
@@ -111,6 +128,10 @@ pub(crate) enum Aux {
     Mask(Tensor),
     /// Row-wise softmax probabilities (cross-entropy).
     Probs(Tensor),
+    /// Per-query-row log-sum-exp of the attention scores (`[BH, Lq]`),
+    /// saved by [`Op::FusedAttention`] so backward can recompute any score
+    /// tile's probabilities as `exp(s - lse)`.
+    Lse(Tensor),
 }
 
 pub(crate) struct Node {

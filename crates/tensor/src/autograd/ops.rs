@@ -6,16 +6,15 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::kernels::attention;
 use crate::kernels::conv::{self, ConvGeom};
+use crate::kernels::fused::{self, gelu_fwd, gelu_grad};
 use crate::kernels::gemm;
 use crate::kernels::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 use super::{Aux, Graph, Op, Var};
-
-const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-const GELU_C: f32 = 0.044_715;
 
 impl Graph {
     fn rg2(&self, a: Var, b: Var) -> bool {
@@ -188,27 +187,23 @@ impl Graph {
     }
 
     /// Layer normalization over the last dim with affine parameters
-    /// `gamma`/`beta` of shape `[D]`.
+    /// `gamma`/`beta` of shape `[D]`. Dispatches between the row-parallel
+    /// fused kernel and its bit-identical sequential reference on
+    /// [`crate::kernels::kernel_mode`].
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
         let xv = self.value(x);
         let (rows, d) = xv.shape().split_trailing(1);
         assert_eq!(self.value(gamma).numel(), d, "layer_norm gamma size");
         assert_eq!(self.value(beta).numel(), d, "layer_norm beta size");
-        let gv = self.value(gamma).data().to_vec();
-        let bv = self.value(beta).data().to_vec();
+        let gv = self.value(gamma).data();
+        let bv = self.value(beta).data();
         let mut out = vec![0.0f32; xv.numel()];
         let mut means = vec![0.0f32; rows];
         let mut invstds = vec![0.0f32; rows];
-        for r in 0..rows {
-            let row = &xv.data()[r * d..(r + 1) * d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            means[r] = mean;
-            invstds[r] = inv;
-            for (j, (o, &v)) in out[r * d..(r + 1) * d].iter_mut().zip(row.iter()).enumerate() {
-                *o = (v - mean) * inv * gv[j] + bv[j];
-            }
+        if crate::kernels::naive_kernels() {
+            fused::layernorm_naive(xv.data(), gv, bv, eps, rows, d, &mut out, &mut means, &mut invstds);
+        } else {
+            fused::layernorm_forward(xv.data(), gv, bv, eps, rows, d, &mut out, &mut means, &mut invstds);
         }
         let v = Tensor::new(xv.shape().clone(), out);
         let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
@@ -450,6 +445,99 @@ impl Graph {
         self.push(v, Op::SoftmaxCrossEntropy { logits, targets }, rg, aux)
     }
 
+    // ----------------------------------------------------------- fused fast
+
+    /// Streaming attention `softmax(q k^T * scale + key_bias) v` over
+    /// `q: [BH, Lq, Dh]`, `k`/`v`: `[BH, Lk, Dh]` with default tiling.
+    /// Never materializes the `Lq x Lk` score matrix; backward recomputes
+    /// score tiles from the saved log-sum-exp. `key_bias` (`[BH, Lk]`,
+    /// flat) is added to every query row's scores and receives no
+    /// gradient — it is the key-padding-mask channel.
+    pub fn fused_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        scale: f32,
+        key_bias: Option<Arc<Vec<f32>>>,
+    ) -> Var {
+        self.fused_attention_tiled(
+            q,
+            k,
+            v,
+            scale,
+            key_bias,
+            attention::DEFAULT_Q_TILE,
+            attention::DEFAULT_K_TILE,
+        )
+    }
+
+    /// [`Graph::fused_attention`] with explicit tile sizes (tests use tiny
+    /// tiles to force ragged multi-tile traversals at small `L`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fused_attention_tiled(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        scale: f32,
+        key_bias: Option<Arc<Vec<f32>>>,
+        q_tile: usize,
+        k_tile: usize,
+    ) -> Var {
+        let (qv, kv, vv) = (self.value(q), self.value(k), self.value(v));
+        assert_eq!(qv.shape().rank(), 3, "fused_attention expects [BH, Lq, Dh] q");
+        assert_eq!(kv.shape().rank(), 3, "fused_attention expects [BH, Lk, Dh] k");
+        assert_eq!(kv.shape(), vv.shape(), "fused_attention k/v shape mismatch");
+        let (bh, lq, dh) = (qv.shape().dim(0), qv.shape().dim(1), qv.shape().dim(2));
+        let lk = kv.shape().dim(1);
+        assert_eq!(kv.shape().dim(0), bh, "fused_attention batch-head mismatch");
+        assert_eq!(kv.shape().dim(2), dh, "fused_attention head-dim mismatch");
+        let mut out = vec![0.0f32; bh * lq * dh];
+        let mut lse = vec![0.0f32; bh * lq];
+        attention::fused_attention_forward(
+            qv.data(),
+            kv.data(),
+            vv.data(),
+            key_bias.as_ref().map(|b| b.as_slice()),
+            bh,
+            lq,
+            lk,
+            dh,
+            scale,
+            q_tile,
+            k_tile,
+            &mut out,
+            &mut lse,
+        );
+        let value = Tensor::new(qv.shape().clone(), out);
+        let rg = self.rg(q) || self.rg(k) || self.rg(v);
+        let aux = Aux::Lse(Tensor::new([bh, lq], lse));
+        self.push(
+            value,
+            Op::FusedAttention { q, k, v, scale, key_bias, q_tile, k_tile },
+            rg,
+            aux,
+        )
+    }
+
+    /// Fused `gelu(x + b)` with `b` broadcast over `x`'s leading dims
+    /// (same rule as [`Graph::badd`]): one traversal, one output buffer.
+    pub fn bias_gelu(&mut self, x: Var, b: Var) -> Var {
+        let (xv, bv) = (self.value(x), self.value(b));
+        assert!(
+            xv.shape().is_trailing_broadcast(bv.shape()),
+            "bias_gelu: {} is not a trailing suffix of {}",
+            bv.shape(),
+            xv.shape()
+        );
+        let mut out = vec![0.0f32; xv.numel()];
+        fused::bias_gelu_forward(xv.data(), bv.data(), &mut out);
+        let value = Tensor::new(xv.shape().clone(), out);
+        let rg = self.rg2(x, b);
+        self.push(value, Op::BiasGelu { x, b }, rg, Aux::None)
+    }
+
     // ------------------------------------------------------------- backward
 
     pub(crate) fn backward_op(&self, at: Var, op: &Op, g: &Tensor) -> Vec<(Var, Tensor)> {
@@ -638,6 +726,52 @@ impl Graph {
                 }
                 vec![(*logits, gx)]
             }
+            Op::FusedAttention { q, k, v, scale, key_bias, q_tile, k_tile } => {
+                let lse = match &self.nodes[at.0].aux {
+                    Aux::Lse(t) => t,
+                    _ => unreachable!("fused attention node missing lse"),
+                };
+                let (qv, kv, vv) = (self.value(*q), self.value(*k), self.value(*v));
+                let out = &self.nodes[at.0].value;
+                let (bh, lq, dh) = (qv.shape().dim(0), qv.shape().dim(1), qv.shape().dim(2));
+                let lk = kv.shape().dim(1);
+                let mut dq = vec![0.0f32; qv.numel()];
+                let mut dk = vec![0.0f32; kv.numel()];
+                let mut dv = vec![0.0f32; vv.numel()];
+                attention::fused_attention_backward(
+                    qv.data(),
+                    kv.data(),
+                    vv.data(),
+                    key_bias.as_ref().map(|b| b.as_slice()),
+                    out.data(),
+                    lse.data(),
+                    g.data(),
+                    bh,
+                    lq,
+                    lk,
+                    dh,
+                    *scale,
+                    *q_tile,
+                    *k_tile,
+                    &mut dq,
+                    &mut dk,
+                    &mut dv,
+                );
+                vec![
+                    (*q, Tensor::new(qv.shape().clone(), dq)),
+                    (*k, Tensor::new(kv.shape().clone(), dk)),
+                    (*v, Tensor::new(vv.shape().clone(), dv)),
+                ]
+            }
+            Op::BiasGelu { x, b } => {
+                let xv = self.value(*x);
+                let bv = self.value(*b);
+                let mut gx = vec![0.0f32; xv.numel()];
+                fused::bias_gelu_backward(xv.data(), bv.data(), g.data(), &mut gx);
+                let gx = Tensor::new(xv.shape().clone(), gx);
+                let gb = reduce_leading(&gx, bv.shape());
+                vec![(*x, gx), (*b, gb)]
+            }
         }
     }
 
@@ -772,18 +906,6 @@ impl Graph {
 #[inline]
 fn sigmoid_fwd(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
-}
-
-#[inline]
-fn gelu_fwd(x: f32) -> f32 {
-    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
-}
-
-#[inline]
-fn gelu_grad(x: f32) -> f32 {
-    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
-    let t = u.tanh();
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x)
 }
 
 /// `out[i] = f(a[i], b[i % tile])` where `b` tiles over `a`'s leading dims.

@@ -1,0 +1,68 @@
+//! Kernel-level telemetry counters.
+//!
+//! Kernels are free functions with no struct to hang a [`Telemetry`] handle
+//! on, so they report through the process-global registry
+//! ([`Telemetry::global`]) when one has been installed. Until then every
+//! call site costs one relaxed atomic load and records nothing — the
+//! kernels stay pure and dependency-light.
+
+use std::sync::OnceLock;
+
+use apf_telemetry::{Counter, Telemetry};
+
+/// Lazily-registered counter handles for the fast-kernel dispatch sites.
+pub(crate) struct KernelCounters {
+    /// Packed-SGEMM invocations.
+    pub gemm_packed: Counter,
+    /// Reference-SGEMM invocations (dispatched, not oracle calls).
+    pub gemm_naive: Counter,
+    /// B-panels packed by the blocked SGEMM.
+    pub packed_panels: Counter,
+    /// Macro-tile passes that reused an already-packed B-panel.
+    pub packed_panel_reuse: Counter,
+    /// Fused streaming-attention forward calls.
+    pub fused_attention: Counter,
+    /// Fused bias+GELU forward calls.
+    pub fused_bias_gelu: Counter,
+    /// Fused layernorm forward calls.
+    pub fused_layernorm: Counter,
+}
+
+static COUNTERS: OnceLock<KernelCounters> = OnceLock::new();
+
+impl KernelCounters {
+    fn register(tel: &Telemetry) -> Self {
+        KernelCounters {
+            gemm_packed: tel.counter("apf_tensor_gemm_packed_total", "Packed SGEMM calls"),
+            gemm_naive: tel.counter("apf_tensor_gemm_naive_total", "Reference SGEMM calls"),
+            packed_panels: tel.counter("apf_tensor_packed_panels_total", "B-panels packed"),
+            packed_panel_reuse: tel.counter(
+                "apf_tensor_packed_panel_reuse_total",
+                "Macro-tile passes reusing a packed B-panel",
+            ),
+            fused_attention: tel.counter(
+                "apf_tensor_fused_attention_total",
+                "Fused streaming-attention forward calls",
+            ),
+            fused_bias_gelu: tel.counter(
+                "apf_tensor_fused_bias_gelu_total",
+                "Fused bias+GELU forward calls",
+            ),
+            fused_layernorm: tel.counter(
+                "apf_tensor_fused_layernorm_total",
+                "Fused layernorm forward calls",
+            ),
+        }
+    }
+}
+
+/// The kernel counters, if a global telemetry has been installed. The
+/// handles are registered once, on the first call that observes a global
+/// registry; a process that never installs one never registers anything.
+pub(crate) fn counters() -> Option<&'static KernelCounters> {
+    if let Some(c) = COUNTERS.get() {
+        return Some(c);
+    }
+    let tel = Telemetry::global()?;
+    Some(COUNTERS.get_or_init(|| KernelCounters::register(tel)))
+}

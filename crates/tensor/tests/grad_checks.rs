@@ -489,3 +489,109 @@ fn gradient_accumulates_across_multiple_uses() {
     g.backward(l);
     assert_eq!(g.grad(x).unwrap().to_vec(), vec![7.0, 7.0]);
 }
+
+// --------------------------------------------------------- fused fast ops
+
+/// Shared builder for the fused-attention gradchecks: `which` selects the
+/// differentiated input (0 = q, 1 = k, 2 = v); the others are constants.
+/// Tiny tiles (4) against L = 7 force ragged multi-tile traversals.
+fn check_fused_attention_grad(
+    which: usize,
+    lq: usize,
+    lk: usize,
+    key_bias: Option<Arc<Vec<f32>>>,
+    seed: u64,
+) {
+    let (bh, dh) = (2usize, 3usize);
+    let shape_q = [bh, lq, dh];
+    let shape_kv = [bh, lk, dh];
+    let x = if which == 0 {
+        Tensor::rand_uniform(shape_q, -1.0, 1.0, seed)
+    } else {
+        Tensor::rand_uniform(shape_kv, -1.0, 1.0, seed)
+    };
+    check_gradient(&x, Tolerance::default(), move |g, t| {
+        let mut mk = |idx: usize, s: u64, shape: [usize; 3]| {
+            if idx == which {
+                g.leaf(t.clone())
+            } else {
+                g.constant(Tensor::rand_uniform(shape, -1.0, 1.0, s))
+            }
+        };
+        let q = mk(0, seed ^ 101, shape_q);
+        let k = mk(1, seed ^ 102, shape_kv);
+        let v = mk(2, seed ^ 103, shape_kv);
+        let leaf = [q, k, v][which];
+        let out = g.fused_attention_tiled(q, k, v, 0.6, key_bias.clone(), 4, 4);
+        let sq = g.mul(out, out);
+        let l = g.mean_all(sq);
+        (leaf, l)
+    });
+}
+
+#[test]
+fn grad_fused_attention_q() {
+    check_fused_attention_grad(0, 7, 7, None, 81);
+}
+
+#[test]
+fn grad_fused_attention_k() {
+    check_fused_attention_grad(1, 7, 7, None, 82);
+}
+
+#[test]
+fn grad_fused_attention_v() {
+    check_fused_attention_grad(2, 7, 7, None, 83);
+}
+
+#[test]
+fn grad_fused_attention_with_key_mask() {
+    // The serving/padded path: -1e9 bias on some keys (never key 0).
+    let (bh, lk) = (2usize, 7usize);
+    let mut bias = vec![0.0f32; bh * lk];
+    for (i, b) in bias.iter_mut().enumerate() {
+        if i % lk != 0 && i % 3 == 0 {
+            *b = -1e9;
+        }
+    }
+    let bias = Arc::new(bias);
+    for which in 0..3 {
+        check_fused_attention_grad(which, 7, 7, Some(bias.clone()), 84 + which as u64);
+    }
+}
+
+#[test]
+fn grad_fused_attention_short_query_prefix() {
+    // Fewer queries than keys — the shape class the incremental
+    // `forward_prefix` serving path produces (suffix queries over the full
+    // key set).
+    for which in 0..3 {
+        check_fused_attention_grad(which, 3, 9, None, 90 + which as u64);
+    }
+}
+
+#[test]
+fn grad_bias_gelu_x() {
+    let x = Tensor::rand_uniform([2, 4, 3], -2.0, 2.0, 95);
+    check_gradient(&x, Tolerance::default(), |g, t| {
+        let a = g.leaf(t);
+        let b = g.constant(Tensor::rand_uniform([3], -1.0, 1.0, 96));
+        let y = g.bias_gelu(a, b);
+        let sq = g.mul(y, y);
+        let l = g.mean_all(sq);
+        (a, l)
+    });
+}
+
+#[test]
+fn grad_bias_gelu_bias() {
+    let x = Tensor::rand_uniform([3], -1.0, 1.0, 97);
+    check_gradient(&x, Tolerance::default(), |g, t| {
+        let a = g.constant(Tensor::rand_uniform([2, 4, 3], -2.0, 2.0, 98));
+        let b = g.leaf(t);
+        let y = g.bias_gelu(a, b);
+        let sq = g.mul(y, y);
+        let l = g.mean_all(sq);
+        (b, l)
+    });
+}

@@ -1,0 +1,297 @@
+//! Differential kernel-oracle suite: every fast-path kernel is checked
+//! against its naive reference over ragged shapes and adversarial values.
+//!
+//! # Error-bound policy
+//!
+//! - **SGEMM** (`gemm_packed` vs `gemm_naive`): blocking reassociates the
+//!   k-reduction, so results may differ by rounding. The bound is
+//!   per-element: `|fast - naive| <= REL_TOL * absprod + ABS_TOL`, where
+//!   `absprod = |A| . |B|` (the same contraction over absolute values) is
+//!   the natural magnitude scale of the dot product. With f32 and k <= 1024
+//!   the reassociation error is far below `REL_TOL = 1e-5`.
+//! - **Fused attention** vs the materialized reference: online softmax
+//!   reassociates both the max/denominator scan and the value accumulation;
+//!   outputs are convex combinations of `v` rows, so an absolute tolerance
+//!   of `1e-5` at unit-scale inputs is ample.
+//! - **Fused bias+GELU and layernorm** fuse traversals, not arithmetic:
+//!   the oracle demands **bit-identical** outputs.
+//! - Non-finite values must never be silently laundered: wherever the naive
+//!   kernel produces NaN/inf, the fast kernel must produce a non-finite
+//!   value too (and vice versa).
+
+use apf_tensor::kernels::attention::{attention_naive, fused_attention_forward};
+use apf_tensor::kernels::fused::{
+    bias_gelu_forward, gelu_fwd, layernorm_forward, layernorm_naive,
+};
+use apf_tensor::kernels::gemm::{gemm, gemm_naive, gemm_packed};
+use apf_tensor::prelude::*;
+use proptest::prelude::*;
+
+const REL_TOL: f32 = 1e-5;
+const ABS_TOL: f32 = 1e-5;
+
+/// Sprinkles "hard" values (signed zeros and denormals) into `data` at
+/// seed-determined positions, replacing roughly one element in eight.
+fn inject_specials(data: &mut [f32], seed: u64) {
+    const SPECIALS: [f32; 4] = [0.0, -0.0, 1.0e-41, -1.0e-41];
+    let mut state = seed | 1;
+    for v in data.iter_mut() {
+        // xorshift64 keeps the injection independent of the data values.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        if state.is_multiple_of(8) {
+            *v = SPECIALS[(state >> 8) as usize % SPECIALS.len()];
+        }
+    }
+}
+
+/// Asserts `fast` within the SGEMM error bound of `naive`, with non-finite
+/// positions required to agree in kind.
+fn assert_gemm_close(fast: &[f32], naive: &[f32], absprod: &[f32]) {
+    assert_eq!(fast.len(), naive.len());
+    for (i, ((&f, &n), &ap)) in fast.iter().zip(naive.iter()).zip(absprod.iter()).enumerate() {
+        if !n.is_finite() || !f.is_finite() {
+            assert!(
+                !n.is_finite() && !f.is_finite(),
+                "elem {}: finiteness mismatch (fast {}, naive {})",
+                i,
+                f,
+                n
+            );
+            continue;
+        }
+        let tol = REL_TOL * ap + ABS_TOL;
+        assert!(
+            (f - n).abs() <= tol,
+            "elem {}: fast {} vs naive {} (tol {})",
+            i,
+            f,
+            n,
+            tol
+        );
+    }
+}
+
+/// Runs both GEMM implementations on the same inputs and checks the bound.
+fn check_gemm_pair(m: usize, k: usize, n: usize, seed: u64) {
+    let mut a = Tensor::rand_uniform([m.max(1), k.max(1)], -2.0, 2.0, seed).to_vec();
+    let mut b = Tensor::rand_uniform([k.max(1), n.max(1)], -2.0, 2.0, seed ^ 0x9e37).to_vec();
+    a.truncate(m * k);
+    b.truncate(k * n);
+    inject_specials(&mut a, seed ^ 0xabc);
+    inject_specials(&mut b, seed ^ 0xdef);
+
+    let mut fast = vec![f32::NAN; m * n]; // NaN prefill proves full overwrite
+    let mut naive = vec![0.0f32; m * n];
+    gemm_packed(&a, &b, &mut fast, m, k, n);
+    gemm_naive(&a, &b, &mut naive, m, k, n);
+
+    let abs_a: Vec<f32> = a.iter().map(|v| v.abs()).collect();
+    let abs_b: Vec<f32> = b.iter().map(|v| v.abs()).collect();
+    let mut absprod = vec![0.0f32; m * n];
+    gemm_naive(&abs_a, &abs_b, &mut absprod, m, k, n);
+
+    assert_gemm_close(&fast, &naive, &absprod);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_packed_matches_naive(m in 1usize..70, k in 1usize..70, n in 1usize..70, seed in 0u64..1_000_000) {
+        check_gemm_pair(m, k, n, seed);
+    }
+
+    #[test]
+    fn gemm_degenerate_dims(dim in prop_oneof![Just(1usize), Just(2usize)], which in 0usize..3, seed in 0u64..1_000_000) {
+        // Pin one of m/k/n to 1 or 2 while the others stay ragged.
+        let (mut m, mut k, mut n) = (17, 23, 19);
+        match which { 0 => m = dim, 1 => k = dim, _ => n = dim }
+        check_gemm_pair(m, k, n, seed);
+    }
+
+    #[test]
+    fn attention_fused_matches_naive(
+        bh in 1usize..4,
+        lq in 1usize..24,
+        lk in 1usize..24,
+        dh in 1usize..9,
+        q_tile in 1usize..8,
+        k_tile in 1usize..8,
+        masked in prop_oneof![Just(false), Just(true)],
+        seed in 0u64..1_000_000,
+    ) {
+        let q = Tensor::rand_uniform([bh, lq, dh], -1.5, 1.5, seed).to_vec();
+        let k = Tensor::rand_uniform([bh, lk, dh], -1.5, 1.5, seed ^ 1).to_vec();
+        let v = Tensor::rand_uniform([bh, lk, dh], -1.5, 1.5, seed ^ 2).to_vec();
+        // Key bias: the padding mask as used by the transformer (-1e9 on
+        // masked keys), never masking key 0 so every row has a survivor.
+        let bias: Option<Vec<f32>> = if masked {
+            let mut b = vec![0.0f32; bh * lk];
+            let mut state = seed | 1;
+            for (i, slot) in b.iter_mut().enumerate() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if i % lk != 0 && state % 3 == 0 {
+                    *slot = -1e9;
+                }
+            }
+            Some(b)
+        } else {
+            None
+        };
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut fast = vec![f32::NAN; bh * lq * dh];
+        let mut lse = vec![f32::NAN; bh * lq];
+        fused_attention_forward(
+            &q, &k, &v, bias.as_deref(), bh, lq, lk, dh, scale, q_tile, k_tile, &mut fast, &mut lse,
+        );
+        let mut naive = vec![0.0f32; bh * lq * dh];
+        attention_naive(&q, &k, &v, bias.as_deref(), bh, lq, lk, dh, scale, &mut naive);
+
+        for (i, (&f, &n)) in fast.iter().zip(naive.iter()).enumerate() {
+            prop_assert!((f - n).abs() < 1e-5, "elem {}: fused {} vs naive {}", i, f, n);
+        }
+        prop_assert!(lse.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn bias_gelu_is_bit_identical_to_unfused(rows in 1usize..12, d in 1usize..24, seed in 0u64..1_000_000) {
+        let mut x = Tensor::rand_uniform([rows, d], -4.0, 4.0, seed).to_vec();
+        let mut b = Tensor::rand_uniform([d], -1.0, 1.0, seed ^ 7).to_vec();
+        inject_specials(&mut x, seed ^ 0x11);
+        inject_specials(&mut b, seed ^ 0x22);
+        let mut fused = vec![0.0f32; rows * d];
+        bias_gelu_forward(&x, &b, &mut fused);
+        for (i, &f) in fused.iter().enumerate() {
+            let reference = gelu_fwd(x[i] + b[i % d]);
+            prop_assert_eq!(reference.to_bits(), f.to_bits(), "elem {}", i);
+        }
+    }
+
+    #[test]
+    fn layernorm_is_bit_identical_to_naive(rows in 1usize..12, d in 1usize..24, seed in 0u64..1_000_000) {
+        let mut x = Tensor::rand_uniform([rows, d], -3.0, 3.0, seed).to_vec();
+        inject_specials(&mut x, seed ^ 0x33);
+        let gamma = Tensor::rand_uniform([d], 0.5, 1.5, seed ^ 8).to_vec();
+        let beta = Tensor::rand_uniform([d], -0.5, 0.5, seed ^ 9).to_vec();
+        let mut of = vec![0.0f32; rows * d];
+        let mut mf = vec![0.0f32; rows];
+        let mut sf = vec![0.0f32; rows];
+        layernorm_forward(&x, &gamma, &beta, 1e-5, rows, d, &mut of, &mut mf, &mut sf);
+        let mut on = vec![0.0f32; rows * d];
+        let mut mn = vec![0.0f32; rows];
+        let mut sn = vec![0.0f32; rows];
+        layernorm_naive(&x, &gamma, &beta, 1e-5, rows, d, &mut on, &mut mn, &mut sn);
+        prop_assert_eq!(
+            of.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            on.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            mf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            mn.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            sf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            sn.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn gemm_zero_sized_dims_are_consistent() {
+    // k == 0: both must zero the output (empty contraction).
+    let mut fast = vec![f32::NAN; 6];
+    let mut naive = vec![f32::NAN; 6];
+    gemm_packed(&[], &[], &mut fast, 2, 0, 3);
+    gemm_naive(&[], &[], &mut naive, 2, 0, 3);
+    assert!(fast.iter().all(|&v| v == 0.0));
+    assert!(naive.iter().all(|&v| v == 0.0));
+
+    // m == 0 and n == 0: no output at all, must not panic.
+    gemm_packed(&[], &[1.0, 2.0], &mut [], 0, 1, 2);
+    gemm_naive(&[], &[1.0, 2.0], &mut [], 0, 1, 2);
+    gemm_packed(&[1.0, 2.0], &[], &mut [], 2, 1, 0);
+    gemm_naive(&[1.0, 2.0], &[], &mut [], 2, 1, 0);
+}
+
+#[test]
+fn attention_zero_batch_is_a_no_op() {
+    let mut out: Vec<f32> = vec![];
+    let mut lse: Vec<f32> = vec![];
+    fused_attention_forward(&[], &[], &[], None, 0, 3, 4, 2, 1.0, 4, 4, &mut out, &mut lse);
+    attention_naive(&[], &[], &[], None, 0, 3, 4, 2, 1.0, &mut []);
+}
+
+/// Regression for the old `gemm_row` zero-skip branch: `if av == 0.0 {
+/// continue }` silently turned `0.0 * NaN` and `0.0 * inf` into `0.0`.
+/// Both kernels must propagate NaN through a zero row.
+#[test]
+fn zero_times_nonfinite_propagates_nan() {
+    let m = 3;
+    let k = 4;
+    let n = 5;
+    let a = vec![0.0f32; m * k]; // entire A is zeros
+    let mut b = vec![1.0f32; k * n];
+    b[0] = f32::NAN; // column 0 sees NaN
+    b[1] = f32::INFINITY; // column 1 sees 0 * inf = NaN
+
+    for run_fast in [false, true] {
+        let mut c = vec![0.0f32; m * n];
+        if run_fast {
+            gemm_packed(&a, &b, &mut c, m, k, n);
+        } else {
+            gemm_naive(&a, &b, &mut c, m, k, n);
+        }
+        for row in 0..m {
+            assert!(
+                c[row * n].is_nan(),
+                "0*NaN must stay NaN (fast={}, row {})",
+                run_fast,
+                row
+            );
+            assert!(
+                c[row * n + 1].is_nan(),
+                "0*inf must stay NaN (fast={}, row {})",
+                run_fast,
+                row
+            );
+            for col in 2..n {
+                assert_eq!(c[row * n + col], 0.0, "finite columns stay exact");
+            }
+        }
+    }
+
+    // The public dispatcher must agree regardless of mode heuristics.
+    let mut c = vec![0.0f32; m * n];
+    gemm(&a, &b, &mut c, m, k, n);
+    assert!(c[0].is_nan() && c[1].is_nan());
+}
+
+/// Attention must not launder NaN queries: a NaN in `q` poisons the whole
+/// output row in both implementations.
+#[test]
+fn attention_propagates_nan_query() {
+    let (bh, lq, lk, dh) = (1usize, 3usize, 5usize, 2usize);
+    let mut q = Tensor::rand_uniform([bh, lq, dh], -1.0, 1.0, 77).to_vec();
+    let k = Tensor::rand_uniform([bh, lk, dh], -1.0, 1.0, 78).to_vec();
+    let v = Tensor::rand_uniform([bh, lk, dh], -1.0, 1.0, 79).to_vec();
+    q[dh] = f32::NAN; // poison query row 1
+
+    let mut fast = vec![0.0f32; bh * lq * dh];
+    let mut lse = vec![0.0f32; bh * lq];
+    fused_attention_forward(&q, &k, &v, None, bh, lq, lk, dh, 1.0, 2, 2, &mut fast, &mut lse);
+    let mut naive = vec![0.0f32; bh * lq * dh];
+    attention_naive(&q, &k, &v, None, bh, lq, lk, dh, 1.0, &mut naive);
+
+    for i in 0..dh {
+        assert!(fast[dh + i].is_nan(), "fused must propagate NaN, got {}", fast[dh + i]);
+        assert!(naive[dh + i].is_nan(), "naive must propagate NaN, got {}", naive[dh + i]);
+        // Rows 0 and 2 stay clean and must still match to tolerance.
+        assert!((fast[i] - naive[i]).abs() < 1e-5);
+        assert!((fast[2 * dh + i] - naive[2 * dh + i]).abs() < 1e-5);
+    }
+}

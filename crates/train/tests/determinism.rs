@@ -1,0 +1,68 @@
+//! End-to-end determinism of the training loop under both kernel modes.
+//!
+//! The fast kernels use a fixed blocking/accumulation order, so repeated
+//! runs at the same seed must produce bit-identical losses — in fast mode
+//! AND with the fast paths force-disabled (the `APF_NAIVE_KERNELS`
+//! escape hatch). The two modes reassociate float reductions differently,
+//! so across modes the losses only agree to a tolerance.
+//!
+//! This is one `#[test]` (not one per mode) because `force_kernel_mode`
+//! is process-global: splitting it would let the harness interleave the
+//! overrides.
+
+use apf_models::vit::{ViTConfig, ViTSegmenter};
+use apf_tensor::kernels::{force_kernel_mode, KernelMode};
+use apf_tensor::prelude::*;
+use apf_train::optim::AdamWConfig;
+use apf_train::SegTrainer;
+
+const STEPS: usize = 3;
+
+/// Runs `STEPS` trainer steps from a fresh seeded model and returns the
+/// per-step losses.
+fn run_losses() -> Vec<f64> {
+    let cfg = ViTConfig { patch_dim: 16, seq_len: 12, dim: 16, depth: 2, heads: 2 };
+    let model = ViTSegmenter::new(cfg, 42);
+    let mut tr = SegTrainer::new(model, AdamWConfig { lr: 1e-3, ..Default::default() });
+    let tokens = Tensor::rand_uniform([2, 12, 16], -1.0, 1.0, 7);
+    let masks = Tensor::rand_uniform([2, 12, 16], 0.0, 1.0, 8).map(|v| if v > 0.5 { 1.0 } else { 0.0 });
+    (0..STEPS).map(|_| tr.step(&tokens, &masks)).collect()
+}
+
+#[test]
+fn training_is_bit_deterministic_in_both_kernel_modes() {
+    force_kernel_mode(Some(KernelMode::Naive));
+    let naive_a = run_losses();
+    let naive_b = run_losses();
+    force_kernel_mode(Some(KernelMode::Fast));
+    let fast_a = run_losses();
+    let fast_b = run_losses();
+    force_kernel_mode(None);
+
+    assert_eq!(
+        naive_a.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        naive_b.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        "naive-mode losses must be bit-identical across runs: {:?} vs {:?}",
+        naive_a,
+        naive_b
+    );
+    assert_eq!(
+        fast_a.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        fast_b.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        "fast-mode losses must be bit-identical across runs: {:?} vs {:?}",
+        fast_a,
+        fast_b
+    );
+    for (i, (f, n)) in fast_a.iter().zip(naive_a.iter()).enumerate() {
+        assert!(f.is_finite() && n.is_finite(), "step {} loss not finite", i);
+        let rel = (f - n).abs() / n.abs().max(1e-12);
+        assert!(
+            rel < 1e-3,
+            "step {}: fast loss {} vs naive loss {} (rel {})",
+            i,
+            f,
+            n,
+            rel
+        );
+    }
+}

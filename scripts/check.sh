@@ -28,4 +28,12 @@ rm -f results/telemetry_overhead.json
 cargo run --release -q -p apf-bench --bin telemetry_overhead
 test -s results/telemetry_overhead.json || { echo "missing telemetry_overhead.json" >&2; exit 1; }
 
+echo "==> kernel-oracle differential suite (release: exercises the vectorized paths)"
+cargo test --release -q -p apf-tensor --test kernel_oracle
+
+echo "==> kernel_bench gate (packed SGEMM >= 2x, fused attention beats materialized)"
+rm -f results/kernel_bench.json
+cargo run --release -q -p apf-bench --bin kernel_bench
+test -s results/kernel_bench.json || { echo "missing kernel_bench.json" >&2; exit 1; }
+
 echo "==> all checks passed"
