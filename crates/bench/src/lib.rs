@@ -19,6 +19,12 @@
 //! | `ablation_order` | token ordering / decoder folding ablation |
 //! | `ablation_droprate` | fixed-length L (pad vs drop) ablation |
 //!
+//! Infrastructure gates ride the same harness and are wired into
+//! `scripts/check.sh`: `serve_soak` (resilient serving), `telemetry_overhead`
+//! (disabled hooks < 2%), `kernel_bench` (fast-path speedups), and
+//! `gigapixel_bench` (out-of-core 16K² slide segmented under 1/8 of its
+//! dense bytes, stitched output pinned to the full-image path at 1e-5).
+//!
 //! Every binary accepts `--quick` for a smoke-test-scale run plus
 //! experiment-specific `--key value` overrides, prints paper-vs-measured
 //! tables, and archives JSON rows under `results/`.

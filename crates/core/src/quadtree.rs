@@ -31,6 +31,29 @@ pub enum SplitCriterion {
     },
 }
 
+impl SplitCriterion {
+    /// The split decision given aggregate statistics of a quadrant: `sum` is
+    /// the sum of detail values over the quadrant, `sq_sum` the sum of their
+    /// squares (required by [`SplitCriterion::Variance`], ignored by
+    /// [`SplitCriterion::EdgeCount`]) and `area` the pixel count.
+    ///
+    /// This is the single source of truth for Eq. 6: both the in-memory
+    /// [`QuadTree::try_build`] and the out-of-core streaming builder in
+    /// `apf-gigapixel` feed their (identically-valued) sums through this
+    /// function, which is what makes the two builds bit-identical.
+    #[inline]
+    pub fn exceeds(&self, sum: f64, sq_sum: Option<f64>, area: f64) -> Result<bool, PatchError> {
+        match *self {
+            SplitCriterion::EdgeCount { split_value } => Ok(sum > split_value),
+            SplitCriterion::Variance { threshold } => {
+                let mean = sum / area;
+                let mean_sq = sq_sum.ok_or(PatchError::MissingSquaredIntegral)? / area;
+                Ok((mean_sq - mean * mean).max(0.0) > threshold)
+            }
+        }
+    }
+}
+
 /// Quadtree construction parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct QuadTreeConfig {
@@ -215,6 +238,30 @@ impl QuadTree {
             stats: TreeStats::empty(),
         };
         tree.subdivide(&sums, sq_sums.as_ref(), cfg, 0, 0, z as u32, 0)?;
+        Ok(Self::from_leaves(z, cfg, tree.leaves, tree.max_depth_reached, tree.nodes_visited))
+    }
+
+    /// Assembles a tree from raw subdivision output: applies the optional
+    /// 2:1 balance pass, Z-sorts the leaves, and freezes statistics.
+    ///
+    /// [`QuadTree::try_build`] and the streaming out-of-core builder in
+    /// `apf-gigapixel` both finish through this function, so every
+    /// post-processing step (balancing, ordering, stats) is shared and the
+    /// two construction paths can only diverge in the subdivision itself.
+    pub fn from_leaves(
+        resolution: usize,
+        cfg: &QuadTreeConfig,
+        leaves: Vec<LeafRegion>,
+        max_depth_reached: u8,
+        nodes_visited: usize,
+    ) -> QuadTree {
+        let mut tree = QuadTree {
+            resolution,
+            leaves,
+            max_depth_reached,
+            nodes_visited,
+            stats: TreeStats::empty(),
+        };
         if cfg.balance_2to1 {
             tree.enforce_2to1_balance(cfg);
         }
@@ -222,7 +269,7 @@ impl QuadTree {
         // Single stats pass over the final leaf set; everything downstream
         // (PatchStats, benches, telemetry gauges) reads the stored copy.
         tree.stats = TreeStats::compute(&tree.leaves);
-        Ok(tree)
+        tree
     }
 
     /// Repeatedly splits any leaf with an edge-adjacent neighbour more than
@@ -366,20 +413,16 @@ impl QuadTree {
         size: u32,
     ) -> Result<bool, PatchError> {
         let (x, y, s) = (x as usize, y as usize, size as usize);
-        match cfg.criterion {
-            SplitCriterion::EdgeCount { split_value } => {
-                Ok(sums.rect_sum(x, y, s, s) > split_value)
-            }
-            SplitCriterion::Variance { threshold } => {
-                let n = (s * s) as f64;
-                let mean = sums.rect_sum(x, y, s, s) / n;
-                let mean_sq = sq_sums
+        let sum = sums.rect_sum(x, y, s, s);
+        let sq_sum = match cfg.criterion {
+            SplitCriterion::Variance { .. } => Some(
+                sq_sums
                     .ok_or(PatchError::MissingSquaredIntegral)?
-                    .rect_sum(x, y, s, s)
-                    / n;
-                Ok((mean_sq - mean * mean).max(0.0) > threshold)
-            }
-        }
+                    .rect_sum(x, y, s, s),
+            ),
+            SplitCriterion::EdgeCount { .. } => None,
+        };
+        cfg.criterion.exceeds(sum, sq_sum, (s * s) as f64)
     }
 
     /// Number of leaves (the adaptive sequence length before pad/drop).

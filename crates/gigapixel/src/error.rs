@@ -1,0 +1,183 @@
+//! Typed errors for the out-of-core pipeline.
+//!
+//! Every container-format failure names the offending field and the byte
+//! offset at which it was detected (mirroring the PGM reader in
+//! `apf-imaging::io`), so a corrupt or truncated `APT1` file is diagnosable
+//! instead of a panic or a generic "bad file".
+
+use apf_core::PatchError;
+
+/// Everything that can go wrong in the gigapixel subsystem.
+#[derive(Debug)]
+pub enum GigapixelError {
+    /// An underlying I/O failure, annotated with what was being attempted.
+    Io {
+        /// What the subsystem was doing when the I/O call failed.
+        context: &'static str,
+        /// The originating I/O error.
+        source: std::io::Error,
+    },
+    /// A malformed container header field, with the byte offset at which
+    /// the field lives in the file.
+    Header {
+        /// The header field that failed validation.
+        field: &'static str,
+        /// Byte offset of the field in the container file.
+        offset: u64,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A tile's stored checksum disagrees with its payload.
+    CrcMismatch {
+        /// Tile column.
+        tx: u32,
+        /// Tile row.
+        ty: u32,
+        /// Checksum recorded in the index.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        found: u32,
+    },
+    /// A tile coordinate outside the store's grid.
+    TileOutOfBounds {
+        /// Tile column.
+        tx: u32,
+        /// Tile row.
+        ty: u32,
+        /// Grid width in tiles.
+        tiles_x: u32,
+        /// Grid height in tiles.
+        tiles_y: u32,
+    },
+    /// The same tile was written twice through one writer.
+    DuplicateTile {
+        /// Tile column.
+        tx: u32,
+        /// Tile row.
+        ty: u32,
+    },
+    /// `finish` was called with at least one tile never written.
+    MissingTile {
+        /// First missing tile column.
+        tx: u32,
+        /// First missing tile row.
+        ty: u32,
+        /// Total number of missing tiles.
+        missing: usize,
+    },
+    /// A tile payload of the wrong pixel count for its grid position.
+    BadTileLength {
+        /// Tile column.
+        tx: u32,
+        /// Tile row.
+        ty: u32,
+        /// Pixel count the grid position requires.
+        expected: usize,
+        /// Pixel count actually supplied or stored.
+        found: usize,
+    },
+    /// A pixel region outside the image bounds.
+    RegionOutOfBounds {
+        /// Region left edge.
+        x: usize,
+        /// Region top edge.
+        y: usize,
+        /// Region width.
+        w: usize,
+        /// Region height.
+        h: usize,
+        /// Image width.
+        width: usize,
+        /// Image height.
+        height: usize,
+    },
+    /// A container that is well-formed but outside what this operation
+    /// supports (e.g. a non-power-of-two tile side for the streaming
+    /// quadtree).
+    Unsupported {
+        /// What is unsupported and why.
+        detail: String,
+    },
+    /// The model produced NaN/Inf logits for a window; blending them would
+    /// poison the whole stitched output.
+    NonFiniteLogits {
+        /// Window origin x.
+        window_x: usize,
+        /// Window origin y.
+        window_y: usize,
+    },
+    /// A validation or build failure from the core patching layer.
+    Patch(PatchError),
+    /// A long-running drive (whole-slide inference) was cancelled between
+    /// windows, e.g. by a serving deadline.
+    Cancelled {
+        /// Windows fully stitched before cancellation.
+        windows_done: usize,
+        /// Windows the full drive would have run.
+        windows_total: usize,
+    },
+}
+
+impl std::fmt::Display for GigapixelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GigapixelError::Io { context, source } => write!(f, "{context}: {source}"),
+            GigapixelError::Header { field, offset, detail } => {
+                write!(f, "APT1 {field}: {detail} (byte offset {offset})")
+            }
+            GigapixelError::CrcMismatch { tx, ty, expected, found } => write!(
+                f,
+                "tile ({tx}, {ty}) checksum mismatch: index says {expected:#010x}, payload hashes to {found:#010x}"
+            ),
+            GigapixelError::TileOutOfBounds { tx, ty, tiles_x, tiles_y } => {
+                write!(f, "tile ({tx}, {ty}) outside the {tiles_x} x {tiles_y} grid")
+            }
+            GigapixelError::DuplicateTile { tx, ty } => {
+                write!(f, "tile ({tx}, {ty}) written twice")
+            }
+            GigapixelError::MissingTile { tx, ty, missing } => {
+                write!(f, "{missing} tile(s) never written, first is ({tx}, {ty})")
+            }
+            GigapixelError::BadTileLength { tx, ty, expected, found } => write!(
+                f,
+                "tile ({tx}, {ty}) payload has {found} pixels, grid position requires {expected}"
+            ),
+            GigapixelError::RegionOutOfBounds { x, y, w, h, width, height } => write!(
+                f,
+                "region {w}x{h}+{x}+{y} exceeds the {width}x{height} image"
+            ),
+            GigapixelError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+            GigapixelError::NonFiniteLogits { window_x, window_y } => {
+                write!(f, "non-finite logits in window at ({window_x}, {window_y})")
+            }
+            GigapixelError::Patch(e) => write!(f, "{e}"),
+            GigapixelError::Cancelled { windows_done, windows_total } => {
+                write!(f, "cancelled after {windows_done}/{windows_total} windows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GigapixelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GigapixelError::Io { source, .. } => Some(source),
+            GigapixelError::Patch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatchError> for GigapixelError {
+    fn from(e: PatchError) -> Self {
+        GigapixelError::Patch(e)
+    }
+}
+
+impl GigapixelError {
+    /// Maps an I/O error into [`GigapixelError::Io`] with a fixed context
+    /// string; use as `.map_err(GigapixelError::io("opening tile store"))`.
+    pub fn io(context: &'static str) -> impl Fn(std::io::Error) -> GigapixelError {
+        move |source| GigapixelError::Io { context, source }
+    }
+}

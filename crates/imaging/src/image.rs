@@ -156,6 +156,13 @@ impl GrayImage {
         &mut self.data
     }
 
+    /// Consumes the image, returning its row-major pixel buffer without a
+    /// copy (tile writers hand buffers straight to disk).
+    #[inline]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Pixel value at `(x, y)`.
     ///
     /// # Panics

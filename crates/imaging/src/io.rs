@@ -4,7 +4,52 @@ use std::fs::File;
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::image::GrayImage;
+use crate::image::{GrayImage, ImageError};
+
+/// A typed [`ImageError`] annotated with the field and byte offset at which
+/// it was detected, carried as the payload of an `io::Error` so I/O callers
+/// (e.g. the gigapixel tile-store generator) get the same field + offset
+/// context as every other PGM failure *and* can downcast to the underlying
+/// [`ImageError`] via [`std::error::Error::source`].
+#[derive(Debug)]
+pub struct ImageIoError {
+    field: &'static str,
+    offset: usize,
+    source: ImageError,
+}
+
+impl ImageIoError {
+    /// The header field or stream section that failed.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+
+    /// Byte offset at which the failure was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The underlying typed image error.
+    pub fn image_error(&self) -> &ImageError {
+        &self.source
+    }
+
+    fn into_io(field: &'static str, offset: usize, source: ImageError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, ImageIoError { field, offset, source })
+    }
+}
+
+impl std::fmt::Display for ImageIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PGM {}: {} (byte offset {})", self.field, self.source, self.offset)
+    }
+}
+
+impl std::error::Error for ImageIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// Writes a grayscale image as binary PGM (P5), mapping `[0, 1]` to 8 bits.
 pub fn write_pgm(img: &GrayImage, path: impl AsRef<Path>) -> io::Result<()> {
@@ -25,8 +70,18 @@ pub fn write_ppm_overlay(
     mask: &GrayImage,
     path: impl AsRef<Path>,
 ) -> io::Result<()> {
-    assert_eq!(base.width(), mask.width());
-    assert_eq!(base.height(), mask.height());
+    if base.width() != mask.width() || base.height() != mask.height() {
+        return Err(ImageIoError::into_io(
+            "overlay mask",
+            0,
+            ImageError::BufferSizeMismatch {
+                width: base.width(),
+                height: base.height(),
+                expected: base.width() * base.height(),
+                actual: mask.width() * mask.height(),
+            },
+        ));
+    }
     let mut w = BufWriter::new(File::create(path)?);
     writeln!(w, "P6\n{} {}\n255", base.width(), base.height())?;
     let mut bytes = Vec::with_capacity(base.data().len() * 3);
@@ -146,11 +201,12 @@ pub fn read_pgm(path: impl AsRef<Path>) -> io::Result<GrayImage> {
             format!("need {numel} pixel bytes for {w} x {h}, found {}", pixels.len()),
         ));
     }
-    Ok(GrayImage::from_raw(
-        w,
-        h,
-        pixels[..numel].iter().map(|&b| b as f32 / 255.0).collect(),
-    ))
+    // `try_from_raw` rather than the panicking constructor: a file declaring
+    // zero dimensions is malformed input, not a programming error, and must
+    // surface as the typed error with field + offset context.
+    let offset = hdr.pos;
+    GrayImage::try_from_raw(w, h, pixels[..numel].iter().map(|&b| b as f32 / 255.0).collect())
+        .map_err(|e| ImageIoError::into_io("raster", offset, e))
 }
 
 #[cfg(test)]
@@ -224,6 +280,39 @@ mod tests {
         let back = read_bytes("comment.pgm", &bytes).unwrap();
         assert_eq!(back.width(), 2);
         assert_eq!(back.height(), 2);
+    }
+
+    #[test]
+    fn zero_dimension_file_yields_typed_error_not_panic() {
+        let err = read_bytes("zero.pgm", b"P5\n0 0\n255\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("raster") && msg.contains("byte offset"), "{msg}");
+        // The underlying typed ImageError is reachable through source().
+        let typed = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<ImageIoError>())
+            .expect("payload should be ImageIoError");
+        assert!(matches!(typed.image_error(), ImageError::ZeroDimension { width: 0, height: 0 }));
+        assert_eq!(typed.field(), "raster");
+    }
+
+    #[test]
+    fn ppm_overlay_dim_mismatch_yields_typed_error_not_panic() {
+        let base = GrayImage::new(4, 4);
+        let mask = GrayImage::new(4, 2);
+        let dir = std::env::temp_dir().join("apf_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = write_ppm_overlay(&base, &mask, dir.join("mm.ppm")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let typed = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<ImageIoError>())
+            .expect("payload should be ImageIoError");
+        assert!(matches!(
+            typed.image_error(),
+            ImageError::BufferSizeMismatch { expected: 16, actual: 8, .. }
+        ));
     }
 
     #[test]

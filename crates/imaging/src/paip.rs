@@ -123,6 +123,39 @@ impl PaipGenerator {
     /// (Table V divides PAIP into six organ categories by texture).
     pub fn generate_textured(&self, index: usize, class: usize) -> PaipSample {
         let z = self.cfg.resolution;
+        self.generate_region(index, class, 0, 0, z, z)
+    }
+
+    /// Generates only the `w x h` window of sample `index` whose top-left
+    /// corner sits at `(x0, y0)` in full-slide pixel coordinates.
+    ///
+    /// Every pixel is shaded from its *absolute* slide coordinate, so the
+    /// output is bit-identical to cropping [`PaipGenerator::generate_textured`]
+    /// at the same rectangle. This is what lets the out-of-core tile store
+    /// stream a 16K²+ slide one tile at a time (peak memory = one tile)
+    /// without ever materializing the dense image.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the configured resolution.
+    pub fn generate_region(
+        &self,
+        index: usize,
+        class: usize,
+        x0: usize,
+        y0: usize,
+        w: usize,
+        h: usize,
+    ) -> PaipSample {
+        let z = self.cfg.resolution;
+        assert!(
+            x0 + w <= z && y0 + h <= z,
+            "region {}x{}+{}+{} exceeds slide resolution {}",
+            w,
+            h,
+            x0,
+            y0,
+            z
+        );
         let sample_seed = self
             .cfg
             .seed
@@ -138,17 +171,20 @@ impl PaipGenerator {
 
         let octaves = self.cfg.octaves;
         let extent = self.cfg.tissue_extent;
+        // Slide coordinates are normalized by the *full* resolution, never
+        // the window size — region generation must sample the same (u, v)
+        // lattice as a dense render.
         let inv = 1000.0 / z as f32;
 
-        let mut img = vec![0.0f32; z * z];
-        let mut mask = vec![0.0f32; z * z];
-        img.par_chunks_mut(z)
-            .zip(mask.par_chunks_mut(z))
+        let mut img = vec![0.0f32; w * h];
+        let mut mask = vec![0.0f32; w * h];
+        img.par_chunks_mut(w)
+            .zip(mask.par_chunks_mut(w))
             .enumerate()
-            .for_each(|(y, (irow, mrow))| {
-                let v = y as f32 * inv;
-                for x in 0..z {
-                    let u = x as f32 * inv;
+            .for_each(|(dy, (irow, mrow))| {
+                let v = (y0 + dy) as f32 * inv;
+                for dx in 0..w {
+                    let u = (x0 + dx) as f32 * inv;
                     let (pix, m) = Self::shade(
                         sample_seed,
                         u,
@@ -160,13 +196,13 @@ impl PaipGenerator {
                         tissue_dark,
                         &blobs,
                     );
-                    irow[x] = pix;
-                    mrow[x] = m;
+                    irow[dx] = pix;
+                    mrow[dx] = m;
                 }
             });
         PaipSample {
-            image: GrayImage::from_raw(z, z, img),
-            mask: GrayImage::from_raw(z, z, mask),
+            image: GrayImage::from_raw(w, h, img),
+            mask: GrayImage::from_raw(w, h, mask),
         }
     }
 
@@ -303,6 +339,36 @@ mod tests {
         let bg = bg_var / bg_n as f64;
         let le = le_var / le_n as f64;
         assert!(le > bg * 3.0, "lesion detail {} vs background {}", le, bg);
+    }
+
+    #[test]
+    fn region_generation_matches_dense_crop_bitwise() {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(128));
+        for class in [0usize, 2] {
+            let dense = gen.generate_textured(7, class);
+            // Tile the slide 32x32 and compare every tile, plus one
+            // unaligned interior window.
+            for (x0, y0, w, h) in [
+                (0, 0, 32, 32),
+                (96, 0, 32, 32),
+                (32, 64, 32, 32),
+                (96, 96, 32, 32),
+                (17, 41, 50, 23),
+            ] {
+                let region = gen.generate_region(7, class, x0, y0, w, h);
+                let img_crop = dense.image.crop(x0, y0, w, h);
+                let mask_crop = dense.mask.crop(x0, y0, w, h);
+                assert_eq!(region.image.data(), img_crop.data(), "image window {x0},{y0}");
+                assert_eq!(region.mask.data(), mask_crop.data(), "mask window {x0},{y0}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slide resolution")]
+    fn region_out_of_bounds_panics() {
+        let gen = PaipGenerator::new(PaipConfig::at_resolution(64));
+        let _ = gen.generate_region(0, 0, 40, 0, 32, 32);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
+use apf_gigapixel::{GigapixelError, Residency, SlideSegmenter, StitchConfig, TileCache, TileStore};
 use apf_models::cancel::CancelToken;
 use apf_models::vit::{ViTConfig, ViTSegmenter};
 use apf_tensor::prelude::*;
@@ -35,7 +36,9 @@ use crate::breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBrea
 use crate::degrade::{coarse_uniform_sequence, DegradationPolicy, Tier};
 use crate::fault::{InferenceFaultKind, ServeFaultPlan};
 use crate::queue::{BoundedQueue, Popped};
-use crate::request::{DeadlineStage, FailureReason, Outcome, SegRequest, SegResponse, Ticket};
+use crate::request::{
+    DeadlineStage, FailureReason, Outcome, SegRequest, SegResponse, SlideRequest, Ticket,
+};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -105,10 +108,12 @@ struct ServeTel {
     tier_reduced: Counter,
     tier_coarse: Counter,
     outcome_completed: Counter,
+    outcome_slide_completed: Counter,
     outcome_rejected: Counter,
     outcome_invalid: Counter,
     outcome_deadline_queued: Counter,
     outcome_deadline_inference: Counter,
+    outcome_deadline_stitching: Counter,
     outcome_worker_panic: Counter,
     outcome_non_finite: Counter,
     breaker_to_open: Counter,
@@ -169,10 +174,12 @@ impl ServeTel {
             tier_reduced: tier("reduced"),
             tier_coarse: tier("coarse"),
             outcome_completed: outcome("completed"),
+            outcome_slide_completed: outcome("slide_completed"),
             outcome_rejected: outcome("rejected"),
             outcome_invalid: outcome("invalid_input"),
             outcome_deadline_queued: outcome("deadline_queued"),
             outcome_deadline_inference: outcome("deadline_inference"),
+            outcome_deadline_stitching: outcome("deadline_stitching"),
             outcome_worker_panic: outcome("worker_panic"),
             outcome_non_finite: outcome("non_finite_output"),
             breaker_to_open: breaker_to("open"),
@@ -191,6 +198,7 @@ impl ServeTel {
         }
         match &resp.outcome {
             Outcome::Completed { .. } => self.outcome_completed.inc(),
+            Outcome::SlideCompleted { .. } => self.outcome_slide_completed.inc(),
             Outcome::Rejected { .. } => self.outcome_rejected.inc(),
             Outcome::InvalidInput { .. } => self.outcome_invalid.inc(),
             Outcome::DeadlineExceeded { stage: DeadlineStage::Queued } => {
@@ -198,6 +206,9 @@ impl ServeTel {
             }
             Outcome::DeadlineExceeded { stage: DeadlineStage::Inference { .. } } => {
                 self.outcome_deadline_inference.inc()
+            }
+            Outcome::DeadlineExceeded { stage: DeadlineStage::Stitching { .. } } => {
+                self.outcome_deadline_stitching.inc()
             }
             Outcome::WorkerFailure { reason: FailureReason::Panicked } => {
                 self.outcome_worker_panic.inc()
@@ -224,6 +235,8 @@ pub struct ServeMetrics {
     pub submitted: u64,
     /// Successful inferences.
     pub completed: u64,
+    /// Successful whole-slide stitched inferences.
+    pub slides_completed: u64,
     /// Admission rejections (queue full or closed).
     pub rejected: u64,
     /// Typed validation failures.
@@ -232,6 +245,8 @@ pub struct ServeMetrics {
     pub deadline_queued: u64,
     /// Deadlines blown mid-forward (cooperative cancellation).
     pub deadline_inference: u64,
+    /// Deadlines blown between stitching windows of a slide request.
+    pub deadline_stitching: u64,
     /// Worker panics contained by the unwind barrier.
     pub worker_panics: u64,
     /// NaN/Inf outputs caught by the output guard.
@@ -248,6 +263,7 @@ impl ServeMetrics {
     fn record(&mut self, resp: &SegResponse) {
         match &resp.outcome {
             Outcome::Completed { .. } => self.completed += 1,
+            Outcome::SlideCompleted { .. } => self.slides_completed += 1,
             Outcome::Rejected { .. } => self.rejected += 1,
             Outcome::InvalidInput { .. } => self.invalid_input += 1,
             Outcome::DeadlineExceeded { stage: DeadlineStage::Queued } => {
@@ -255,6 +271,9 @@ impl ServeMetrics {
             }
             Outcome::DeadlineExceeded { stage: DeadlineStage::Inference { .. } } => {
                 self.deadline_inference += 1
+            }
+            Outcome::DeadlineExceeded { stage: DeadlineStage::Stitching { .. } } => {
+                self.deadline_stitching += 1
             }
             Outcome::WorkerFailure { reason: FailureReason::Panicked } => self.worker_panics += 1,
             Outcome::WorkerFailure { reason: FailureReason::NonFiniteOutput } => {
@@ -271,10 +290,12 @@ impl ServeMetrics {
     /// Responses issued so far (should equal `submitted` after shutdown).
     pub fn responses(&self) -> u64 {
         self.completed
+            + self.slides_completed
             + self.rejected
             + self.invalid_input
             + self.deadline_queued
             + self.deadline_inference
+            + self.deadline_stitching
             + self.worker_panics
             + self.non_finite_outputs
     }
@@ -310,8 +331,25 @@ pub struct ServeReport {
     pub queue_capacity: usize,
 }
 
+/// What a queue slot carries: an in-memory image request or an on-disk
+/// whole-slide request. Both flow through the same admission control,
+/// tiering, deadline handling, breaker, and response bookkeeping.
+enum Payload {
+    Image(SegRequest),
+    Slide(SlideRequest),
+}
+
+impl Payload {
+    fn id(&self) -> u64 {
+        match self {
+            Payload::Image(r) => r.id,
+            Payload::Slide(r) => r.id,
+        }
+    }
+}
+
 struct QueuedRequest {
-    req: SegRequest,
+    payload: Payload,
     submitted: Instant,
     deadline: Option<Instant>,
     depth_at_admission: usize,
@@ -329,7 +367,7 @@ struct Shared {
 impl Shared {
     fn respond(&self, q: QueuedRequest, outcome: Outcome, worker: Option<usize>) {
         let resp = SegResponse {
-            id: q.req.id,
+            id: q.payload.id(),
             tier: q.tier,
             depth_at_admission: q.depth_at_admission,
             outcome,
@@ -406,28 +444,64 @@ impl ServeEngine {
     /// backpressure come back *through the ticket* as immediate responses,
     /// so callers handle every outcome in one place.
     pub fn submit(&self, req: SegRequest) -> Ticket {
+        // Cheap static validation before the request costs anyone anything.
+        let quad = PatcherConfig::for_resolution(req.image.width().max(1)).quadtree;
+        let invalid = AdaptivePatcher::validate_input(&req.image, &quad)
+            .err()
+            .map(|e| e.to_string());
+        let deadline_ms = req.deadline_ms;
+        self.admit(Payload::Image(req), deadline_ms, invalid)
+    }
+
+    /// Submits a whole-slide request: same admission control, tiering, and
+    /// deadline handling as [`ServeEngine::submit`], but the worker runs
+    /// the out-of-core stitcher over the on-disk container instead of an
+    /// in-memory forward pass. The response arrives through the ticket as
+    /// [`Outcome::SlideCompleted`] (or a typed failure).
+    pub fn submit_slide(&self, req: SlideRequest) -> Ticket {
+        // Static validation of the stitch geometry; the container itself is
+        // validated by the worker when it opens the store (admission must
+        // not do file I/O).
+        let invalid = if !req.window.is_power_of_two() {
+            Some(format!("window side {} is not a power of two", req.window))
+        } else if req.window <= 2 * req.halo {
+            Some(format!(
+                "halo {} leaves window {} with no positive stride",
+                req.halo, req.window
+            ))
+        } else if req.cache_budget_bytes == 0 {
+            Some("tile cache budget must be positive".to_string())
+        } else {
+            None
+        };
+        let deadline_ms = req.deadline_ms;
+        self.admit(Payload::Slide(req), deadline_ms, invalid)
+    }
+
+    /// Shared admission path: tiering, deadline stamping, and enqueue (or
+    /// the immediate typed response when `invalid` is set / the queue is
+    /// full).
+    fn admit(&self, payload: Payload, deadline_ms: Option<u64>, invalid: Option<String>) -> Ticket {
         let tm = &self.shared.tm;
-        let _admit_span = tm.tel.span_id("serve.submit", req.id);
+        let _admit_span = tm.tel.span_id("serve.submit", payload.id());
         let _admit_timer = tm.admission_s.start_timer();
         tm.requests_total.inc();
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let depth = self.shared.queue.len();
         let tier = self.cfg.policy.tier_for_depth(depth, self.cfg.queue_capacity);
-        let deadline_ms = req.deadline_ms.or(self.cfg.default_deadline_ms);
+        let deadline_ms = deadline_ms.or(self.cfg.default_deadline_ms);
         let now = Instant::now();
         let q = QueuedRequest {
-            req,
+            payload,
             submitted: now,
             deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
             depth_at_admission: depth,
             tier,
             tx,
         };
-        // Cheap static validation before the request costs anyone anything.
-        let quad = PatcherConfig::for_resolution(q.req.image.width().max(1)).quadtree;
-        if let Err(e) = AdaptivePatcher::validate_input(&q.req.image, &quad) {
-            self.shared.respond(q, Outcome::InvalidInput { reason: e.to_string() }, None);
+        if let Some(reason) = invalid {
+            self.shared.respond(q, Outcome::InvalidInput { reason }, None);
             return Ticket { rx };
         }
         if let Err((q, _push_err)) = self.shared.queue.try_push(q) {
@@ -505,7 +579,7 @@ fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
         };
         shared.tm.queue_wait_s.record(q.submitted.elapsed().as_secs_f64());
         shared.tm.queue_depth.set(shared.queue.len() as f64);
-        let _req_span = shared.tm.tel.span_id("serve.request", q.req.id);
+        let _req_span = shared.tm.tel.span_id("serve.request", q.payload.id());
         // Blown already? Don't waste inference on it — and don't blame the
         // worker: deadline misses never feed the breaker.
         if q.deadline.is_some_and(|d| Instant::now() >= d) {
@@ -518,13 +592,16 @@ fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
         }
         processed += 1;
         let outcome = {
-            let _span = shared.tm.tel.span_id("serve.inference", q.req.id);
+            let _span = shared.tm.tel.span_id("serve.inference", q.payload.id());
             let _t = shared.tm.inference_s.start_timer();
-            catch_unwind(AssertUnwindSafe(|| run_inference(&model, &q, fault, cfg, &shared.tm)))
-                .unwrap_or(Outcome::WorkerFailure { reason: FailureReason::Panicked })
+            catch_unwind(AssertUnwindSafe(|| match &q.payload {
+                Payload::Image(_) => run_inference(&model, &q, fault, cfg, &shared.tm),
+                Payload::Slide(req) => run_slide(&model, req, q.deadline, fault, cfg, &shared.tm),
+            }))
+            .unwrap_or(Outcome::WorkerFailure { reason: FailureReason::Panicked })
         };
         match &outcome {
-            Outcome::Completed { .. } => breaker.record_success(),
+            Outcome::Completed { .. } | Outcome::SlideCompleted { .. } => breaker.record_success(),
             Outcome::WorkerFailure { .. } => breaker.record_failure(),
             // Deadline misses and validation failures indict the request,
             // not the worker.
@@ -565,7 +642,11 @@ fn run_inference(
     if let Some(InferenceFaultKind::WorkerPanic) = fault {
         panic!("injected worker panic (fault plan)");
     }
-    let img = &q.req.image;
+    let req = match &q.payload {
+        Payload::Image(r) => r,
+        Payload::Slide(_) => unreachable!("run_inference only handles image payloads"),
+    };
+    let img = &req.image;
     let pm = cfg.patch_size;
     let budget = cfg
         .policy
@@ -573,7 +654,7 @@ fn run_inference(
         .min(cfg.model.seq_len)
         .max(1);
     let seq = {
-        let _span = tm.tel.span_id("serve.patchify", q.req.id);
+        let _span = tm.tel.span_id("serve.patchify", req.id);
         match q.tier {
             Tier::Coarse => coarse_uniform_sequence(img, cfg.policy.coarse_leaf, pm),
             Tier::Full | Tier::Reduced => {
@@ -591,7 +672,7 @@ fn run_inference(
     };
     // Enforce the budget by dropping, never padding: a shorter sequence
     // plus prefix positions is strictly cheaper than padding back to `L`.
-    let seq = if seq.len() > budget { seq.fixed_length(budget, q.req.id) } else { seq };
+    let seq = if seq.len() > budget { seq.fixed_length(budget, req.id) } else { seq };
     let l = seq.len();
     let mut tokens = seq.to_tensor().reshape([1, l, pm * pm]);
     if let Some(InferenceFaultKind::NonFiniteOutput) = fault {
@@ -605,7 +686,7 @@ fn run_inference(
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
-    let _fwd_span = tm.tel.span_id("serve.forward", q.req.id);
+    let _fwd_span = tm.tel.span_id("serve.forward", req.id);
     let mut g = Graph::new();
     let bp = model.params.bind(&mut g);
     let x = g.constant(tokens);
@@ -625,6 +706,57 @@ fn run_inference(
                 positive_fraction: positive as f32 / vals.len().max(1) as f32,
             }
         }
+    }
+}
+
+/// One whole-slide stitched inference under a deadline. Runs inside the
+/// worker's unwind barrier like [`run_inference`]; the deadline is polled
+/// between windows, so a blown deadline abandons the drive cooperatively
+/// (and the unfinished output container is removed, never half-written).
+fn run_slide(
+    model: &ViTSegmenter,
+    req: &SlideRequest,
+    deadline: Option<Instant>,
+    fault: Option<InferenceFaultKind>,
+    cfg: &ServeConfig,
+    tm: &ServeTel,
+) -> Outcome {
+    if let Some(InferenceFaultKind::SlowInference { delay_ms }) = fault {
+        thread::sleep(Duration::from_millis(delay_ms));
+    }
+    if let Some(InferenceFaultKind::WorkerPanic) = fault {
+        panic!("injected worker panic (fault plan)");
+    }
+    let _span = tm.tel.span_id("serve.slide", req.id);
+    // Container validation (magic, version, index checksum) happens here on
+    // the worker, not at admission: it is file I/O.
+    let store = match TileStore::open(&req.slide_path) {
+        Ok(s) => Arc::new(s),
+        Err(e) => return Outcome::InvalidInput { reason: e.to_string() },
+    };
+    let residency = Residency::new(&tm.tel);
+    let cache = TileCache::new(store, req.cache_budget_bytes, tm.tel.clone(), residency.clone());
+    let mut stitch = StitchConfig::for_window(req.window, req.halo, cfg.model.seq_len);
+    stitch.patcher.patch_size = cfg.patch_size;
+    let seg = SlideSegmenter::new(model, stitch, tm.tel.clone());
+    let cancel = || deadline.is_some_and(|d| Instant::now() >= d);
+    match seg.segment_store(&cache, &req.output_path, &residency, cancel) {
+        Ok(r) => Outcome::SlideCompleted {
+            windows: r.windows,
+            tokens: r.tokens,
+            positive_fraction: r.positive_fraction,
+        },
+        Err(GigapixelError::Cancelled { windows_done, windows_total }) => {
+            Outcome::DeadlineExceeded {
+                stage: DeadlineStage::Stitching { windows_done, windows_total },
+            }
+        }
+        Err(GigapixelError::NonFiniteLogits { .. }) => {
+            Outcome::WorkerFailure { reason: FailureReason::NonFiniteOutput }
+        }
+        // Corrupt containers, bad geometry, and patch validation failures
+        // all indict the request, not the worker.
+        Err(e) => Outcome::InvalidInput { reason: e.to_string() },
     }
 }
 
@@ -911,6 +1043,155 @@ mod tests {
         let text = tel.render_prometheus();
         assert!(text.contains("apf_serve_requests_total 6"));
         apf_telemetry::validate_jsonl(&tel.trace_jsonl()).unwrap();
+    }
+
+    fn write_test_slide(name: &str, z: usize, tile: usize) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("apf_serve_slide_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let img = GrayImage::from_fn(z, z, |x, y| {
+            let v = ((x * 7 + y * 13) as u64) % 97;
+            v as f32 / 96.0
+        });
+        apf_gigapixel::write_tiled(&path, z, z, tile, |_, _, x0, y0, w, h| {
+            img.crop(x0, y0, w, h).into_data()
+        })
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn slide_requests_complete_and_write_the_stitched_container() {
+        let slide = write_test_slide("in.apt1", 128, 32);
+        let out = std::env::temp_dir().join("apf_serve_slide_test/out.apt1");
+        let mut cfg = ServeConfig::small();
+        cfg.model = ViTConfig::tiny(16, 48);
+        cfg.policy.full_len = 48;
+        let engine = ServeEngine::start(cfg);
+        let r = engine
+            .submit_slide(SlideRequest {
+                id: 11,
+                slide_path: slide,
+                output_path: out.clone(),
+                window: 64,
+                halo: 8,
+                cache_budget_bytes: 8 * 32 * 32 * 4,
+                deadline_ms: None,
+            })
+            .wait()
+            .unwrap();
+        match r.outcome {
+            Outcome::SlideCompleted { windows, tokens, positive_fraction } => {
+                assert_eq!(windows, 9); // positions [0, 48, 64] on each axis
+                assert_eq!(tokens, 9 * 48);
+                assert!((0.0..=1.0).contains(&positive_fraction));
+            }
+            other => panic!("expected slide completion, got {other:?}"),
+        }
+        let store = apf_gigapixel::TileStore::open(&out).unwrap();
+        assert_eq!(store.geometry().width, 128);
+        let report = engine.shutdown();
+        assert_eq!(report.metrics.slides_completed, 1);
+        assert_eq!(report.metrics.responses(), 1);
+    }
+
+    #[test]
+    fn slide_geometry_is_validated_at_admission_without_touching_disk() {
+        let engine = ServeEngine::start(ServeConfig::small());
+        let bogus = std::path::PathBuf::from("/nonexistent/slide.apt1");
+        let cases: [(usize, usize, usize, &str); 3] = [
+            (48, 4, 1024, "power of two"),   // non-pow2 window
+            (64, 32, 1024, "stride"),        // halo consumes the window
+            (64, 8, 0, "budget"),            // zero cache budget
+        ];
+        for (i, (window, halo, budget, needle)) in cases.into_iter().enumerate() {
+            let r = engine
+                .submit_slide(SlideRequest {
+                    id: i as u64,
+                    slide_path: bogus.clone(),
+                    output_path: bogus.clone(),
+                    window,
+                    halo,
+                    cache_budget_bytes: budget,
+                    deadline_ms: None,
+                })
+                .wait()
+                .unwrap();
+            match &r.outcome {
+                Outcome::InvalidInput { reason } => {
+                    assert!(reason.contains(needle), "case {i}: {reason}");
+                }
+                other => panic!("case {i}: expected invalid input, got {other:?}"),
+            }
+            // Rejected at admission: no worker ever saw it.
+            assert!(r.worker.is_none());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn missing_slide_container_is_a_typed_worker_response() {
+        let engine = ServeEngine::start(ServeConfig::small());
+        let r = engine
+            .submit_slide(SlideRequest {
+                id: 1,
+                slide_path: "/nonexistent/slide.apt1".into(),
+                output_path: std::env::temp_dir().join("apf_serve_slide_test/never.apt1"),
+                window: 64,
+                halo: 8,
+                cache_budget_bytes: 1 << 20,
+                deadline_ms: None,
+            })
+            .wait()
+            .unwrap();
+        match &r.outcome {
+            Outcome::InvalidInput { reason } => assert!(reason.contains("opening tile store")),
+            other => panic!("expected invalid input, got {other:?}"),
+        }
+        assert!(r.worker.is_some(), "container errors surface from the worker");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn slide_deadline_cancels_between_windows_and_removes_partial_output() {
+        let slide = write_test_slide("deadline.apt1", 128, 32);
+        let out = std::env::temp_dir().join("apf_serve_slide_test/deadline_out.apt1");
+        let mut cfg = ServeConfig::small();
+        cfg.workers = 1;
+        cfg.model = ViTConfig::tiny(16, 48);
+        cfg.policy.full_len = 48;
+        // Stall the worker past the deadline before the drive starts: the
+        // first between-window cancellation check then fires deterministically.
+        cfg.faults = ServeFaultPlan::new(vec![crate::fault::InferenceFault {
+            worker: 0,
+            nth: 0,
+            kind: InferenceFaultKind::SlowInference { delay_ms: 400 },
+        }]);
+        let engine = ServeEngine::start(cfg);
+        let r = engine
+            .submit_slide(SlideRequest {
+                id: 5,
+                slide_path: slide,
+                output_path: out.clone(),
+                window: 64,
+                halo: 8,
+                cache_budget_bytes: 1 << 20,
+                deadline_ms: Some(150),
+            })
+            .wait()
+            .unwrap();
+        match r.outcome {
+            Outcome::DeadlineExceeded {
+                stage: DeadlineStage::Stitching { windows_done: 0, windows_total: 9 },
+            } => {}
+            // The queue pop itself may cross the deadline on a slow machine.
+            Outcome::DeadlineExceeded { stage: DeadlineStage::Queued } => {}
+            other => panic!("expected a deadline outcome, got {other:?}"),
+        }
+        assert!(!out.exists(), "cancelled drive must not leave an output container");
+        let report = engine.shutdown();
+        // Deadline misses never count against the worker's breaker.
+        assert!(report.workers.iter().all(|w| w.trips == 0));
     }
 
     #[test]

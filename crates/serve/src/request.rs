@@ -1,5 +1,6 @@
 //! Request/response types of the serving engine.
 
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -18,6 +19,28 @@ pub struct SegRequest {
     pub deadline_ms: Option<u64>,
 }
 
+/// One whole-slide segmentation request. The slide never enters the request:
+/// it stays on disk in an `APT1` tiled container and is segmented
+/// window-by-window by the out-of-core stitcher, which writes the blended
+/// logit map to another container at `output_path`.
+#[derive(Debug, Clone)]
+pub struct SlideRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Path of the input `APT1` slide container.
+    pub slide_path: PathBuf,
+    /// Where the stitched logit container is written (atomically).
+    pub output_path: PathBuf,
+    /// Sliding-window side in pixels (power of two).
+    pub window: usize,
+    /// Blend-ramp halo in pixels; windows overlap by `2 * halo`.
+    pub halo: usize,
+    /// Tile-cache byte budget for reading the slide.
+    pub cache_budget_bytes: usize,
+    /// Latency budget from submission; `None` uses the engine default.
+    pub deadline_ms: Option<u64>,
+}
+
 /// Where a deadline was detected as blown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeadlineStage {
@@ -28,6 +51,14 @@ pub enum DeadlineStage {
     Inference {
         /// Encoder blocks that ran before cancellation.
         completed_blocks: usize,
+    },
+    /// Expired between sliding windows of a whole-slide request; the
+    /// stitcher abandoned the drive and removed its partial output.
+    Stitching {
+        /// Windows fully inferred and blended before cancellation.
+        windows_done: usize,
+        /// Windows the full drive would have run.
+        windows_total: usize,
     },
 }
 
@@ -66,6 +97,16 @@ pub enum Outcome {
         /// Where the expiry was detected.
         stage: DeadlineStage,
     },
+    /// Whole-slide stitched inference finished inside the deadline; the
+    /// blended logit container is at the request's `output_path`.
+    SlideCompleted {
+        /// Sliding windows inferred and blended.
+        windows: usize,
+        /// Tokens pushed through the model across all windows.
+        tokens: usize,
+        /// Fraction of slide pixels with positive blended logit.
+        positive_fraction: f64,
+    },
     /// The assigned worker failed; the breaker heard about it.
     WorkerFailure {
         /// What went wrong.
@@ -81,6 +122,7 @@ impl Outcome {
             Outcome::Rejected { .. } => "rejected",
             Outcome::InvalidInput { .. } => "invalid_input",
             Outcome::DeadlineExceeded { .. } => "deadline_exceeded",
+            Outcome::SlideCompleted { .. } => "slide_completed",
             Outcome::WorkerFailure { .. } => "worker_failure",
         }
     }

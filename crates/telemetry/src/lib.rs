@@ -19,8 +19,10 @@
 //!
 //! Metrics are `apf_<crate>_<name>_<unit>` (e.g.
 //! `apf_serve_inference_latency_seconds`); spans are
-//! `"<crate>.<operation>"` (e.g. `"serve.request"`). Registration
-//! debug-asserts the `apf_` prefix.
+//! `"<crate>.<operation>"` (e.g. `"serve.request"`). Registration runs
+//! [`lint_metric_name`] under `debug_assertions`: every name needs the
+//! `apf_` prefix and a crate segment, and histogram names must end with a
+//! recognized unit suffix (`_seconds`, `_bytes`, ...), never `_total`.
 //!
 //! ## Usage
 //!
@@ -49,8 +51,8 @@ pub mod span;
 pub use histogram::{HistTimer, HistogramSnapshot};
 pub use jsonl::{validate_json, validate_jsonl};
 pub use registry::{
-    Counter, Gauge, Histogram, Labels, MetricSnapshot, Telemetry, TelemetrySnapshot,
-    DEFAULT_TRACE_CAPACITY,
+    lint_metric_name, Counter, Gauge, Histogram, Labels, MetricSnapshot, Telemetry,
+    TelemetrySnapshot, DEFAULT_TRACE_CAPACITY, HISTOGRAM_UNIT_SUFFIXES,
 };
 pub use span::{current_depth, now_us, SpanGuard, TraceEvent, TraceSink};
 

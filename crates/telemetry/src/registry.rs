@@ -26,6 +26,48 @@ use crate::span::{SpanGuard, TraceEvent, TraceSink};
 /// Label set attached to a metric: `(key, value)` pairs, order-significant.
 pub type Labels = Vec<(&'static str, String)>;
 
+/// Unit suffixes a histogram name may end with. Histograms are the metrics
+/// whose *observations* carry a unit, so the convention demands one in the
+/// name; counters end in `_total` and gauges name a quantity directly.
+pub const HISTOGRAM_UNIT_SUFFIXES: &[&str] =
+    &["_seconds", "_bytes", "_tokens", "_levels", "_count", "_ratio"];
+
+/// Checks a metric name against the workspace convention
+/// `apf_<crate>_<name>[_<unit>]`:
+///
+/// * every name starts with `apf_` and has a crate segment after it;
+/// * histogram names end with a unit from [`HISTOGRAM_UNIT_SUFFIXES`]
+///   (e.g. `apf_gigapixel_tile_read_seconds`), and never with `_total`,
+///   which is the counter suffix.
+///
+/// Registration runs this under `debug_assertions`; it is public so tests
+/// and external linters can check candidate names without a registry.
+pub fn lint_metric_name(name: &str, is_histogram: bool) -> Result<(), String> {
+    let rest = name.strip_prefix("apf_").ok_or_else(|| {
+        format!("metric names follow the apf_<crate>_<name>_<unit> convention: {name}")
+    })?;
+    let mut segments = rest.split('_');
+    if segments.next().is_none_or(str::is_empty) || segments.next().is_none_or(str::is_empty) {
+        return Err(format!(
+            "metric name needs a crate segment and a name after apf_: {name}"
+        ));
+    }
+    if is_histogram {
+        if name.ends_with("_total") {
+            return Err(format!(
+                "histogram {name} ends with the counter suffix _total; name the observed unit instead"
+            ));
+        }
+        if !HISTOGRAM_UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            return Err(format!(
+                "histogram {name} must end with a unit suffix ({})",
+                HISTOGRAM_UNIT_SUFFIXES.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Kind {
     Counter,
@@ -152,10 +194,10 @@ impl Telemetry {
         extract: impl Fn(&Storage) -> Option<S>,
     ) -> Option<S> {
         let inner = self.inner.as_ref()?;
-        debug_assert!(
-            name.starts_with("apf_"),
-            "metric names follow the apf_<crate>_<name>_<unit> convention: {name}"
-        );
+        #[cfg(debug_assertions)]
+        if let Err(violation) = lint_metric_name(name, kind == Kind::Histogram) {
+            panic!("{violation}");
+        }
         let mut metrics = inner.lock();
         if let Some(existing) = metrics
             .iter()
@@ -646,6 +688,53 @@ mod tests {
         let evs = t.trace_events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].id, Some(42));
+    }
+
+    #[test]
+    fn lint_accepts_workspace_metric_names() {
+        // A sample of real names from every crate, including the gigapixel
+        // subsystem's families.
+        for (name, is_hist) in [
+            ("apf_serve_requests_total", false),
+            ("apf_serve_inference_latency_seconds", true),
+            ("apf_core_sequence_len_post_tokens", true),
+            ("apf_core_tree_leaf_count", true),
+            ("apf_core_tree_max_depth_levels", true),
+            ("apf_gigapixel_cache_hits_total", false),
+            ("apf_gigapixel_resident_bytes", false),
+            ("apf_gigapixel_tile_read_seconds", true),
+            ("apf_gigapixel_tree_build_seconds", true),
+            ("apf_gigapixel_window_seconds", true),
+        ] {
+            lint_metric_name(name, is_hist).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn lint_rejects_convention_violations() {
+        // Missing prefix.
+        assert!(lint_metric_name("gigapixel_tile_read_seconds", true)
+            .unwrap_err()
+            .contains("apf_<crate>"));
+        // Prefix but no crate/name segments.
+        assert!(lint_metric_name("apf_", false).is_err());
+        assert!(lint_metric_name("apf_gigapixel", false).is_err());
+        // Histogram without a unit suffix.
+        let err = lint_metric_name("apf_gigapixel_tile_read", true).unwrap_err();
+        assert!(err.contains("unit suffix"), "{err}");
+        // Histogram wearing the counter suffix.
+        let err = lint_metric_name("apf_gigapixel_windows_total", true).unwrap_err();
+        assert!(err.contains("_total"), "{err}");
+        // The same names are fine as non-histograms.
+        assert!(lint_metric_name("apf_gigapixel_windows_total", false).is_ok());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unit suffix")]
+    fn registering_a_unitless_histogram_panics_in_debug() {
+        let t = Telemetry::enabled();
+        let _ = t.histogram("apf_gigapixel_tile_read_millis", "bad unit");
     }
 
     #[test]

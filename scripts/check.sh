@@ -36,4 +36,12 @@ rm -f results/kernel_bench.json
 cargo run --release -q -p apf-bench --bin kernel_bench
 test -s results/kernel_bench.json || { echo "missing kernel_bench.json" >&2; exit 1; }
 
+echo "==> gigapixel_bench gate (out-of-core memory budget + stitched-vs-full 1e-5 cross-check)"
+# --quick segments a 4096^2 slide under half its dense bytes and runs the
+# same cross-checks as the full run; drop the flag for the headline
+# 16384^2-under-1/8 proof (about two minutes of wall clock).
+rm -f results/gigapixel_bench.json
+cargo run --release -q -p apf-bench --bin gigapixel_bench -- --quick
+test -s results/gigapixel_bench.json || { echo "missing gigapixel_bench.json" >&2; exit 1; }
+
 echo "==> all checks passed"
