@@ -1,0 +1,377 @@
+//! Gate: distributed whole-slide stitched inference — correctness and
+//! window-throughput scaling.
+//!
+//! Two proofs, archived in `results/distributed_slide_bench.json`:
+//!
+//! 1. **Correctness cross-check** (small slide that also fits in memory):
+//!    the distributed drive (3 workers, work stealing, faults off) must be
+//!    *bit-identical* to the serial `segment_store` drive, and must match
+//!    the dense in-memory windowed reference within 1e-5 on the interior
+//!    — the same bar `gigapixel_bench` holds the serial path to.
+//! 2. **Scaling** (big slide): run the distributed drive with one worker
+//!    to measure every window's real cost (read + patchify + forward),
+//!    then replay those costs through the distsim fabric's deterministic
+//!    virtual-time scheduler at 1/2/4/8 workers. The gate is near-linear
+//!    window throughput: >= 3x at 4 workers and >= 5x at 8 on the
+//!    16384^2 slide (same shape in --quick at 4096^2). This mirrors the
+//!    measured-cost + modeled-fabric method of `scaling.rs`: the host has
+//!    too few cores to time real 8-way threading honestly, but the
+//!    schedule itself — stealing, imbalance, stragglers — is exact.
+//!
+//! Usage: `cargo run --release -p apf-bench --bin distributed_slide_bench
+//!         [--quick] [--res 16384] [--window 1024] [--halo 32]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use apf_bench::{print_table, save_json, Args};
+use apf_distsim::simulate_makespan;
+use apf_gigapixel::{
+    stream_paip_slide, write_tiled, DistStitchOptions, Residency, SlideSegmenter, StitchConfig,
+    TileCache, TileStore,
+};
+use apf_imaging::paip::{PaipConfig, PaipGenerator};
+use apf_imaging::GrayImage;
+use apf_models::vit::{ViTConfig, ViTSegmenter};
+use apf_telemetry::Telemetry;
+use serde::Serialize;
+
+const PATCH: usize = 4;
+const SEQ_LEN: usize = 256;
+const MODEL_SEED: u64 = 7;
+const TOLERANCE: f32 = 1e-5;
+const WORKER_POINTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Serialize)]
+struct CrossCheck {
+    resolution: usize,
+    workers: usize,
+    steals: u64,
+    bit_identical_to_serial: bool,
+    dense_interior_max_diff: f32,
+    tolerance: f32,
+    passed: bool,
+}
+
+#[derive(Serialize)]
+struct ScalePoint {
+    workers: usize,
+    makespan_s: f64,
+    speedup: f64,
+    required: f64,
+    steals: u64,
+    busiest_worker_s: f64,
+    idlest_worker_s: f64,
+    passed: bool,
+}
+
+#[derive(Serialize)]
+struct Scaling {
+    resolution: usize,
+    window: usize,
+    halo: usize,
+    windows: usize,
+    measured_serial_s: f64,
+    mean_window_s: f64,
+    max_window_s: f64,
+    points: Vec<ScalePoint>,
+    passed: bool,
+}
+
+#[derive(Serialize)]
+struct DistributedSlideReport {
+    quick: bool,
+    crosscheck: CrossCheck,
+    scaling: Scaling,
+    passed: bool,
+}
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::var("APF_SCRATCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("target/gigapixel"));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn read_store_dense(path: &std::path::Path) -> GrayImage {
+    let store = Arc::new(TileStore::open(path).expect("open stitched output"));
+    let tel = Telemetry::disabled();
+    let res = Residency::new(&tel);
+    let g = store.geometry();
+    let cache = TileCache::new(store, g.width * g.height * 4, tel, res);
+    cache.read_region(0, 0, g.width, g.height).expect("read stitched output")
+}
+
+fn store_bits_equal(a: &std::path::Path, b: &std::path::Path) -> bool {
+    let (sa, sb) = (
+        TileStore::open(a).expect("open store"),
+        TileStore::open(b).expect("open store"),
+    );
+    let g = sa.geometry();
+    for ty in 0..g.tiles_y() {
+        for tx in 0..g.tiles_x() {
+            let (ta, tb) = (
+                sa.read_tile(tx, ty).expect("read tile"),
+                sb.read_tile(tx, ty).expect("read tile"),
+            );
+            if ta.len() != tb.len()
+                || ta.iter().zip(&tb).any(|(x, y)| x.to_bits() != y.to_bits())
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Small-slide agreement: distributed == serial bitwise, and both within
+/// tolerance of the dense in-memory windowed reference.
+fn run_crosscheck(model: &ViTSegmenter, resolution: usize, tile: usize) -> CrossCheck {
+    let scratch = scratch_dir();
+    let gen = PaipGenerator::new(PaipConfig::at_resolution(resolution));
+    let dense = gen.generate(1).image;
+    let tel = Telemetry::enabled();
+    let slide_path = scratch.join("dist_crosscheck.apt1");
+    write_tiled(&slide_path, resolution, resolution, tile, |_, _, x0, y0, w, h| {
+        dense.crop(x0, y0, w, h).into_data()
+    })
+    .expect("write crosscheck slide");
+
+    let residency = Residency::new(&tel);
+    let store = Arc::new(TileStore::open(&slide_path).expect("open crosscheck slide"));
+    let cache =
+        TileCache::new(store, 8 * tile * tile * 4, tel.clone(), residency.clone());
+    let window = resolution / 2;
+    let halo = 32;
+    let cfg = StitchConfig::for_window(window, halo, SEQ_LEN);
+    let seg = SlideSegmenter::new(model, cfg, tel.clone());
+
+    let serial_out = scratch.join("dist_crosscheck_serial.apt1");
+    seg.segment_store(&cache, &serial_out, &residency, || false)
+        .expect("serial stitch");
+
+    let workers = 3;
+    let dist_out = scratch.join("dist_crosscheck_dist.apt1");
+    let report = seg
+        .segment_store_distributed(
+            &cache,
+            &dist_out,
+            &residency,
+            &DistStitchOptions::new(workers),
+            || false,
+        )
+        .expect("distributed stitch");
+
+    let bit_identical_to_serial = store_bits_equal(&serial_out, &dist_out);
+    let stitched = read_store_dense(&dist_out);
+    let (reference, _) = seg.segment_dense(&dense).expect("dense reference stitch");
+    let interior = |img: &GrayImage| {
+        img.crop(halo, halo, resolution - 2 * halo, resolution - 2 * halo)
+    };
+    let dense_interior_max_diff =
+        max_abs_diff(interior(&stitched).data(), interior(&reference).data());
+
+    for p in [&slide_path, &serial_out, &dist_out] {
+        let _ = std::fs::remove_file(p);
+    }
+    CrossCheck {
+        resolution,
+        workers,
+        steals: report.steals,
+        bit_identical_to_serial,
+        dense_interior_max_diff,
+        tolerance: TOLERANCE,
+        passed: bit_identical_to_serial && dense_interior_max_diff <= TOLERANCE,
+    }
+}
+
+/// Big-slide scaling: measure per-window cost with one worker, replay the
+/// cost vector through the fabric scheduler at each worker count.
+fn run_scaling(
+    model: &ViTSegmenter,
+    resolution: usize,
+    tile: usize,
+    window: usize,
+    halo: usize,
+    cache_budget: usize,
+) -> Scaling {
+    let scratch = scratch_dir();
+    let tel = Telemetry::enabled();
+    let slide_path = scratch.join("dist_slide.apt1");
+    let out_path = scratch.join("dist_slide_logits.apt1");
+
+    let gen = PaipGenerator::new(PaipConfig::at_resolution(resolution));
+    stream_paip_slide(&gen, 0, tile, &slide_path, &tel).expect("stream slide");
+
+    let residency = Residency::new(&tel);
+    let store = Arc::new(TileStore::open(&slide_path).expect("open slide"));
+    let cache = TileCache::new(store, cache_budget, tel.clone(), residency.clone());
+    let cfg = StitchConfig::for_window(window, halo, SEQ_LEN);
+    let seg = SlideSegmenter::new(model, cfg, tel.clone());
+
+    let t0 = Instant::now();
+    let report = seg
+        .segment_store_distributed(
+            &cache,
+            &out_path,
+            &residency,
+            &DistStitchOptions::new(1),
+            || false,
+        )
+        .expect("distributed stitch, one worker");
+    let measured_serial_s = t0.elapsed().as_secs_f64();
+
+    // window_seconds is pushed in merge (window) order; the costs feed the
+    // virtual-time replay in the same order the scheduler deals them.
+    let costs: Vec<f64> = report.window_seconds.iter().map(|&(_, s)| s).collect();
+    assert_eq!(costs.len(), report.stitch.windows, "one cost per window");
+    let total: f64 = costs.iter().sum();
+    let mean_window_s = total / costs.len() as f64;
+    let max_window_s = costs.iter().cloned().fold(0.0, f64::max);
+
+    let base = simulate_makespan(&costs, 1).makespan;
+    let mut points = Vec::new();
+    for &w in &WORKER_POINTS {
+        let sim = simulate_makespan(&costs, w);
+        let speedup = base / sim.makespan;
+        let required = match w {
+            4 => 3.0,
+            8 => 5.0,
+            _ => 0.0,
+        };
+        let busiest = sim.per_worker_busy.iter().cloned().fold(0.0, f64::max);
+        let idlest = sim.per_worker_busy.iter().cloned().fold(f64::INFINITY, f64::min);
+        points.push(ScalePoint {
+            workers: w,
+            makespan_s: sim.makespan,
+            speedup,
+            required,
+            steals: sim.steals,
+            busiest_worker_s: busiest,
+            idlest_worker_s: idlest,
+            passed: speedup >= required,
+        });
+    }
+
+    for p in [&slide_path, &out_path] {
+        let _ = std::fs::remove_file(p);
+    }
+    let passed = points.iter().all(|p| p.passed);
+    Scaling {
+        resolution,
+        window,
+        halo,
+        windows: report.stitch.windows,
+        measured_serial_s,
+        mean_window_s,
+        max_window_s,
+        points,
+        passed,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+
+    let (resolution, window, halo, cross_res) = if quick {
+        (
+            args.get("res", 4096usize),
+            args.get("window", 512usize),
+            args.get("halo", 32usize),
+            1024usize,
+        )
+    } else {
+        (
+            args.get("res", 16384usize),
+            args.get("window", 1024usize),
+            args.get("halo", 32usize),
+            2048usize,
+        )
+    };
+    let tile = args.get("tile", 512usize);
+    let cache_budget = args.get("cache_mib", if quick { 8usize } else { 16 }) << 20;
+
+    let model = ViTSegmenter::new(ViTConfig::tiny(PATCH * PATCH, SEQ_LEN), MODEL_SEED);
+
+    println!("== distributed_slide_bench: cross-check at {cross_res}^2 ==");
+    let crosscheck = run_crosscheck(&model, cross_res, 256);
+    print_table(
+        "distributed cross-check",
+        &["check", "value", "status"],
+        &[
+            vec![
+                "distributed vs serial store".to_string(),
+                if crosscheck.bit_identical_to_serial {
+                    "bit-identical".to_string()
+                } else {
+                    "DIVERGED".to_string()
+                },
+                String::from(if crosscheck.bit_identical_to_serial { "ok" } else { "FAIL" }),
+            ],
+            vec![
+                "distributed vs dense stitch".to_string(),
+                format!("{:.2e} (tol {TOLERANCE:.0e})", crosscheck.dense_interior_max_diff),
+                String::from(if crosscheck.dense_interior_max_diff <= TOLERANCE {
+                    "ok"
+                } else {
+                    "FAIL"
+                }),
+            ],
+        ],
+    );
+
+    println!("== distributed_slide_bench: {resolution}^2 slide, window {window}, halo {halo} ==");
+    let scaling = run_scaling(&model, resolution, tile, window, halo, cache_budget);
+    let rows: Vec<Vec<String>> = scaling
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workers.to_string(),
+                format!("{:.2}s", p.makespan_s),
+                format!("{:.2}x", p.speedup),
+                if p.required > 0.0 { format!(">= {:.0}x", p.required) } else { "-".to_string() },
+                p.steals.to_string(),
+                String::from(if p.passed { "ok" } else { "FAIL" }),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "window throughput, {} windows (measured 1-worker wall {:.1}s, mean window {:.0}ms)",
+            scaling.windows,
+            scaling.measured_serial_s,
+            scaling.mean_window_s * 1e3,
+        ),
+        &["workers", "makespan", "speedup", "gate", "steals", "status"],
+        &rows,
+    );
+
+    let passed = crosscheck.passed && scaling.passed;
+    let report = DistributedSlideReport { quick, crosscheck, scaling, passed };
+    save_json("distributed_slide_bench", &report);
+    if !report.passed {
+        eprintln!("distributed_slide_bench FAILED");
+        if !report.crosscheck.passed {
+            eprintln!(
+                "  cross-check: bit_identical={} dense diff {:.2e} (tol {TOLERANCE:.0e})",
+                report.crosscheck.bit_identical_to_serial,
+                report.crosscheck.dense_interior_max_diff,
+            );
+        }
+        for p in report.scaling.points.iter().filter(|p| !p.passed) {
+            eprintln!(
+                "  scaling: {} workers reached {:.2}x, required {:.0}x",
+                p.workers, p.speedup, p.required
+            );
+        }
+        std::process::exit(1);
+    }
+    println!("distributed_slide_bench passed");
+}

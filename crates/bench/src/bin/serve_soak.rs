@@ -1,9 +1,13 @@
 //! Soak test of the resilient serving engine: hammer `apf-serve` with a
-//! seeded mix of valid, malformed, and deadline-doomed requests while a
-//! deterministic fault plan panics workers, poisons outputs with NaN, and
-//! slows inference — then prove the resilience invariants held:
+//! seeded mix of valid, malformed, deadline-doomed, and whole-slide
+//! requests while a deterministic fault plan panics workers, poisons
+//! outputs with NaN, and slows inference — then prove the resilience
+//! invariants held:
 //!
 //! * the process never panics (every worker fault is contained),
+//! * slide requests — serial and distributed-stitched alike — share the
+//!   patch queue and come back only as completion, deadline, worker
+//!   failure, or backpressure (never silently dropped or half-written),
 //! * the admission queue never exceeds its bound,
 //! * every submitted request gets exactly one response, labelled with the
 //!   degradation tier it was admitted at,
@@ -19,7 +23,7 @@ use apf_imaging::GrayImage;
 use apf_serve::{
     BreakerConfig, BreakerState, DegradationPolicy, InferenceFault, InferenceFaultKind, Outcome,
     SegRequest, SegResponse, ServeConfig, ServeEngine, ServeFaultPlan, ServeFaultRates,
-    ServeMetrics, ServeReport, Tier, Ticket, WorkerReport,
+    ServeMetrics, ServeReport, SlideRequest, Tier, Ticket, WorkerReport,
 };
 use apf_telemetry::{validate_jsonl, HistogramSnapshot, Telemetry, TelemetrySnapshot};
 use rand::{Rng, SeedableRng};
@@ -79,12 +83,17 @@ struct SoakReport {
     trace_events: usize,
     trace_evicted: u64,
     /// The soak's pass/fail verdicts, archived alongside the raw numbers.
+    /// Whole-slide requests mixed into the workload (serial and
+    /// distributed-stitched), and how many completed.
+    slides_submitted: usize,
+    slides_completed: u64,
     zero_process_panics: bool,
     queue_bound_held: bool,
     every_request_answered: bool,
     tiers_monotone_in_depth: bool,
     breaker_tripped: bool,
     breaker_recovered: bool,
+    slides_answered_typed: bool,
     registry_consistent_with_engine: bool,
 }
 
@@ -176,11 +185,23 @@ fn main() {
         steps, seed, workers, capacity, injected_faults
     );
 
+    // A small on-disk slide shared by every whole-slide request in the mix
+    // (the request only carries the path; workers open it independently).
+    let soak_dir = std::env::temp_dir().join("apf_serve_soak");
+    std::fs::create_dir_all(&soak_dir).expect("create soak scratch dir");
+    let slide_path = soak_dir.join("soak_slide.apt1");
+    let slide_img = GrayImage::from_fn(128, 128, |x, y| ((x * 7 + y * 13) % 97) as f32 / 96.0);
+    apf_gigapixel::write_tiled(&slide_path, 128, 128, 32, |_, _, x0, y0, w, h| {
+        slide_img.crop(x0, y0, w, h).into_data()
+    })
+    .expect("write soak slide container");
+
     let engine = ServeEngine::start(cfg);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x50AC);
     let mut tickets: Vec<Ticket> = Vec::with_capacity(steps as usize);
     let mut malformed_ids = Vec::new();
     let mut doomed_ids = Vec::new();
+    let mut slide_ids: Vec<u64> = Vec::new();
     // Submission comes in waves: instant bursts one deeper than the queue
     // bound (forcing backpressure rejections and the degraded tiers), then
     // a pause lets it drain (restoring the full tier and feeding the
@@ -189,24 +210,45 @@ fn main() {
     let pause = std::time::Duration::from_millis((wave * 2).min(50));
     for id in 0..steps {
         let draw: f64 = rng.gen();
-        // Requests 0 and 1 are pinned (one malformed, one doomed into an
-        // empty queue) so every outcome class is exercised at any
-        // steps/capacity/seed combination; the rest is the seeded mix.
-        let req = if id == 0 || (id >= 2 && draw < 0.10) {
+        // Requests 0..=2 are pinned (one malformed, one doomed into an
+        // empty queue, one whole-slide) so every outcome class is exercised
+        // at any steps/capacity/seed combination; the rest is the seeded
+        // mix.
+        let ticket = if id == 0 || (id >= 3 && draw < 0.10) {
             // Malformed: must come back as a typed InvalidInput.
             malformed_ids.push(id);
-            SegRequest { id, image: malformed_image(&mut rng), deadline_ms: None }
-        } else if id == 1 || draw < 0.20 {
+            engine.submit(SegRequest { id, image: malformed_image(&mut rng), deadline_ms: None })
+        } else if id == 1 || (id >= 3 && draw < 0.20) {
             // Doomed: a zero deadline can never complete.
             doomed_ids.push(id);
-            SegRequest { id, image: valid_image(&mut rng), deadline_ms: Some(0) }
-        } else if draw < 0.35 {
+            engine.submit(SegRequest { id, image: valid_image(&mut rng), deadline_ms: Some(0) })
+        } else if id == 2 || (id >= 3 && draw < 0.30) {
+            // Whole-slide, alternating the serial in-worker stitcher with
+            // the distributed drive (2 stitch workers + a checkpoint, so
+            // the resumable path runs under the same injected faults).
+            slide_ids.push(id);
+            let mut req = SlideRequest::serial(
+                id,
+                slide_path.clone(),
+                soak_dir.join(format!("soak_out_{id}.apt1")),
+                64,
+                8,
+                1 << 20,
+                None,
+            );
+            if slide_ids.len().is_multiple_of(2) {
+                req.stitch_workers = 2;
+                req.checkpoint_path = Some(soak_dir.join(format!("soak_{id}.ckpt.apf2")));
+                req.resume = true;
+            }
+            engine.submit_slide(req)
+        } else if draw < 0.40 {
             // Tight-but-feasible deadline.
-            SegRequest { id, image: valid_image(&mut rng), deadline_ms: Some(50) }
+            engine.submit(SegRequest { id, image: valid_image(&mut rng), deadline_ms: Some(50) })
         } else {
-            SegRequest { id, image: valid_image(&mut rng), deadline_ms: None }
+            engine.submit(SegRequest { id, image: valid_image(&mut rng), deadline_ms: None })
         };
-        tickets.push(engine.submit(req));
+        tickets.push(ticket);
         if (id + 1) % wave == 0 {
             std::thread::sleep(pause);
         }
@@ -215,12 +257,65 @@ fn main() {
         .into_iter()
         .map(|t| t.wait().expect("engine must answer every request"))
         .collect();
+
+    // Epilogue: one pinned resumable slide into the drained engine. The
+    // main-loop slides can all legitimately die under a hostile
+    // steps/capacity/seed combination, so the guaranteed slide completion
+    // is anchored here instead: faults are keyed (worker, nth-processed)
+    // and each failed attempt consumes exactly one scheduled slot, so
+    // retrying with resume=true must complete within `injected_faults + 1`
+    // attempts — and when an attempt dies mid-stitch, the retry exercises a
+    // checkpointed resume under the same engine.
+    let epi_out = soak_dir.join("soak_out_epilogue.apt1");
+    let epi_ckpt = soak_dir.join("soak_epilogue.ckpt.apf2");
+    let _ = std::fs::remove_file(&epi_out);
+    let _ = std::fs::remove_file(&epi_ckpt);
+    let _ = std::fs::remove_file(soak_dir.join("soak_epilogue.ckpt.apf2.prev"));
+    let mut epilogue_attempts = 0u64;
+    loop {
+        assert!(
+            epilogue_attempts <= injected_faults as u64,
+            "epilogue slide failed {epilogue_attempts} times with only {injected_faults} faults scheduled"
+        );
+        let mut req = SlideRequest::serial(
+            steps + epilogue_attempts,
+            slide_path.clone(),
+            epi_out.clone(),
+            64,
+            8,
+            1 << 20,
+            None,
+        );
+        req.stitch_workers = 2;
+        req.checkpoint_path = Some(epi_ckpt.clone());
+        req.resume = true;
+        let r = engine
+            .submit_slide(req)
+            .wait()
+            .expect("engine must answer the epilogue slide");
+        epilogue_attempts += 1;
+        match r.outcome {
+            Outcome::SlideCompleted { windows, .. } => {
+                assert_eq!(windows, 9, "epilogue slide stitched the wrong window count");
+                break;
+            }
+            Outcome::WorkerFailure { .. } => {}
+            other => panic!("epilogue slide attempt got {other:?}"),
+        }
+    }
+    apf_gigapixel::TileStore::open(&epi_out)
+        .unwrap_or_else(|e| panic!("epilogue slide output unreadable: {e}"));
+    let _ = std::fs::remove_file(&epi_out);
+    let _ = std::fs::remove_file(&epi_ckpt);
+    let _ = std::fs::remove_file(soak_dir.join("soak_epilogue.ckpt.apf2.prev"));
+    let total_requests = steps + epilogue_attempts;
+
     let report: ServeReport = engine.shutdown();
 
     // ---- Invariant checks (the binary IS the gate: any violation panics
     // the process, which check.sh treats as failure) ----
     let every_request_answered =
-        responses.len() as u64 == steps && report.metrics.responses() == steps;
+        responses.len() as u64 == steps && report.metrics.responses() == total_requests;
     assert!(every_request_answered, "lost responses: {} of {}", responses.len(), steps);
 
     let queue_bound_held = report.max_queue_depth <= report.queue_capacity;
@@ -287,6 +382,47 @@ fn main() {
         responses[1].outcome
     );
 
+    // Slide requests under worker faults: every one answered with a typed
+    // slide-shaped outcome (completion, deadline, contained worker failure,
+    // or backpressure) — never invalid input, never dropped.
+    let mut slides_completed_seen = 0u64;
+    for &id in &slide_ids {
+        match &responses[id as usize].outcome {
+            Outcome::SlideCompleted { windows, .. } => {
+                assert_eq!(*windows, 9, "slide {id} stitched the wrong window count");
+                slides_completed_seen += 1;
+            }
+            Outcome::DeadlineExceeded { .. }
+            | Outcome::WorkerFailure { .. }
+            | Outcome::Rejected { .. } => {}
+            other => panic!("slide request {id} got {other:?}"),
+        }
+    }
+    let slides_answered_typed = true;
+    // The epilogue slide is the one completion guaranteed at every shape;
+    // the engine counter must agree with the responses we observed plus it.
+    assert!(report.metrics.slides_completed > 0, "epilogue slide never completed");
+    assert_eq!(
+        report.metrics.slides_completed,
+        slides_completed_seen + 1,
+        "engine slide counter disagrees with observed responses (+1 epilogue)"
+    );
+    // Completed slides left a finished container; failed ones left nothing
+    // half-written at the output path.
+    for &id in &slide_ids {
+        let out = soak_dir.join(format!("soak_out_{id}.apt1"));
+        match &responses[id as usize].outcome {
+            Outcome::SlideCompleted { .. } => {
+                apf_gigapixel::TileStore::open(&out)
+                    .unwrap_or_else(|e| panic!("slide {id} output unreadable: {e}"));
+            }
+            _ => assert!(!out.exists(), "failed slide {id} left a partial container"),
+        }
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(soak_dir.join(format!("soak_{id}.ckpt.apf2")));
+        let _ = std::fs::remove_file(soak_dir.join(format!("soak_{id}.ckpt.apf2.prev")));
+    }
+
     // ---- Registry-derived report ----
     // Latency quantiles, tier counts, and breaker churn all come from the
     // telemetry registry the engine recorded into — the soak's own clocks
@@ -317,13 +453,14 @@ fn main() {
     // they must tell the same story.
     let m: &ServeMetrics = &report.metrics;
     let engine_transitions: usize = report.workers.iter().map(|w| w.transitions.len()).sum();
-    let registry_consistent_with_engine = counter(&snap, "apf_serve_requests_total", &[]) == steps
-        && request_latency.count == steps
+    let registry_consistent_with_engine = counter(&snap, "apf_serve_requests_total", &[])
+        == total_requests
+        && request_latency.count == total_requests
         && counter(&snap, "apf_serve_outcomes_total", &[("outcome", "completed")]) == m.completed
         && counter(&snap, "apf_serve_outcomes_total", &[("outcome", "rejected")]) == m.rejected
         && counter(&snap, "apf_serve_outcomes_total", &[("outcome", "invalid_input")])
             == m.invalid_input
-        && tier_full + tier_reduced + tier_coarse == steps
+        && tier_full + tier_reduced + tier_coarse == total_requests
         && (breaker_to_open + breaker_to_half_open + breaker_to_closed) as usize
             == engine_transitions
         && breaker_to_open as usize >= report.workers.iter().map(|w| w.trips as usize).sum();
@@ -374,10 +511,12 @@ fn main() {
 
     let outcome_rows: Vec<(&str, u64)> = vec![
         ("completed", m.completed),
+        ("slide completed", m.slides_completed),
         ("rejected (backpressure)", m.rejected),
         ("invalid input", m.invalid_input),
         ("deadline (queued)", m.deadline_queued),
         ("deadline (inference)", m.deadline_inference),
+        ("deadline (stitching)", m.deadline_stitching),
         ("worker panic (contained)", m.worker_panics),
         ("non-finite output", m.non_finite_outputs),
     ];
@@ -468,12 +607,15 @@ fn main() {
             breaker_to_closed,
             trace_events: events.len(),
             trace_evicted: tel.trace_evicted(),
+            slides_submitted: slide_ids.len() + epilogue_attempts as usize,
+            slides_completed: slides_completed_seen + 1,
             zero_process_panics,
             queue_bound_held,
             every_request_answered,
             tiers_monotone_in_depth,
             breaker_tripped,
             breaker_recovered,
+            slides_answered_typed,
             registry_consistent_with_engine,
         },
     );

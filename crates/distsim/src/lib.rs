@@ -16,11 +16,16 @@
 //! - [`fault`] — deterministic fault injection (crashes, wire corruption,
 //!   stragglers, NaN gradients) and the recovery trace the engine records
 //!   while surviving them.
+//! - [`fabric`] — a generic work-stealing worker pool over arbitrary
+//!   indexed work lists, with `(worker, nth-item)`-keyed fault plans and a
+//!   deterministic virtual-time schedule simulator; the substrate the
+//!   gigapixel distributed stitcher runs on.
 
 pub mod allreduce;
 pub mod cluster;
 pub mod cost;
 pub mod engine;
+pub mod fabric;
 pub mod fault;
 pub mod gpu;
 pub mod tree_allreduce;
@@ -31,6 +36,11 @@ pub use allreduce::{
 pub use cluster::{calibrate, ClusterModel, Prediction};
 pub use cost::{step_cost, ModelDims, StepCost};
 pub use engine::{DataParallelEngine, StepReport};
+pub use fabric::{
+    install_quiet_fabric_panics, run_ordered, simulate_makespan, FabricError, FabricFaultEvent,
+    FabricFaultKind, FabricFaultPlan, FabricFaultRates, FabricStats, Next, SimulatedSchedule,
+    StealScheduler, FABRIC_THREAD_PREFIX,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, RecoveryEvent};
 pub use gpu::{Fabric, GpuSpec};
 pub use tree_allreduce::{tree_allreduce_mean, tree_allreduce_mean_checked, tree_allreduce_seconds};

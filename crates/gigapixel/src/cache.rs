@@ -43,7 +43,14 @@ struct CacheMetrics {
     evictions: Counter,
     resident: Gauge,
     read_s: Histogram,
+    retries: Counter,
 }
+
+/// Read attempts (initial + retries) before a CRC-failing tile is declared
+/// persistently corrupt. Transient corruption — a torn read racing a
+/// concurrent writer, a flaky transport — heals on re-read; media
+/// corruption does not, and gets a typed [`GigapixelError::TileCorrupt`].
+pub const MAX_TILE_READ_ATTEMPTS: u32 = 3;
 
 /// Byte-bounded LRU over a [`TileStore`].
 pub struct TileCache {
@@ -70,6 +77,7 @@ impl TileCache {
             evictions: tel.counter("apf_gigapixel_cache_evictions_total", "Tiles evicted by the byte budget"),
             resident: tel.gauge("apf_gigapixel_cache_resident_bytes", "Decoded tile bytes held by the cache"),
             read_s: tel.histogram("apf_gigapixel_tile_read_seconds", "Disk read + CRC verify + decode per tile"),
+            retries: tel.counter("apf_gigapixel_tile_retry_total", "Tile reads retried after a CRC mismatch"),
         };
         TileCache {
             store,
@@ -108,10 +116,38 @@ impl TileCache {
         }
         let _t = self.metrics.read_s.start_timer();
         self.metrics.misses.inc();
-        let bytes = self.store.read_tile_bytes(tx, ty)?;
-        let data = Arc::new(self.store.verify_and_decode(tx, ty, &bytes)?);
+        let data = Arc::new(self.read_verified(tx, ty)?);
         self.insert(tx, ty, Arc::clone(&data));
         Ok(data)
+    }
+
+    /// Reads and CRC-verifies one tile, retrying with a short backoff on
+    /// checksum mismatch (the transient-corruption model). After
+    /// [`MAX_TILE_READ_ATTEMPTS`] consecutive mismatches the tile is
+    /// declared persistently corrupt.
+    fn read_verified(&self, tx: u32, ty: u32) -> Result<Vec<f32>, GigapixelError> {
+        let mut attempt = 1u32;
+        loop {
+            let bytes = self.store.read_tile_bytes(tx, ty)?;
+            match self.store.verify_and_decode(tx, ty, &bytes) {
+                Ok(data) => return Ok(data),
+                Err(GigapixelError::CrcMismatch { expected, found, .. }) => {
+                    if attempt >= MAX_TILE_READ_ATTEMPTS {
+                        return Err(GigapixelError::TileCorrupt {
+                            tx,
+                            ty,
+                            attempts: attempt,
+                            expected,
+                            found,
+                        });
+                    }
+                    self.metrics.retries.inc();
+                    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn lookup(&self, tx: u32, ty: u32) -> Option<Arc<Vec<f32>>> {
@@ -177,7 +213,16 @@ impl TileCache {
         let decoded: Vec<((u32, u32), Vec<f32>)> = raw
             .par_iter()
             .map(|((tx, ty), bytes)| {
-                self.store.verify_and_decode(*tx, *ty, bytes).map(|d| ((*tx, *ty), d))
+                match self.store.verify_and_decode(*tx, *ty, bytes) {
+                    Ok(d) => Ok(((*tx, *ty), d)),
+                    // A CRC failure on the batched first read falls back to
+                    // the retrying single-tile path (fresh re-reads).
+                    Err(GigapixelError::CrcMismatch { .. }) => {
+                        self.metrics.retries.inc();
+                        self.read_verified(*tx, *ty).map(|d| ((*tx, *ty), d))
+                    }
+                    Err(e) => Err(e),
+                }
             })
             .collect::<Result<_, _>>()?;
         for ((tx, ty), data) in decoded {
@@ -322,5 +367,48 @@ mod tests {
             cache.read_region(90, 0, 20, 10),
             Err(GigapixelError::RegionOutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_retries_into_tile_corrupt() {
+        use std::io::{Seek, SeekFrom, Write};
+        let tel = Telemetry::enabled();
+        let dir = std::env::temp_dir().join("apf_gigapixel_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt_retry.apt1");
+        let mut wtr = TileStoreWriter::create(&path, 32, 32, 16).unwrap();
+        let g = wtr.geometry();
+        for ty in 0..g.tiles_y() {
+            for tx in 0..g.tiles_x() {
+                let (tw, th) = g.tile_dims(tx, ty);
+                wtr.write_tile(tx, ty, &vec![1.0; tw * th]).unwrap();
+            }
+        }
+        wtr.finish().unwrap();
+        // Flip a byte inside tile (1, 1)'s payload: corruption that no
+        // amount of re-reading heals.
+        let start = g.payload_start() + 3 * 16 * 16 * 4;
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(start + 5)).unwrap();
+        f.write_all(&[0xAB]).unwrap();
+        drop(f);
+
+        let store = Arc::new(TileStore::open(&path).unwrap());
+        let res = Residency::new(&tel);
+        let cache = TileCache::new(store, usize::MAX, tel.clone(), res);
+        // Clean tiles still read fine.
+        cache.get(0, 0).unwrap();
+        match cache.get(1, 1) {
+            Err(GigapixelError::TileCorrupt { tx: 1, ty: 1, attempts, .. }) => {
+                assert_eq!(attempts, MAX_TILE_READ_ATTEMPTS);
+            }
+            other => panic!("expected TileCorrupt, got {other:?}"),
+        }
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.get("apf_gigapixel_tile_retry_total", &[]).unwrap().value,
+            (MAX_TILE_READ_ATTEMPTS - 1) as f64,
+            "each failed attempt but the last counts one retry"
+        );
     }
 }

@@ -116,6 +116,50 @@ pub enum GigapixelError {
         /// Windows the full drive would have run.
         windows_total: usize,
     },
+    /// A tile kept failing its CRC across every retry attempt: the
+    /// corruption is persistent, not transient.
+    TileCorrupt {
+        /// Tile column.
+        tx: u32,
+        /// Tile row.
+        ty: u32,
+        /// Read attempts made (initial read + retries).
+        attempts: u32,
+        /// Checksum recorded in the index.
+        expected: u32,
+        /// Checksum of the bytes read on the final attempt.
+        found: u32,
+    },
+    /// A stitch checkpoint failed to load or save through the APF2
+    /// machinery (truncation, bit flips, bad magic, ...).
+    Checkpoint(apf_models::CheckpointError),
+    /// A stitch checkpoint parsed as valid APF2 but does not describe the
+    /// drive being resumed (schema or geometry fingerprint mismatch).
+    CheckpointMismatch {
+        /// Which fingerprint field disagreed.
+        field: &'static str,
+        /// Value recorded in the checkpoint.
+        stored: u64,
+        /// Value the current drive requires.
+        required: u64,
+    },
+    /// An injected crash (fault plan) stopped the distributed drive after
+    /// this many merged windows; the partial output and checkpoint were
+    /// left on disk for resume.
+    InjectedCrash {
+        /// Windows merged before the crash fired.
+        windows_merged: usize,
+        /// What crashed: `"kill"` or `"checkpoint_write"`.
+        site: &'static str,
+    },
+    /// Every stitch worker died (injected or organic panics) with windows
+    /// still outstanding.
+    WorkersExhausted {
+        /// Windows merged before the pool emptied.
+        windows_done: usize,
+        /// Windows the full drive would have run.
+        windows_total: usize,
+    },
 }
 
 impl std::fmt::Display for GigapixelError {
@@ -154,6 +198,23 @@ impl std::fmt::Display for GigapixelError {
             GigapixelError::Cancelled { windows_done, windows_total } => {
                 write!(f, "cancelled after {windows_done}/{windows_total} windows")
             }
+            GigapixelError::TileCorrupt { tx, ty, attempts, expected, found } => write!(
+                f,
+                "tile ({tx}, {ty}) corrupt after {attempts} read attempts: index says {expected:#010x}, payload hashes to {found:#010x}"
+            ),
+            GigapixelError::Checkpoint(e) => write!(f, "stitch checkpoint: {e}"),
+            GigapixelError::CheckpointMismatch { field, stored, required } => write!(
+                f,
+                "stitch checkpoint fingerprint mismatch: {field} is {stored}, drive requires {required}"
+            ),
+            GigapixelError::InjectedCrash { windows_merged, site } => write!(
+                f,
+                "injected {site} crash after {windows_merged} merged windows"
+            ),
+            GigapixelError::WorkersExhausted { windows_done, windows_total } => write!(
+                f,
+                "all stitch workers died with {windows_done}/{windows_total} windows merged"
+            ),
         }
     }
 }
@@ -163,6 +224,7 @@ impl std::error::Error for GigapixelError {
         match self {
             GigapixelError::Io { source, .. } => Some(source),
             GigapixelError::Patch(e) => Some(e),
+            GigapixelError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -171,6 +233,12 @@ impl std::error::Error for GigapixelError {
 impl From<PatchError> for GigapixelError {
     fn from(e: PatchError) -> Self {
         GigapixelError::Patch(e)
+    }
+}
+
+impl From<apf_models::CheckpointError> for GigapixelError {
+    fn from(e: apf_models::CheckpointError) -> Self {
+        GigapixelError::Checkpoint(e)
     }
 }
 

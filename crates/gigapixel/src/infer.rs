@@ -82,7 +82,7 @@ pub struct StitchReport {
 
 /// Window origin positions along one axis: stride steps plus a final
 /// window flush against the far edge.
-fn window_positions(z: usize, w: usize, stride: usize) -> Vec<usize> {
+pub(crate) fn window_positions(z: usize, w: usize, stride: usize) -> Vec<usize> {
     if w >= z {
         return vec![0];
     }
@@ -93,7 +93,7 @@ fn window_positions(z: usize, w: usize, stride: usize) -> Vec<usize> {
 
 /// Per-window 1-D blend profile: linear ramp over `halo` pixels at each
 /// edge, flat 1.0 in the middle, strictly positive everywhere.
-fn blend_profile(w: usize, halo: usize) -> Vec<f32> {
+pub(crate) fn blend_profile(w: usize, halo: usize) -> Vec<f32> {
     (0..w)
         .map(|i| {
             let edge = i.min(w - 1 - i);
@@ -103,7 +103,7 @@ fn blend_profile(w: usize, halo: usize) -> Vec<f32> {
 }
 
 /// Total blend weight along one axis: the sum of every window's profile.
-fn axis_weight(z: usize, positions: &[usize], profile: &[f32]) -> Vec<f32> {
+pub(crate) fn axis_weight(z: usize, positions: &[usize], profile: &[f32]) -> Vec<f32> {
     let mut wsum = vec![0.0f32; z];
     for &p in positions {
         for (i, &v) in profile.iter().enumerate() {
@@ -150,14 +150,18 @@ impl RegionSource for &GrayImage {
 
 /// Rolling band of accumulator rows, allocated on first touch and flushed
 /// once the window frontier passes them.
-struct RowBand {
-    z: usize,
-    rows: BTreeMap<usize, Vec<f32>>,
-    residency: Residency,
+pub(crate) struct RowBand {
+    pub(crate) z: usize,
+    pub(crate) rows: BTreeMap<usize, Vec<f32>>,
+    pub(crate) residency: Residency,
 }
 
 impl RowBand {
-    fn row_mut(&mut self, y: usize) -> &mut Vec<f32> {
+    pub(crate) fn new(z: usize, residency: Residency) -> Self {
+        RowBand { z, rows: BTreeMap::new(), residency }
+    }
+
+    pub(crate) fn row_mut(&mut self, y: usize) -> &mut Vec<f32> {
         let z = self.z;
         let residency = &self.residency;
         self.rows.entry(y).or_insert_with(|| {
@@ -167,7 +171,7 @@ impl RowBand {
     }
 
     /// Removes and returns row `y` (zeros if it was never touched).
-    fn take_row(&mut self, y: usize) -> Vec<f32> {
+    pub(crate) fn take_row(&mut self, y: usize) -> Vec<f32> {
         match self.rows.remove(&y) {
             Some(r) => {
                 self.residency.sub(self.z * 4);
@@ -178,14 +182,46 @@ impl RowBand {
     }
 }
 
+/// Adds one window's weighted logits into the band. Shared verbatim by the
+/// serial drive and the distributed merge loop: identical f32 additions in
+/// identical order is what makes the two outputs bit-equal.
+pub(crate) fn blend_window(
+    band: &mut RowBand,
+    profile: &[f32],
+    logits: &GrayImage,
+    wx: usize,
+    wy: usize,
+    w: usize,
+) {
+    for dy in 0..w {
+        let wrow = profile[dy];
+        let row = band.row_mut(wy + dy);
+        let lrow = &logits.data()[dy * w..(dy + 1) * w];
+        for dx in 0..w {
+            row[wx + dx] += wrow * profile[dx] * lrow[dx];
+        }
+    }
+}
+
+/// Removes row `y` from the band and normalizes it by the separable total
+/// blend weight. Shared by the serial and distributed drives.
+pub(crate) fn finalize_row(band: &mut RowBand, wsum: &[f32], y: usize) -> Vec<f32> {
+    let mut row = band.take_row(y);
+    let wy_f = wsum[y];
+    for (x, v) in row.iter_mut().enumerate() {
+        *v /= wsum[x] * wy_f;
+    }
+    row
+}
+
 /// Drives stitched whole-slide inference with a borrowed model.
 pub struct SlideSegmenter<'m> {
     model: &'m ViTSegmenter,
-    cfg: StitchConfig,
-    tel: Telemetry,
+    pub(crate) cfg: StitchConfig,
+    pub(crate) tel: Telemetry,
     patcher: AdaptivePatcher,
-    windows_total: Counter,
-    window_s: Histogram,
+    pub(crate) windows_total: Counter,
+    pub(crate) window_s: Histogram,
 }
 
 impl<'m> SlideSegmenter<'m> {
@@ -220,7 +256,7 @@ impl<'m> SlideSegmenter<'m> {
 
     /// Patchifies one window and returns its `W x W` logit map plus the
     /// token count pushed through the model.
-    fn infer_window(&self, img: &GrayImage, wx: usize, wy: usize) -> Result<(GrayImage, usize), GigapixelError> {
+    pub(crate) fn infer_window(&self, img: &GrayImage, wx: usize, wy: usize) -> Result<(GrayImage, usize), GigapixelError> {
         let seq = self.patcher.try_patchify(img)?;
         let l = seq.len();
         debug_assert_eq!(l, self.cfg.seq_len);
@@ -259,7 +295,7 @@ impl<'m> SlideSegmenter<'m> {
         let wsum = axis_weight(z, &positions, &profile);
         let windows_total = positions.len() * positions.len();
 
-        let mut band = RowBand { z, rows: BTreeMap::new(), residency: residency.clone() };
+        let mut band = RowBand::new(z, residency.clone());
         let mut done = 0usize;
         let mut tokens = 0usize;
         let mut flushed = 0usize; // rows already emitted
@@ -277,36 +313,19 @@ impl<'m> SlideSegmenter<'m> {
                 let _charge = ResidencyCharge::new(residency, w * w * 4 * 2); // window + logits
                 let (logits, l) = self.infer_window(&img, wx, wy)?;
                 tokens += l;
-                for dy in 0..w {
-                    let wrow = profile[dy];
-                    let row = band.row_mut(wy + dy);
-                    let lrow = &logits.data()[dy * w..(dy + 1) * w];
-                    for dx in 0..w {
-                        row[wx + dx] += wrow * profile[dx] * lrow[dx];
-                    }
-                }
+                blend_window(&mut band, &profile, &logits, wx, wy, w);
                 done += 1;
                 self.windows_total.inc();
             }
             // Rows strictly above the next window row are final.
             let frontier = positions.get(wyi + 1).copied().unwrap_or(z + 1).min(z);
             while flushed < frontier {
-                let mut row = band.take_row(flushed);
-                let wy_f = wsum[flushed];
-                for (x, v) in row.iter_mut().enumerate() {
-                    *v /= wsum[x] * wy_f;
-                }
-                emit(flushed, row)?;
+                emit(flushed, finalize_row(&mut band, &wsum, flushed))?;
                 flushed += 1;
             }
         }
         while flushed < z {
-            let mut row = band.take_row(flushed);
-            let wy_f = wsum[flushed];
-            for (x, v) in row.iter_mut().enumerate() {
-                *v /= wsum[x] * wy_f;
-            }
-            emit(flushed, row)?;
+            emit(flushed, finalize_row(&mut band, &wsum, flushed))?;
             flushed += 1;
         }
         Ok(StitchReport { windows: done, tokens, positive_fraction: 0.0, resolution: z })

@@ -17,10 +17,14 @@
 //!   [`apf_core::QuadTree`] builder on images that fit.
 //! - [`infer`]: sliding-window whole-slide inference with halo overlap and
 //!   weighted-blend stitching into a tiled output logit store.
+//! - [`dist`]: the distributed drive — sliding windows sharded over the
+//!   distsim work-stealing fabric, merged in deterministic order, with
+//!   APF2 stitch checkpoints for bit-identical crash-safe resume.
 //! - [`residency`]: shared accounting of transient bytes, mirrored to
 //!   telemetry gauges, so benches can assert a hard memory budget.
 
 pub mod cache;
+pub mod dist;
 pub mod error;
 pub mod generate;
 pub mod infer;
@@ -28,7 +32,11 @@ pub mod residency;
 pub mod store;
 pub mod stream_tree;
 
-pub use cache::TileCache;
+pub use cache::{TileCache, MAX_TILE_READ_ATTEMPTS};
+pub use dist::{
+    load_stitch_checkpoint, DistStitchOptions, DistStitchReport, StitchCheckpointInfo,
+    StitchFaultPlan,
+};
 pub use error::GigapixelError;
 pub use generate::{stream_paip_slide, write_tiled};
 pub use infer::{SlideSegmenter, StitchConfig, StitchReport};

@@ -219,6 +219,14 @@ impl TileStoreWriter {
         self.geom
     }
 
+    /// CRCs of the written row-major prefix of tiles (stops at the first
+    /// unwritten tile). For a writer that appends strictly in row-major
+    /// order — the stitcher's discipline — this is the complete durable
+    /// high-water mark a checkpoint needs to validate a resumed temp file.
+    pub fn written_prefix_crcs(&self) -> Vec<u32> {
+        self.index.iter().map_while(|e| e.as_ref().map(|e| e.crc)).collect()
+    }
+
     /// Appends the payload of tile `(tx, ty)`; `data` must hold exactly
     /// `tile_dims(tx, ty)` pixels, row-major.
     pub fn write_tile(&mut self, tx: u32, ty: u32, data: &[f32]) -> Result<(), GigapixelError> {
@@ -250,6 +258,117 @@ impl TileStoreWriter {
         self.cursor += bytes.len() as u64;
         self.index[i] = Some(entry);
         Ok(())
+    }
+
+    /// Pushes all buffered payload bytes through to the OS and syncs them
+    /// to disk. The resumable stitcher calls this before recording a
+    /// durable high-water mark in a checkpoint: a tile counted as written
+    /// must survive a kill -9 of the process.
+    pub fn flush_to_disk(&mut self) -> Result<(), GigapixelError> {
+        let file = self.file.as_mut().expect("writer used after finish");
+        file.flush().map_err(GigapixelError::io("flushing tile store"))?;
+        file.get_ref()
+            .sync_data()
+            .map_err(GigapixelError::io("syncing tile store payloads"))?;
+        Ok(())
+    }
+
+    /// Abandons the writer but — unlike [`Drop`] — leaves the temp file on
+    /// disk, flushed, exactly as a hard kill would (modulo the flush, which
+    /// only ever preserves *more* bytes than a kill; resume truncates past
+    /// its checkpointed high-water mark anyway). Used by the crash-injection
+    /// paths to simulate a kill without exiting the test process.
+    pub fn suspend(mut self) -> Result<PathBuf, GigapixelError> {
+        self.flush_to_disk()?;
+        self.file.take();
+        self.finished = true; // disarm Drop's temp-file cleanup
+        Ok(self.tmp_path.clone())
+    }
+
+    /// Re-opens a previous run's temp file and verifies the first
+    /// `tiles_written` row-major tiles against their checkpointed CRCs.
+    ///
+    /// Only valid for writers that append tiles strictly in row-major
+    /// order with deterministic payload lengths (the stitcher's
+    /// discipline), which makes every prefix offset derivable from the
+    /// geometry alone. Bytes past the verified prefix — torn writes from
+    /// the kill — are truncated away. Any CRC disagreement or a too-short
+    /// file yields a typed error so the caller can fall back to a fresh
+    /// start instead of stitching onto corrupt output.
+    pub fn resume_partial(
+        path: impl AsRef<Path>,
+        width: usize,
+        height: usize,
+        tile_size: usize,
+        crcs: &[u32],
+    ) -> Result<Self, GigapixelError> {
+        let geom = TileGeometry::new(width, height, tile_size)?;
+        let tiles_written = crcs.len();
+        if tiles_written > geom.tile_count() {
+            return Err(GigapixelError::TileOutOfBounds {
+                tx: 0,
+                ty: (tiles_written / geom.tiles_x() as usize) as u32,
+                tiles_x: geom.tiles_x(),
+                tiles_y: geom.tiles_y(),
+            });
+        }
+        let final_path = path.as_ref().to_path_buf();
+        let file_name = final_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("tilestore.apt1")
+            .to_string();
+        let tmp_path = final_path.with_file_name(format!(".{file_name}.tmp"));
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&tmp_path)
+            .map_err(GigapixelError::io("reopening partial tile store"))?;
+        let file_len =
+            file.metadata().map_err(GigapixelError::io("statting partial tile store"))?.len();
+
+        let tiles_x = geom.tiles_x() as usize;
+        let mut index: Vec<Option<IndexEntry>> = vec![None; geom.tile_count()];
+        let mut cursor = geom.payload_start();
+        file.seek(SeekFrom::Start(cursor))
+            .map_err(GigapixelError::io("seeking partial tile store"))?;
+        for (i, &expected) in crcs.iter().enumerate() {
+            let (tx, ty) = ((i % tiles_x) as u32, (i / tiles_x) as u32);
+            let (tw, th) = geom.tile_dims(tx, ty);
+            let byte_len = (tw * th * 4) as u64;
+            if cursor + byte_len > file_len {
+                return Err(GigapixelError::Header {
+                    field: "payload",
+                    offset: cursor,
+                    detail: format!(
+                        "partial store holds {file_len} bytes, checkpoint high-water mark needs {}",
+                        cursor + byte_len
+                    ),
+                });
+            }
+            let mut bytes = vec![0u8; byte_len as usize];
+            file.read_exact(&mut bytes)
+                .map_err(GigapixelError::io("reading partial tile payload"))?;
+            let found = crc32(&bytes);
+            if found != expected {
+                return Err(GigapixelError::CrcMismatch { tx, ty, expected, found });
+            }
+            index[i] = Some(IndexEntry { offset: cursor, byte_len: byte_len as u32, crc: expected });
+            cursor += byte_len;
+        }
+        // Drop torn bytes past the verified prefix and continue appending.
+        file.set_len(cursor).map_err(GigapixelError::io("truncating partial tile store"))?;
+        file.seek(SeekFrom::Start(cursor))
+            .map_err(GigapixelError::io("seeking partial tile store"))?;
+        Ok(TileStoreWriter {
+            index,
+            geom,
+            file: Some(BufWriter::new(file)),
+            tmp_path,
+            final_path,
+            cursor,
+            finished: false,
+        })
     }
 
     /// Validates completeness, rewrites the header + index, syncs, and

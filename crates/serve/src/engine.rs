@@ -25,7 +25,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use apf_core::pipeline::{AdaptivePatcher, PatcherConfig};
-use apf_gigapixel::{GigapixelError, Residency, SlideSegmenter, StitchConfig, TileCache, TileStore};
+use apf_gigapixel::{
+    DistStitchOptions, GigapixelError, Residency, SlideSegmenter, StitchConfig, TileCache,
+    TileStore,
+};
 use apf_models::cancel::CancelToken;
 use apf_models::vit::{ViTConfig, ViTSegmenter};
 use apf_tensor::prelude::*;
@@ -471,6 +474,11 @@ impl ServeEngine {
             ))
         } else if req.cache_budget_bytes == 0 {
             Some("tile cache budget must be positive".to_string())
+        } else if !(1..=32).contains(&req.stitch_workers) {
+            Some(format!(
+                "stitch worker count {} outside supported range 1..=32",
+                req.stitch_workers
+            ))
         } else {
             None
         };
@@ -740,7 +748,19 @@ fn run_slide(
     stitch.patcher.patch_size = cfg.patch_size;
     let seg = SlideSegmenter::new(model, stitch, tm.tel.clone());
     let cancel = || deadline.is_some_and(|d| Instant::now() >= d);
-    match seg.segment_store(&cache, &req.output_path, &residency, cancel) {
+    // Serial in-worker drive unless the caller asked for sharded stitching
+    // or crash-safety; a checkpoint path alone routes distributed so the
+    // single-worker resumable path exists too.
+    let result = if req.stitch_workers > 1 || req.checkpoint_path.is_some() {
+        let mut opts = DistStitchOptions::new(req.stitch_workers);
+        opts.checkpoint_path = req.checkpoint_path.clone();
+        opts.resume = req.resume;
+        seg.segment_store_distributed(&cache, &req.output_path, &residency, &opts, cancel)
+            .map(|r| r.stitch)
+    } else {
+        seg.segment_store(&cache, &req.output_path, &residency, cancel)
+    };
+    match result {
         Ok(r) => Outcome::SlideCompleted {
             windows: r.windows,
             tokens: r.tokens,
@@ -753,6 +773,11 @@ fn run_slide(
         }
         Err(GigapixelError::NonFiniteLogits { .. }) => {
             Outcome::WorkerFailure { reason: FailureReason::NonFiniteOutput }
+        }
+        // The whole window pool died: that is a worker-side failure, and
+        // the breaker should hear about it like an in-process panic.
+        Err(GigapixelError::WorkersExhausted { .. }) => {
+            Outcome::WorkerFailure { reason: FailureReason::Panicked }
         }
         // Corrupt containers, bad geometry, and patch validation failures
         // all indict the request, not the worker.
@@ -1077,6 +1102,9 @@ mod tests {
                 halo: 8,
                 cache_budget_bytes: 8 * 32 * 32 * 4,
                 deadline_ms: None,
+                stitch_workers: 1,
+                checkpoint_path: None,
+                resume: false,
             })
             .wait()
             .unwrap();
@@ -1114,6 +1142,9 @@ mod tests {
                     halo,
                     cache_budget_bytes: budget,
                     deadline_ms: None,
+                    stitch_workers: 1,
+                    checkpoint_path: None,
+                    resume: false,
                 })
                 .wait()
                 .unwrap();
@@ -1141,6 +1172,9 @@ mod tests {
                 halo: 8,
                 cache_budget_bytes: 1 << 20,
                 deadline_ms: None,
+                stitch_workers: 1,
+                checkpoint_path: None,
+                resume: false,
             })
             .wait()
             .unwrap();
@@ -1177,6 +1211,9 @@ mod tests {
                 halo: 8,
                 cache_budget_bytes: 1 << 20,
                 deadline_ms: Some(150),
+                stitch_workers: 1,
+                checkpoint_path: None,
+                resume: false,
             })
             .wait()
             .unwrap();
@@ -1192,6 +1229,139 @@ mod tests {
         let report = engine.shutdown();
         // Deadline misses never count against the worker's breaker.
         assert!(report.workers.iter().all(|w| w.trips == 0));
+    }
+
+    #[test]
+    fn stitch_worker_count_is_validated_at_admission() {
+        let engine = ServeEngine::start(ServeConfig::small());
+        for workers in [0usize, 33] {
+            let r = engine
+                .submit_slide(SlideRequest {
+                    stitch_workers: workers,
+                    ..SlideRequest::serial(
+                        workers as u64,
+                        "/nonexistent/slide.apt1".into(),
+                        "/nonexistent/out.apt1".into(),
+                        64,
+                        8,
+                        1 << 20,
+                        None,
+                    )
+                })
+                .wait()
+                .unwrap();
+            match &r.outcome {
+                Outcome::InvalidInput { reason } => {
+                    assert!(reason.contains("stitch worker count"), "{reason}");
+                }
+                other => panic!("expected invalid input for {workers} workers, got {other:?}"),
+            }
+            assert!(r.worker.is_none(), "rejected at admission, not on a worker");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn distributed_slide_requests_match_the_serial_drive_and_resume() {
+        let slide = write_test_slide("dist_in.apt1", 128, 32);
+        let dir = std::env::temp_dir().join("apf_serve_slide_test");
+        let serial_out = dir.join("dist_serial_out.apt1");
+        let dist_out = dir.join("dist_dist_out.apt1");
+        let ckpt = dir.join("dist.ckpt.apf2");
+        for p in [&serial_out, &dist_out, &ckpt, &dir.join("dist.ckpt.apf2.prev")] {
+            let _ = std::fs::remove_file(p);
+        }
+        let mut cfg = ServeConfig::small();
+        cfg.model = ViTConfig::tiny(16, 48);
+        cfg.policy.full_len = 48;
+
+        // Reference: the serial in-worker drive.
+        let engine = ServeEngine::start(cfg.clone());
+        let r = engine
+            .submit_slide(SlideRequest::serial(
+                1,
+                slide.clone(),
+                serial_out.clone(),
+                64,
+                8,
+                8 * 32 * 32 * 4,
+                None,
+            ))
+            .wait()
+            .unwrap();
+        assert!(matches!(r.outcome, Outcome::SlideCompleted { windows: 9, .. }), "{r:?}");
+        engine.shutdown();
+
+        // Run 1: distributed + checkpointed, cancelled before any window
+        // completes (the injected stall eats the whole deadline).
+        let mut stalled = cfg.clone();
+        stalled.workers = 1;
+        stalled.faults = ServeFaultPlan::new(vec![crate::fault::InferenceFault {
+            worker: 0,
+            nth: 0,
+            kind: InferenceFaultKind::SlowInference { delay_ms: 400 },
+        }]);
+        let engine = ServeEngine::start(stalled);
+        let mut req = SlideRequest::serial(
+            2,
+            slide.clone(),
+            dist_out.clone(),
+            64,
+            8,
+            8 * 32 * 32 * 4,
+            Some(150),
+        );
+        req.stitch_workers = 2;
+        req.checkpoint_path = Some(ckpt.clone());
+        let r = engine.submit_slide(req).wait().unwrap();
+        assert!(
+            matches!(r.outcome, Outcome::DeadlineExceeded { .. }),
+            "expected a deadline outcome, got {r:?}"
+        );
+        assert!(!dist_out.exists(), "no final container after cancellation");
+        engine.shutdown();
+
+        // Run 2: resubmit with resume; the drive picks up the checkpoint
+        // (or starts fresh if cancellation beat the first write) and the
+        // result is bit-identical to the serial drive.
+        let engine = ServeEngine::start(cfg);
+        let mut req = SlideRequest::serial(
+            3,
+            slide,
+            dist_out.clone(),
+            64,
+            8,
+            8 * 32 * 32 * 4,
+            None,
+        );
+        req.stitch_workers = 2;
+        req.checkpoint_path = Some(ckpt);
+        req.resume = true;
+        let r = engine.submit_slide(req).wait().unwrap();
+        match r.outcome {
+            Outcome::SlideCompleted { windows, tokens, .. } => {
+                assert_eq!(windows, 9);
+                assert_eq!(tokens, 9 * 48);
+            }
+            other => panic!("expected slide completion, got {other:?}"),
+        }
+        engine.shutdown();
+
+        let (sa, sb) = (
+            apf_gigapixel::TileStore::open(&serial_out).unwrap(),
+            apf_gigapixel::TileStore::open(&dist_out).unwrap(),
+        );
+        let g = sa.geometry();
+        for ty in 0..g.tiles_y() {
+            for tx in 0..g.tiles_x() {
+                let (ta, tb) =
+                    (sa.read_tile(tx, ty).unwrap(), sb.read_tile(tx, ty).unwrap());
+                assert!(
+                    ta.iter().zip(&tb).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "distributed serve output diverged from serial at tile ({tx},{ty})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -48,4 +48,6 @@ pub use degrade::{coarse_uniform_sequence, DegradationPolicy, Tier};
 pub use engine::{ServeConfig, ServeEngine, ServeMetrics, ServeReport, WorkerReport};
 pub use fault::{InferenceFault, InferenceFaultKind, ServeFaultPlan, ServeFaultRates};
 pub use queue::{BoundedQueue, Popped, PushError};
-pub use request::{DeadlineStage, FailureReason, Outcome, SegRequest, SegResponse, Ticket};
+pub use request::{
+    DeadlineStage, FailureReason, Outcome, SegRequest, SegResponse, SlideRequest, Ticket,
+};

@@ -39,6 +39,44 @@ pub struct SlideRequest {
     pub cache_budget_bytes: usize,
     /// Latency budget from submission; `None` uses the engine default.
     pub deadline_ms: Option<u64>,
+    /// Stitch workers for the distributed drive. `1` keeps the serial
+    /// in-worker stitcher; `2..=32` shards windows over the distsim
+    /// work-stealing fabric.
+    pub stitch_workers: usize,
+    /// Where stitch progress is checkpointed (APF2, rotated). `None`
+    /// disables checkpointing; a killed or cancelled request then restarts
+    /// from scratch.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from `checkpoint_path` if a valid checkpoint (or its `.prev`
+    /// rotation) is present; silently starts fresh when neither decodes.
+    pub resume: bool,
+}
+
+impl SlideRequest {
+    /// A serial, non-resumable request — the pre-distributed behaviour.
+    /// Callers opt in to sharding and crash-safety per request.
+    pub fn serial(
+        id: u64,
+        slide_path: PathBuf,
+        output_path: PathBuf,
+        window: usize,
+        halo: usize,
+        cache_budget_bytes: usize,
+        deadline_ms: Option<u64>,
+    ) -> Self {
+        SlideRequest {
+            id,
+            slide_path,
+            output_path,
+            window,
+            halo,
+            cache_budget_bytes,
+            deadline_ms,
+            stitch_workers: 1,
+            checkpoint_path: None,
+            resume: false,
+        }
+    }
 }
 
 /// Where a deadline was detected as blown.

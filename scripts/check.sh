@@ -44,4 +44,14 @@ rm -f results/gigapixel_bench.json
 cargo run --release -q -p apf-bench --bin gigapixel_bench -- --quick
 test -s results/gigapixel_bench.json || { echo "missing gigapixel_bench.json" >&2; exit 1; }
 
+echo "==> kill/resume crash-safety suite (release: distributed stitch, checkpoint corruption)"
+cargo test --release -q -p apf-gigapixel --test kill_resume --test checkpoint_corruption
+
+echo "==> distributed_slide_bench gate (bit-identical distributed stitch + window throughput scaling)"
+# --quick proves bit-identity and the >=3x@4 / >=5x@8 scaling gates on a
+# 4096^2 slide; drop the flag for the headline 16384^2 / 289-window run.
+rm -f results/distributed_slide_bench.json
+cargo run --release -q -p apf-bench --bin distributed_slide_bench -- --quick
+test -s results/distributed_slide_bench.json || { echo "missing distributed_slide_bench.json" >&2; exit 1; }
+
 echo "==> all checks passed"
