@@ -368,6 +368,22 @@ struct Shared {
 }
 
 impl Shared {
+    /// Locks the aggregate counters, recovering from poison: a worker that
+    /// panicked while holding this lock (fault injection can arrange it)
+    /// must degrade to possibly-stale counters, not turn every later
+    /// request into a `PoisonError` panic cascade.
+    fn lock_metrics(&self) -> std::sync::MutexGuard<'_, ServeMetrics> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Clones the counters and stamps in the submission count (which lives
+    /// in an atomic, not under the metrics lock).
+    fn snapshot_metrics(&self) -> ServeMetrics {
+        let mut m = self.lock_metrics().clone();
+        m.submitted = self.submitted.load(Ordering::Relaxed);
+        m
+    }
+
     fn respond(&self, q: QueuedRequest, outcome: Outcome, worker: Option<usize>) {
         let resp = SegResponse {
             id: q.payload.id(),
@@ -377,7 +393,7 @@ impl Shared {
             worker,
             latency_ms: q.submitted.elapsed().as_secs_f64() * 1e3,
         };
-        self.metrics.lock().unwrap().record(&resp);
+        self.lock_metrics().record(&resp);
         self.tm.record_response(&resp);
         // A dropped ticket is the caller's prerogative; ignore send errors.
         let _ = q.tx.send(resp);
@@ -513,7 +529,7 @@ impl ServeEngine {
             return Ticket { rx };
         }
         if let Err((q, _push_err)) = self.shared.queue.try_push(q) {
-            let retry_after_ms = self.cfg.retry_after_ms;
+            let retry_after_ms = self.retry_after_hint();
             self.shared.respond(q, Outcome::Rejected { retry_after_ms }, None);
         }
         self.shared.tm.queue_depth.set(self.shared.queue.len() as f64);
@@ -526,9 +542,34 @@ impl ServeEngine {
         self.shared.queue.len()
     }
 
+    /// The configured queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// Load-aware backoff hint: the configured base scaled by how full the
+    /// queue currently is, so backoff-honoring clients spread their retries
+    /// instead of reconverging on an already-drowning engine. Front doors
+    /// reuse this hint for their own refusals (quota, drain `GoAway`).
+    pub fn retry_after_hint(&self) -> u64 {
+        load_aware_retry_after(
+            self.cfg.retry_after_ms,
+            self.shared.queue.len(),
+            self.shared.queue.capacity(),
+        )
+    }
+
     /// Snapshot of the aggregate counters.
     pub fn metrics(&self) -> ServeMetrics {
-        self.shared.metrics.lock().unwrap().clone()
+        self.shared.snapshot_metrics()
+    }
+
+    /// Drain hook for front doors: closes the admission queue without
+    /// joining the workers. Queued requests still complete (or hit their
+    /// deadlines); later submissions come back as `Rejected` immediately.
+    /// Idempotent, and [`ServeEngine::shutdown`] still works afterwards.
+    pub fn close_admission(&self) {
+        self.shared.queue.close();
     }
 
     /// Closes admission, lets workers drain the queue, joins them, and
@@ -541,7 +582,7 @@ impl ServeEngine {
             .map(|h| h.join().expect("worker thread must not die: panics are contained inside it"))
             .collect();
         ServeReport {
-            metrics: self.shared.metrics.lock().unwrap().clone(),
+            metrics: self.shared.snapshot_metrics(),
             workers,
             max_queue_depth: self.shared.queue.max_depth(),
             queue_capacity: self.shared.queue.capacity(),
@@ -558,6 +599,16 @@ impl Drop for ServeEngine {
             let _ = h.join();
         }
     }
+}
+
+/// Scales the configured backoff base by queue fullness: the multiplier is
+/// `ceil(depth / (capacity/4))` (quarter-of-capacity quantiles), clamped to
+/// at least 1. An empty queue returns the base; a full one returns 4x the
+/// base. Monotone non-decreasing in `depth`, which the unit test pins.
+pub fn load_aware_retry_after(base_ms: u64, depth: usize, capacity: usize) -> u64 {
+    let quantile = (capacity / 4).max(1);
+    let multiplier = depth.div_ceil(quantile).max(1) as u64;
+    base_ms.saturating_mul(multiplier)
 }
 
 fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
@@ -902,7 +953,11 @@ mod tests {
         let responses: Vec<SegResponse> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
         let rejected = responses
             .iter()
-            .filter(|r| matches!(r.outcome, Outcome::Rejected { retry_after_ms: 25 }))
+            .filter(|r| {
+                // Rejections happen at (or near) a full queue, so the
+                // load-aware hint must exceed the configured base.
+                matches!(r.outcome, Outcome::Rejected { retry_after_ms } if retry_after_ms >= 25)
+            })
             .count();
         assert!(rejected > 0, "flooding a 4-deep queue must reject something");
         let report = engine.shutdown();
@@ -1362,6 +1417,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn retry_after_hint_is_monotone_in_depth_and_scales_with_load() {
+        // Monotone non-decreasing in depth at several capacities, and the
+        // endpoints are pinned: base at depth 0, 4x base at a full queue.
+        for capacity in [1usize, 4, 8, 16, 100] {
+            let mut last = 0;
+            for depth in 0..=capacity {
+                let hint = load_aware_retry_after(25, depth, capacity);
+                assert!(
+                    hint >= last,
+                    "hint not monotone: depth {depth}/{capacity} gave {hint} after {last}"
+                );
+                last = hint;
+            }
+            assert_eq!(load_aware_retry_after(25, 0, capacity), 25);
+            // The 4x-at-full scaling needs at least 4 queue slots to exist.
+            if capacity >= 4 {
+                assert!(load_aware_retry_after(25, capacity, capacity) >= 25 * 4 / 2);
+            }
+        }
+        assert_eq!(load_aware_retry_after(25, 16, 16), 100);
+        // Saturates instead of overflowing.
+        assert_eq!(load_aware_retry_after(u64::MAX, 16, 16), u64::MAX);
+    }
+
+    #[test]
+    fn poisoned_metrics_mutex_does_not_cascade() {
+        let engine = ServeEngine::start(ServeConfig::small());
+        // Poison the metrics mutex the way a panicking fault would: panic
+        // while holding the guard (on a scratch thread, so the test itself
+        // survives).
+        let shared = Arc::clone(&engine.shared);
+        let _ = std::thread::Builder::new()
+            .name("apf-serve-worker-poison".into()) // quiet hook eats the backtrace
+            .spawn(move || {
+                let _guard = shared.metrics.lock().unwrap();
+                panic!("injected panic while holding the metrics lock");
+            })
+            .unwrap()
+            .join();
+        assert!(engine.shared.metrics.lock().is_err(), "mutex must actually be poisoned");
+        // Every later request must still serve, and metrics stay readable.
+        for id in 0..4 {
+            let r = engine
+                .submit(SegRequest { id, image: test_image(id), deadline_ms: None })
+                .wait()
+                .expect("engine must answer after poisoning");
+            assert!(matches!(r.outcome, Outcome::Completed { .. }), "{:?}", r.outcome);
+        }
+        assert_eq!(engine.metrics().completed, 4);
+        let report = engine.shutdown();
+        assert_eq!(report.metrics.completed, 4);
+        assert_eq!(report.metrics.responses(), 4);
+    }
+
+    #[test]
+    fn close_admission_rejects_new_requests_but_drains_queued_work() {
+        let engine = ServeEngine::start(ServeConfig::small());
+        let before = engine
+            .submit(SegRequest { id: 0, image: test_image(0), deadline_ms: None })
+            .wait()
+            .unwrap();
+        assert!(matches!(before.outcome, Outcome::Completed { .. }));
+        engine.close_admission();
+        engine.close_admission(); // idempotent
+        let after = engine
+            .submit(SegRequest { id: 1, image: test_image(1), deadline_ms: None })
+            .wait()
+            .unwrap();
+        assert!(
+            matches!(after.outcome, Outcome::Rejected { .. }),
+            "closed admission must reject, got {:?}",
+            after.outcome
+        );
+        let report = engine.shutdown();
+        assert_eq!(report.metrics.completed, 1);
+        assert_eq!(report.metrics.rejected, 1);
     }
 
     #[test]

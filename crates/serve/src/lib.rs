@@ -22,6 +22,10 @@
 //! * **Deterministic fault injection** — a seeded plan of panics, NaNs,
 //!   and slowdowns keyed per worker, so soak runs replay exactly
 //!   ([`fault`]).
+//! * **A hardened socket front door** — the `APFW1` framed wire protocol
+//!   over TCP with per-connection deadlines, per-tenant token-bucket
+//!   quotas, graceful drain with terminal `GoAway`s, and a retrying
+//!   backoff-aware client ([`wire`]).
 //!
 //! ```
 //! use apf_imaging::GrayImage;
@@ -42,6 +46,7 @@ pub mod engine;
 pub mod fault;
 pub mod queue;
 pub mod request;
+pub mod wire;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 pub use degrade::{coarse_uniform_sequence, DegradationPolicy, Tier};
@@ -50,4 +55,8 @@ pub use fault::{InferenceFault, InferenceFaultKind, ServeFaultPlan, ServeFaultRa
 pub use queue::{BoundedQueue, Popped, PushError};
 pub use request::{
     DeadlineStage, FailureReason, Outcome, SegRequest, SegResponse, SlideRequest, Ticket,
+};
+pub use wire::{
+    ClientConfig, ClientError, NetFaultPlan, QuotaConfig, QuotaLimit, WireClient, WireConfig,
+    WireError, WireRequest, WireServer, WireStatus,
 };

@@ -1,0 +1,835 @@
+//! The `APFW1` framed wire protocol: byte layout, encode/decode, and the
+//! typed [`WireError`] taxonomy.
+//!
+//! A frame is a fixed 32-byte header, a variable payload, and a payload
+//! CRC32 trailer:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic          b"APFW"
+//!      4     1  version        1
+//!      5     1  frame kind     Segment=1 Slide=2 Response=3 GoAway=4
+//!      6     2  reserved       0 (covered by the header CRC)
+//!      8     8  tenant id      u64 LE (quota key)
+//!     16     8  request id     u64 LE (echoed in the response)
+//!     24     4  payload len    u32 LE (hard-capped by the decoder)
+//!     28     4  header CRC32   over bytes 0..28
+//!     32   len  payload
+//! 32+len     4  payload CRC32  over the payload bytes
+//! ```
+//!
+//! Decoding is *total*: every possible byte stream — truncated, bit-flipped,
+//! oversized, stalled, or plain garbage — maps to a typed [`WireError`],
+//! never a panic, and the decoder allocates nothing until the declared
+//! payload length has been checked against the hard cap. The distinction
+//! between an *idle* timeout (zero frame bytes read — the peer just has
+//! nothing to say) and a *stalled* one (a frame started and then stopped
+//! arriving — the slow-loris shape) is made here so the server can keep
+//! idle connections and kill stalled ones.
+
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+use apf_core::crc32::crc32;
+
+/// Protocol magic, first on the wire.
+pub const WIRE_MAGIC: [u8; 4] = *b"APFW";
+/// Protocol version this module speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Default hard cap on payload length; decoders refuse larger declarations
+/// before allocating anything.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 22;
+
+/// What a frame is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client -> server: segment an in-memory image.
+    Segment,
+    /// Client -> server: stitch a whole-slide container (server-local paths).
+    Slide,
+    /// Server -> client: the terminal status of one request.
+    Response,
+    /// Server -> client: the connection is closing (drain, protocol error,
+    /// or connection limit); retry elsewhere/later.
+    GoAway,
+}
+
+impl FrameKind {
+    /// Wire byte for this kind.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Segment => 1,
+            FrameKind::Slide => 2,
+            FrameKind::Response => 3,
+            FrameKind::GoAway => 4,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(FrameKind::Segment),
+            2 => Some(FrameKind::Slide),
+            3 => Some(FrameKind::Response),
+            4 => Some(FrameKind::GoAway),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label for logs and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrameKind::Segment => "segment",
+            FrameKind::Slide => "slide",
+            FrameKind::Response => "response",
+            FrameKind::GoAway => "goaway",
+        }
+    }
+}
+
+/// Everything that can go wrong turning bytes into a frame. Every variant
+/// is terminal for the *frame*; whether it is terminal for the *connection*
+/// is the caller's policy (the server drops the connection on all of them
+/// except `IdleTimeout`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended cleanly with zero frame bytes read.
+    Disconnected,
+    /// The stream ended mid-frame.
+    Truncated {
+        /// Bytes the frame still needed.
+        expected: usize,
+        /// Bytes actually read before EOF.
+        got: usize,
+    },
+    /// A read deadline fired with zero frame bytes read (the peer is idle,
+    /// not misbehaving).
+    IdleTimeout,
+    /// A read deadline fired mid-frame: the slow-loris shape.
+    Stalled {
+        /// Bytes of the frame that had arrived before the stall.
+        got: usize,
+    },
+    /// The first four bytes were not `APFW`.
+    BadMagic {
+        /// What arrived instead.
+        found: [u8; 4],
+    },
+    /// Unknown protocol version.
+    BadVersion {
+        /// The version byte received.
+        found: u8,
+    },
+    /// Unknown frame-kind byte.
+    BadKind {
+        /// The kind byte received.
+        found: u8,
+    },
+    /// Declared payload length exceeds the hard cap. Raised before any
+    /// payload allocation.
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// The decoder's cap.
+        cap: u32,
+    },
+    /// Header CRC mismatch (torn or bit-flipped header).
+    BadHeaderCrc {
+        /// CRC computed over the received header bytes.
+        computed: u32,
+        /// CRC the header claimed.
+        claimed: u32,
+    },
+    /// Payload CRC mismatch (torn or bit-flipped payload).
+    BadPayloadCrc {
+        /// CRC computed over the received payload bytes.
+        computed: u32,
+        /// CRC the trailer claimed.
+        claimed: u32,
+    },
+    /// The frame arrived intact but its payload did not parse as the
+    /// declared kind.
+    BadPayload {
+        /// What the payload decoder objected to.
+        reason: String,
+    },
+    /// Any other socket-level I/O failure.
+    Io {
+        /// The `std::io::ErrorKind`, rendered.
+        kind: String,
+    },
+}
+
+impl WireError {
+    /// Stable lowercase label for metrics (`apf_serve_wire_errors_total`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireError::Disconnected => "disconnected",
+            WireError::Truncated { .. } => "truncated",
+            WireError::IdleTimeout => "idle_timeout",
+            WireError::Stalled { .. } => "stalled",
+            WireError::BadMagic { .. } => "bad_magic",
+            WireError::BadVersion { .. } => "bad_version",
+            WireError::BadKind { .. } => "bad_kind",
+            WireError::Oversized { .. } => "oversized",
+            WireError::BadHeaderCrc { .. } => "bad_header_crc",
+            WireError::BadPayloadCrc { .. } => "bad_payload_crc",
+            WireError::BadPayload { .. } => "bad_payload",
+            WireError::Io { .. } => "io",
+        }
+    }
+
+    /// True for failures a client should retry (transport trouble), false
+    /// for ones that indict the bytes themselves.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            WireError::Disconnected
+                | WireError::Truncated { .. }
+                | WireError::IdleTimeout
+                | WireError::Stalled { .. }
+                | WireError::Io { .. }
+        )
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Disconnected => write!(f, "peer disconnected between frames"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "stream ended mid-frame: needed {expected} more bytes after {got}")
+            }
+            WireError::IdleTimeout => write!(f, "read deadline fired on an idle connection"),
+            WireError::Stalled { got } => {
+                write!(f, "read deadline fired mid-frame after {got} bytes (stalled peer)")
+            }
+            WireError::BadMagic { found } => write!(f, "bad magic {found:02x?}"),
+            WireError::BadVersion { found } => write!(f, "unsupported wire version {found}"),
+            WireError::BadKind { found } => write!(f, "unknown frame kind {found}"),
+            WireError::Oversized { len, cap } => {
+                write!(f, "declared payload {len} bytes exceeds cap {cap}")
+            }
+            WireError::BadHeaderCrc { computed, claimed } => {
+                write!(f, "header CRC mismatch: computed {computed:08x}, claimed {claimed:08x}")
+            }
+            WireError::BadPayloadCrc { computed, claimed } => {
+                write!(f, "payload CRC mismatch: computed {computed:08x}, claimed {claimed:08x}")
+            }
+            WireError::BadPayload { reason } => write!(f, "malformed payload: {reason}"),
+            WireError::Io { kind } => write!(f, "socket error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What the frame is for.
+    pub kind: FrameKind,
+    /// Quota key; 0 is the anonymous tenant.
+    pub tenant: u64,
+    /// Caller-chosen request id, echoed in responses.
+    pub request: u64,
+    /// The payload bytes (already CRC-verified).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(kind: FrameKind, tenant: u64, request: u64, payload: Vec<u8>) -> Self {
+        Frame { kind, tenant, request, payload }
+    }
+
+    /// Encodes the frame to wire bytes (header + payload + trailer CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let len = self.payload.len() as u32;
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + 4);
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.push(WIRE_VERSION);
+        out.push(self.kind.to_u8());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&self.tenant.to_le_bytes());
+        out.extend_from_slice(&self.request.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+        let hcrc = crc32(&out[..28]);
+        out.extend_from_slice(&hcrc.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        out
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, translating short reads into the typed
+/// taxonomy. `already` is how many frame bytes were consumed before this
+/// call (it decides idle-vs-stalled and the `Truncated` accounting).
+fn fill(r: &mut impl Read, buf: &mut [u8], already: usize) -> Result<(), WireError> {
+    let mut done = 0;
+    while done < buf.len() {
+        match r.read(&mut buf[done..]) {
+            Ok(0) => {
+                return Err(if already + done == 0 {
+                    WireError::Disconnected
+                } else {
+                    WireError::Truncated { expected: buf.len() - done, got: already + done }
+                });
+            }
+            Ok(n) => done += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(if already + done == 0 {
+                    WireError::IdleTimeout
+                } else {
+                    WireError::Stalled { got: already + done }
+                });
+            }
+            Err(e) => return Err(WireError::Io { kind: e.kind().to_string() }),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame off `r`, enforcing the payload cap *before* allocating
+/// the payload buffer. Total over all inputs: returns a typed error, never
+/// panics.
+pub fn read_frame(r: &mut impl Read, cap: u32) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Magic first, alone: a torn header should report how far it got.
+    fill(r, &mut header[..4], 0)?;
+    if header[..4] != WIRE_MAGIC {
+        return Err(WireError::BadMagic { found: [header[0], header[1], header[2], header[3]] });
+    }
+    fill(r, &mut header[4..], 4)?;
+    let claimed = u32::from_le_bytes(header[28..32].try_into().expect("4 bytes"));
+    let computed = crc32(&header[..28]);
+    if computed != claimed {
+        return Err(WireError::BadHeaderCrc { computed, claimed });
+    }
+    // Past the CRC the header bytes are trustworthy; order the remaining
+    // checks most-specific-first.
+    if header[4] != WIRE_VERSION {
+        return Err(WireError::BadVersion { found: header[4] });
+    }
+    let kind = FrameKind::from_u8(header[5]).ok_or(WireError::BadKind { found: header[5] })?;
+    let len = u32::from_le_bytes(header[24..28].try_into().expect("4 bytes"));
+    if len > cap {
+        return Err(WireError::Oversized { len, cap });
+    }
+    let tenant = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let request = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    fill(r, &mut payload, HEADER_LEN)?;
+    let mut trailer = [0u8; 4];
+    fill(r, &mut trailer, HEADER_LEN + len as usize)?;
+    let claimed = u32::from_le_bytes(trailer);
+    let computed = crc32(&payload);
+    if computed != claimed {
+        return Err(WireError::BadPayloadCrc { computed, claimed });
+    }
+    Ok(Frame { kind, tenant, request, payload })
+}
+
+/// Writes a frame to `w`, mapping I/O failures into the typed taxonomy.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let bytes = frame.encode();
+    w.write_all(&bytes)
+        .and_then(|()| w.flush())
+        .map_err(|e| match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::Stalled { got: 0 },
+            kind => WireError::Io { kind: kind.to_string() },
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+/// A small cursor for payload decoding; every overrun is a typed
+/// [`WireError::BadPayload`].
+struct Cur<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cur { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() - self.at < n {
+            return Err(WireError::BadPayload {
+                reason: format!(
+                    "{} needs {} bytes at offset {}, payload has {}",
+                    what,
+                    n,
+                    self.at,
+                    self.bytes.len()
+                ),
+            });
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::BadPayload { reason: format!("{what} is not UTF-8") })
+    }
+
+    fn finish(&self, what: &str) -> Result<(), WireError> {
+        if self.at != self.bytes.len() {
+            return Err(WireError::BadPayload {
+                reason: format!(
+                    "{} trailing garbage: {} bytes past the payload",
+                    what,
+                    self.bytes.len() - self.at
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn push_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A decoded client request payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Segment an image shipped inline as little-endian f32 pixels.
+    Segment {
+        /// Latency budget in milliseconds; 0 means "engine default".
+        deadline_ms: u64,
+        /// Image width in pixels.
+        width: u32,
+        /// Image height in pixels.
+        height: u32,
+        /// Row-major pixels, `width * height` of them.
+        pixels: Vec<f32>,
+    },
+    /// Stitch a whole-slide container; paths are server-local.
+    Slide {
+        /// Latency budget in milliseconds; 0 means "engine default".
+        deadline_ms: u64,
+        /// Sliding-window side in pixels.
+        window: u32,
+        /// Blend halo in pixels.
+        halo: u32,
+        /// Tile-cache byte budget.
+        cache_budget_bytes: u64,
+        /// Stitch workers (1 = serial).
+        stitch_workers: u32,
+        /// Input container path on the server.
+        slide_path: String,
+        /// Output container path on the server.
+        output_path: String,
+    },
+}
+
+impl WireRequest {
+    /// The frame kind this payload travels under.
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            WireRequest::Segment { .. } => FrameKind::Segment,
+            WireRequest::Slide { .. } => FrameKind::Slide,
+        }
+    }
+
+    /// Encodes the payload bytes (header not included).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WireRequest::Segment { deadline_ms, width, height, pixels } => {
+                let mut out = Vec::with_capacity(16 + pixels.len() * 4);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&width.to_le_bytes());
+                out.extend_from_slice(&height.to_le_bytes());
+                for p in pixels {
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+                out
+            }
+            WireRequest::Slide {
+                deadline_ms,
+                window,
+                halo,
+                cache_budget_bytes,
+                stitch_workers,
+                slide_path,
+                output_path,
+            } => {
+                let mut out = Vec::new();
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&window.to_le_bytes());
+                out.extend_from_slice(&halo.to_le_bytes());
+                out.extend_from_slice(&cache_budget_bytes.to_le_bytes());
+                out.extend_from_slice(&stitch_workers.to_le_bytes());
+                push_string(&mut out, slide_path);
+                push_string(&mut out, output_path);
+                out
+            }
+        }
+    }
+
+    /// Decodes a request payload for `kind`.
+    pub fn decode(kind: FrameKind, payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        match kind {
+            FrameKind::Segment => {
+                let deadline_ms = c.u64("segment deadline")?;
+                let width = c.u32("segment width")?;
+                let height = c.u32("segment height")?;
+                let n = (width as u64) * (height as u64);
+                let have = (payload.len() - c.at) / 4;
+                if n != have as u64 {
+                    return Err(WireError::BadPayload {
+                        reason: format!(
+                            "segment declares {width}x{height} = {n} pixels but carries {have}"
+                        ),
+                    });
+                }
+                let mut pixels = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    pixels.push(c.f32("segment pixel")?);
+                }
+                c.finish("segment")?;
+                Ok(WireRequest::Segment { deadline_ms, width, height, pixels })
+            }
+            FrameKind::Slide => {
+                let deadline_ms = c.u64("slide deadline")?;
+                let window = c.u32("slide window")?;
+                let halo = c.u32("slide halo")?;
+                let cache_budget_bytes = c.u64("slide cache budget")?;
+                let stitch_workers = c.u32("slide stitch workers")?;
+                let slide_path = c.string("slide input path")?;
+                let output_path = c.string("slide output path")?;
+                c.finish("slide")?;
+                Ok(WireRequest::Slide {
+                    deadline_ms,
+                    window,
+                    halo,
+                    cache_budget_bytes,
+                    stitch_workers,
+                    slide_path,
+                    output_path,
+                })
+            }
+            other => Err(WireError::BadPayload {
+                reason: format!("frame kind {} carries no request payload", other.label()),
+            }),
+        }
+    }
+}
+
+/// Typed status of one request, carried in `Response` (and `GoAway`)
+/// frames. This is the wire projection of the engine's
+/// [`crate::request::Outcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireStatus {
+    /// Segmentation completed.
+    Ok {
+        /// Tokens actually run through the encoder.
+        tokens: u64,
+        /// Fraction of pixels predicted positive.
+        positive_fraction: f32,
+        /// Degradation tier rank (0 = full).
+        tier: u8,
+    },
+    /// Whole-slide stitch completed; output container is on the server.
+    SlideOk {
+        /// Sliding windows inferred and blended.
+        windows: u64,
+        /// Tokens pushed through the model across all windows.
+        tokens: u64,
+        /// Fraction of slide pixels with positive blended logit.
+        positive_fraction: f64,
+        /// Degradation tier rank (0 = full).
+        tier: u8,
+    },
+    /// Engine admission refused the request (queue full / closed).
+    Rejected {
+        /// Load-aware backoff hint.
+        retry_after_ms: u64,
+    },
+    /// The tenant's token bucket is empty.
+    OverQuota {
+        /// When the bucket will next hold a token.
+        retry_after_ms: u64,
+    },
+    /// The request failed validation; retrying the same bytes is pointless.
+    InvalidInput {
+        /// Rendered typed error.
+        reason: String,
+    },
+    /// The deadline expired before a result was produced.
+    DeadlineExceeded {
+        /// `DeadlineStage` rank: 0 queued, 1 inference, 2 stitching.
+        stage: u8,
+    },
+    /// The assigned worker failed (contained panic / non-finite output).
+    WorkerFailure {
+        /// `FailureReason` rank: 0 panicked, 1 non-finite.
+        reason: u8,
+    },
+    /// The server is closing this connection (drain, protocol violation, or
+    /// connection limit).
+    GoAway {
+        /// Backoff hint before reconnecting.
+        retry_after_ms: u64,
+    },
+}
+
+impl WireStatus {
+    fn code(&self) -> u8 {
+        match self {
+            WireStatus::Ok { .. } => 0,
+            WireStatus::SlideOk { .. } => 1,
+            WireStatus::Rejected { .. } => 2,
+            WireStatus::OverQuota { .. } => 3,
+            WireStatus::InvalidInput { .. } => 4,
+            WireStatus::DeadlineExceeded { .. } => 5,
+            WireStatus::WorkerFailure { .. } => 6,
+            WireStatus::GoAway { .. } => 7,
+        }
+    }
+
+    /// Stable lowercase label for reports and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireStatus::Ok { .. } => "ok",
+            WireStatus::SlideOk { .. } => "slide_ok",
+            WireStatus::Rejected { .. } => "rejected",
+            WireStatus::OverQuota { .. } => "over_quota",
+            WireStatus::InvalidInput { .. } => "invalid_input",
+            WireStatus::DeadlineExceeded { .. } => "deadline_exceeded",
+            WireStatus::WorkerFailure { .. } => "worker_failure",
+            WireStatus::GoAway { .. } => "goaway",
+        }
+    }
+
+    /// True when a client should retry (after honoring any hint); false for
+    /// statuses where the same request can never succeed.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            WireStatus::Rejected { .. }
+            | WireStatus::OverQuota { .. }
+            | WireStatus::GoAway { .. }
+            | WireStatus::WorkerFailure { .. } => true,
+            WireStatus::Ok { .. }
+            | WireStatus::SlideOk { .. }
+            | WireStatus::InvalidInput { .. }
+            | WireStatus::DeadlineExceeded { .. } => false,
+        }
+    }
+
+    /// The server's backoff hint, when the status carries one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            WireStatus::Rejected { retry_after_ms }
+            | WireStatus::OverQuota { retry_after_ms }
+            | WireStatus::GoAway { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+
+    /// Encodes the status payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.code()];
+        match self {
+            WireStatus::Ok { tokens, positive_fraction, tier } => {
+                out.extend_from_slice(&tokens.to_le_bytes());
+                out.extend_from_slice(&positive_fraction.to_le_bytes());
+                out.push(*tier);
+            }
+            WireStatus::SlideOk { windows, tokens, positive_fraction, tier } => {
+                out.extend_from_slice(&windows.to_le_bytes());
+                out.extend_from_slice(&tokens.to_le_bytes());
+                out.extend_from_slice(&positive_fraction.to_le_bytes());
+                out.push(*tier);
+            }
+            WireStatus::Rejected { retry_after_ms }
+            | WireStatus::OverQuota { retry_after_ms }
+            | WireStatus::GoAway { retry_after_ms } => {
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            WireStatus::InvalidInput { reason } => push_string(&mut out, reason),
+            WireStatus::DeadlineExceeded { stage } => out.push(*stage),
+            WireStatus::WorkerFailure { reason } => out.push(*reason),
+        }
+        out
+    }
+
+    /// Decodes a status payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let code = c.take(1, "status code")?[0];
+        let status = match code {
+            0 => WireStatus::Ok {
+                tokens: c.u64("ok tokens")?,
+                positive_fraction: c.f32("ok fraction")?,
+                tier: c.take(1, "ok tier")?[0],
+            },
+            1 => WireStatus::SlideOk {
+                windows: c.u64("slide windows")?,
+                tokens: c.u64("slide tokens")?,
+                positive_fraction: c.f64("slide fraction")?,
+                tier: c.take(1, "slide tier")?[0],
+            },
+            2 => WireStatus::Rejected { retry_after_ms: c.u64("rejected hint")? },
+            3 => WireStatus::OverQuota { retry_after_ms: c.u64("quota hint")? },
+            4 => WireStatus::InvalidInput { reason: c.string("invalid reason")? },
+            5 => WireStatus::DeadlineExceeded { stage: c.take(1, "deadline stage")?[0] },
+            6 => WireStatus::WorkerFailure { reason: c.take(1, "failure reason")?[0] },
+            7 => WireStatus::GoAway { retry_after_ms: c.u64("goaway hint")? },
+            other => {
+                return Err(WireError::BadPayload { reason: format!("unknown status code {other}") })
+            }
+        };
+        c.finish("status")?;
+        Ok(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let bytes = frame.encode();
+        read_frame(&mut Cursor::new(bytes), DEFAULT_MAX_PAYLOAD).expect("roundtrip decodes")
+    }
+
+    #[test]
+    fn frame_roundtrips_bit_exact() {
+        let f = Frame::new(FrameKind::Segment, 42, 7, vec![1, 2, 3, 250]);
+        assert_eq!(roundtrip(&f), f);
+        let empty = Frame::new(FrameKind::GoAway, 0, 0, vec![]);
+        assert_eq!(roundtrip(&empty), empty);
+    }
+
+    #[test]
+    fn request_and_status_payloads_roundtrip() {
+        let seg = WireRequest::Segment {
+            deadline_ms: 120,
+            width: 2,
+            height: 2,
+            pixels: vec![0.0, 0.25, 0.5, 1.0],
+        };
+        assert_eq!(WireRequest::decode(FrameKind::Segment, &seg.encode()).unwrap(), seg);
+        let slide = WireRequest::Slide {
+            deadline_ms: 0,
+            window: 64,
+            halo: 8,
+            cache_budget_bytes: 1 << 20,
+            stitch_workers: 2,
+            slide_path: "/tmp/in.apt1".into(),
+            output_path: "/tmp/out.apt1".into(),
+        };
+        assert_eq!(WireRequest::decode(FrameKind::Slide, &slide.encode()).unwrap(), slide);
+        for status in [
+            WireStatus::Ok { tokens: 64, positive_fraction: 0.5, tier: 0 },
+            WireStatus::SlideOk { windows: 9, tokens: 432, positive_fraction: 0.25, tier: 1 },
+            WireStatus::Rejected { retry_after_ms: 50 },
+            WireStatus::OverQuota { retry_after_ms: 200 },
+            WireStatus::InvalidInput { reason: "non-finite pixel".into() },
+            WireStatus::DeadlineExceeded { stage: 2 },
+            WireStatus::WorkerFailure { reason: 0 },
+            WireStatus::GoAway { retry_after_ms: 100 },
+        ] {
+            assert_eq!(WireStatus::decode(&status.encode()).unwrap(), status);
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_and_kind_are_typed() {
+        let mut bytes = Frame::new(FrameKind::Segment, 1, 1, vec![9]).encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadMagic { .. })
+        ));
+        // Version / kind corruption is caught by the header CRC first; a
+        // consistently re-CRC'd header reaches the specific checks.
+        let mut f = Frame::new(FrameKind::Segment, 1, 1, vec![9]).encode();
+        f[4] = 99;
+        let crc = apf_core::crc32::crc32(&f[..28]);
+        f[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&f), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadVersion { found: 99 })
+        ));
+        let mut f = Frame::new(FrameKind::Segment, 1, 1, vec![9]).encode();
+        f[5] = 200;
+        let crc = apf_core::crc32::crc32(&f[..28]);
+        f[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&f), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadKind { found: 200 })
+        ));
+    }
+
+    #[test]
+    fn oversized_len_is_refused_before_allocation() {
+        // Declare a 100 MiB payload the stream does not carry: with the cap
+        // at 64 bytes the decoder must refuse on the declaration alone.
+        let mut f = Frame::new(FrameKind::Segment, 1, 1, vec![0; 8]).encode();
+        f[24..28].copy_from_slice(&(100u32 << 20).to_le_bytes());
+        let crc = apf_core::crc32::crc32(&f[..28]);
+        f[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut Cursor::new(&f), 64),
+            Err(WireError::Oversized { len: 100 << 20, cap: 64 })
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_boundary() {
+        let bytes = Frame::new(FrameKind::Slide, 3, 4, vec![1, 2, 3, 4, 5]).encode();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&[] as &[u8]), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Disconnected)
+        ));
+        for cut in 1..bytes.len() {
+            let r = read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_PAYLOAD);
+            assert!(
+                matches!(r, Err(WireError::Truncated { .. })),
+                "cut at {cut} gave {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_bitflip_fails_the_trailer_crc() {
+        let mut bytes = Frame::new(FrameKind::Segment, 1, 1, vec![7; 16]).encode();
+        bytes[HEADER_LEN + 3] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadPayloadCrc { .. })
+        ));
+    }
+}

@@ -23,6 +23,26 @@ for f in results/serve_soak.json results/serve_soak_trace.jsonl results/serve_so
   test -s "$f" || { echo "missing soak artifact: $f" >&2; exit 1; }
 done
 
+echo "==> frontdoor_soak gate (wire protocol, quotas, mid-soak drain under socket faults)"
+# The binary asserts every front-door invariant internally (any violation
+# panics), and the archived JSON is re-checked here so a regression that
+# silently weakens the binary's own asserts still fails the gate.
+rm -f results/frontdoor_soak.json results/frontdoor_soak_metrics.prom
+cargo run --release -q -p apf-bench --bin frontdoor_soak -- --quick
+for f in results/frontdoor_soak.json results/frontdoor_soak_metrics.prom; do
+  test -s "$f" || { echo "missing frontdoor artifact: $f" >&2; exit 1; }
+done
+grep -q '"untyped_client_failures": 0' results/frontdoor_soak.json \
+  || { echo "frontdoor_soak: untyped client failures" >&2; exit 1; }
+grep -q '"quota_drift": 0' results/frontdoor_soak.json \
+  || { echo "frontdoor_soak: quota accounting drifted" >&2; exit 1; }
+grep -q '"server_panics": 0' results/frontdoor_soak.json \
+  || { echo "frontdoor_soak: server panicked" >&2; exit 1; }
+grep -q '"drain_within_bound": true' results/frontdoor_soak.json \
+  || { echo "frontdoor_soak: drain exceeded its bound" >&2; exit 1; }
+grep -q 'apf_serve_quota_rejections_total' results/frontdoor_soak_metrics.prom \
+  || { echo "frontdoor_soak: quota metrics missing from exposition" >&2; exit 1; }
+
 echo "==> telemetry_overhead gate (disabled hooks < 2%)"
 rm -f results/telemetry_overhead.json
 cargo run --release -q -p apf-bench --bin telemetry_overhead
