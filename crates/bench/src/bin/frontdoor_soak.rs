@@ -26,15 +26,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use apf_bench::report::results_dir;
 use apf_bench::{print_table, save_atomic, save_json, Args};
 use apf_serve::wire::{
-    read_frame, ClientConfig, ClientError, FrameKind, NetFaultPlan, NetFaultRates, QuotaConfig,
-    QuotaLimit, TenantAccount, WireClient, WireConfig, WireRequest, WireServer, WireStatus,
-    DEFAULT_MAX_PAYLOAD,
+    read_frame, AdminRequest, ClientConfig, ClientError, FrameKind, NetFaultPlan, NetFaultRates,
+    QuotaConfig, QuotaLimit, TenantAccount, WireClient, WireConfig, WireRequest, WireServer,
+    WireStatus, DEFAULT_MAX_PAYLOAD,
 };
 use apf_serve::{
-    BreakerConfig, DegradationPolicy, ServeConfig, ServeEngine, ServeFaultPlan, ServeFaultRates,
-    ServeMetrics, WorkerReport,
+    BreakerConfig, DegradationPolicy, InferenceFault, InferenceFaultKind, ServeConfig, ServeEngine,
+    ServeFaultPlan, ServeFaultRates, ServeMetrics, WorkerReport,
 };
 use apf_telemetry::{Telemetry, TelemetrySnapshot};
 use rand::{Rng, SeedableRng};
@@ -120,6 +121,11 @@ struct SoakReport {
     drained_connections_got_goaway: bool,
     idle_connections_observed_goaway: bool,
     all_client_failures_typed: bool,
+    // Tracing / flight-recorder / admin-plane verdicts (PR 8).
+    probe_trace_id: u64,
+    trace_complete: bool,
+    admin_matches_prom: bool,
+    flight_dump_ok: bool,
 }
 
 /// Reads a labelled counter out of a registry snapshot (0 if absent).
@@ -188,13 +194,36 @@ fn main() {
     // statuses cross the wire too.
     let tel = Telemetry::enabled();
     let policy = DegradationPolicy::default();
-    let engine_faults = ServeFaultPlan::random(
+    let mut engine_fault_events = ServeFaultPlan::random(
         seed ^ 0xE6,
         clients as u64 * requests,
         2,
         ServeFaultRates::default(),
-    );
+    )
+    .events()
+    .to_vec();
+    // One guaranteed worker panic, so the flight-recorder dump the gate
+    // requires exists regardless of what the seeded plan drew.
+    engine_fault_events.push(InferenceFault {
+        worker: 0,
+        nth: 3,
+        kind: InferenceFaultKind::WorkerPanic,
+    });
+    let engine_faults = ServeFaultPlan::new(engine_fault_events);
     let injected_engine_faults = engine_faults.events().len();
+
+    // Stale flight dumps from a previous run would satisfy the end-of-run
+    // assertions vacuously; clear them first.
+    let dump_dir = results_dir();
+    if let Ok(entries) = std::fs::read_dir(&dump_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("flight_") && name.ends_with(".jsonl") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
     let engine = Arc::new(ServeEngine::start(ServeConfig {
         workers: 2,
         queue_capacity: 16,
@@ -208,6 +237,7 @@ fn main() {
         policy,
         faults: engine_faults,
         telemetry: tel.clone(),
+        flight_dump_dir: Some(dump_dir.clone()),
     }));
 
     // A small on-disk slide shared by every whole-slide request.
@@ -237,6 +267,7 @@ fn main() {
                 overrides: vec![(poor_tenant, QuotaLimit { burst: 3.0, per_sec: 0.5 })],
             },
             telemetry: tel.clone(),
+            flight_dump_dir: Some(dump_dir.clone()),
             ..WireConfig::default()
         },
     )
@@ -246,6 +277,98 @@ fn main() {
         "frontdoor_soak: {clients} clients x {requests} requests, seed {seed}, \
          server {addr}, poor tenant {poor_tenant}, {injected_engine_faults} engine faults"
     );
+
+    // ---- Traced probe + admin plane ----------------------------------
+    // One traced whole-slide request before the fleet: its spans must
+    // stitch into a single trace covering client -> wire server -> engine
+    // -> >= 2 stitch workers -> merge, archived as a Chrome trace. It runs
+    // (and is verified) before the untraced soak traffic can evict it
+    // from the bounded span ring.
+    let mut probe = WireClient::connect(
+        addr,
+        ClientConfig {
+            tenant: 42,
+            seed: seed ^ 0x7AACE,
+            attempt_budget_ms: 30_000,
+            read_timeout_ms: 30_000,
+            telemetry: tel.clone(),
+            ..ClientConfig::default()
+        },
+    );
+    let mut probe_trace_id = 0u64;
+    let mut trace_complete = false;
+    for attempt in 0..3 {
+        let output = soak_dir.join(format!("frontdoor_probe_out_{attempt}.apt1"));
+        let status = probe
+            .call(&WireRequest::Slide {
+                deadline_ms: 0,
+                window: slide_window,
+                halo: slide_window / 8,
+                cache_budget_bytes: 1 << 20,
+                stitch_workers: 2,
+                slide_path: slide_path.display().to_string(),
+                output_path: output.display().to_string(),
+            })
+            .expect("traced probe slide");
+        assert!(matches!(status, WireStatus::SlideOk { .. }), "probe got {status:?}");
+        let _ = std::fs::remove_file(&output);
+        // The server-side request span completes just after the response
+        // hits the socket; give it a beat before reading the ring.
+        std::thread::sleep(Duration::from_millis(150));
+        let events = tel.trace_events();
+        probe_trace_id = events
+            .iter()
+            .rev()
+            .find(|e| e.name == "wire.client.call" && e.trace_id != 0)
+            .map(|e| e.trace_id)
+            .expect("probe call span is traced");
+        let in_trace: Vec<_> = events.iter().filter(|e| e.trace_id == probe_trace_id).collect();
+        let has = |name: &str| in_trace.iter().any(|e| e.name == name);
+        let infer_tids: std::collections::HashSet<u64> = in_trace
+            .iter()
+            .filter(|e| e.name == "gigapixel.window_infer")
+            .map(|e| e.tid)
+            .collect();
+        let span_ids: std::collections::HashSet<u64> =
+            in_trace.iter().map(|e| e.span_id).collect();
+        let no_orphans =
+            in_trace.iter().all(|e| e.parent_span == 0 || span_ids.contains(&e.parent_span));
+        trace_complete = has("wire.client.call")
+            && has("serve.wire.request")
+            && has("serve.request")
+            && has("gigapixel.window_merge")
+            && infer_tids.len() >= 2
+            && no_orphans;
+        if trace_complete {
+            break;
+        }
+        // One stitch worker can win the spawn race and run every window;
+        // retry under a fresh trace rather than flake.
+        println!("frontdoor_soak: probe trace incomplete on attempt {attempt}, retrying");
+    }
+    assert!(trace_complete, "probe trace did not stitch end to end");
+    save_atomic("frontdoor_trace.json", &tel.chrome_trace_json());
+
+    // The admin plane must tell the same story as the in-process registry.
+    // Wire-door counters move with the admin exchange itself (the response
+    // is accounted after the body renders), so both sides are compared
+    // with `apf_serve_wire_*` lines stripped.
+    let health = probe.admin(&AdminRequest::Health).expect("admin health");
+    assert!(health.ok && health.body == "serving", "health: {health:?}");
+    let prom = probe.admin(&AdminRequest::MetricsProm).expect("admin metrics");
+    assert!(prom.ok, "admin metrics refused: {}", prom.body);
+    let strip = |s: &str| -> String {
+        s.lines().filter(|l| !l.contains("apf_serve_wire_")).collect::<Vec<_>>().join("\n")
+    };
+    let admin_matches_prom = strip(&prom.body) == strip(&tel.render_prometheus());
+    assert!(admin_matches_prom, "admin metrics diverge from the registry exposition");
+    let dump = probe.admin(&AdminRequest::FlightDump).expect("admin flight dump");
+    assert!(dump.ok && !dump.body.is_empty(), "admin flight dump empty");
+    assert!(
+        dump.body.lines().all(|l| l.starts_with('{') && l.ends_with('}')),
+        "admin flight dump is not JSONL"
+    );
+    drop(probe);
 
     // Client fleet. Each thread owns a WireClient with its own seed and
     // socket-fault plan; successes are counted into a shared atomic the
@@ -481,6 +604,26 @@ fn main() {
         }
     }
 
+    // The injected worker panic must have left a black-box dump holding
+    // the panic event plus the window of events that preceded it.
+    let mut flight_dump_ok = false;
+    if let Ok(entries) = std::fs::read_dir(&dump_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !(name.starts_with("flight_panic_") && name.ends_with(".jsonl")) {
+                continue;
+            }
+            let body = std::fs::read_to_string(entry.path()).unwrap_or_default();
+            let lines: Vec<&str> = body.lines().collect();
+            if let Some(i) = lines.iter().position(|l| l.contains("\"kind\":\"worker_panic\"")) {
+                if i > 0 {
+                    flight_dump_ok = true;
+                }
+            }
+        }
+    }
+    assert!(flight_dump_ok, "no flight dump with a preceding window from the injected panic");
+
     let soak = SoakReport {
         clients,
         requests_per_client: requests,
@@ -516,6 +659,10 @@ fn main() {
         drained_connections_got_goaway,
         idle_connections_observed_goaway,
         all_client_failures_typed,
+        probe_trace_id,
+        trace_complete,
+        admin_matches_prom,
+        flight_dump_ok,
     };
 
     print_table(
@@ -534,6 +681,10 @@ fn main() {
             ],
             vec!["engine submitted".into(), soak.engine_submitted.to_string()],
             vec!["server panics".into(), soak.server_panics.to_string()],
+            vec!["probe trace".into(), format!("{:#x}", soak.probe_trace_id)],
+            vec!["trace complete".into(), soak.trace_complete.to_string()],
+            vec!["admin parity".into(), soak.admin_matches_prom.to_string()],
+            vec!["flight dump".into(), soak.flight_dump_ok.to_string()],
         ],
     );
     save_json("frontdoor_soak", &soak);

@@ -179,6 +179,7 @@ fn main() {
         policy,
         faults: plan,
         telemetry: tel.clone(),
+        flight_dump_dir: None,
     };
     println!(
         "serve_soak: {} requests, seed {}, {} workers, queue capacity {}, {} injected faults",

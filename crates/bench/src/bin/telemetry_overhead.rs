@@ -90,6 +90,10 @@ fn run_hooked(patcher: &AdaptivePatcher, hooks: &Hooks, model: &ViTSegmenter, im
     let _span = hooks.tel.span("bench.forward");
     time_scope!(hooks.forward_s);
     counted!(hooks.forward_total);
+    // Flight-recorder hook on the hot path: disabled telemetry must skip
+    // the detail closure entirely, so the recorder rides under the same
+    // <2% gate as the other hooks.
+    hooks.tel.flight("bench_forward", || format!("len={}", seq.len()));
     let l = seq.len();
     forward(model, seq.to_tensor().reshape([1, l, PATCH * PATCH]))
 }

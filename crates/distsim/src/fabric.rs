@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 
-use apf_telemetry::Telemetry;
+use apf_telemetry::{Telemetry, TraceContext};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -462,6 +462,23 @@ where
     let durations: Mutex<Vec<f64>> = Mutex::new(vec![0.0; items.len()]);
     let per_worker: Mutex<Vec<u64>> = Mutex::new(vec![0; workers]);
 
+    // OS threads do not inherit the caller's trace context; hand it across
+    // the spawn explicitly so worker spans parent under the fabric span.
+    let ctx = TraceContext::current();
+    // Mirror of `StealScheduler::new`'s contiguous deal: items executed by
+    // a worker other than their dealt owner (steals, or re-queues after a
+    // death) carry a "steal" note on their span.
+    let base = items.len() / workers;
+    let extra = items.len() % workers;
+    let dealt_owner = move |i: usize| -> usize {
+        let cut = extra * (base + 1);
+        if i < cut {
+            i / (base + 1)
+        } else {
+            extra + (i - cut) / base.max(1)
+        }
+    };
+
     std::thread::scope(|scope| {
         for w in 0..workers {
             let sched = &sched;
@@ -473,6 +490,7 @@ where
             std::thread::Builder::new()
                 .name(format!("{}-{}", FABRIC_THREAD_PREFIX, w))
                 .spawn_scoped(scope, move || {
+                    let _ctx_guard = ctx.map(TraceContext::install);
                     let mut nth = 0u64;
                     loop {
                         match sched.next(w) {
@@ -485,6 +503,14 @@ where
                                 let fault = faults.fault_for(w, nth);
                                 nth += 1;
                                 let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                                    // Opened inside the unwind boundary: a
+                                    // panicking item still flushes its span,
+                                    // marked truncated by the guard.
+                                    let _item_span = if dealt_owner(i) == w {
+                                        tel.span_id("distsim.fabric.item", i as u64)
+                                    } else {
+                                        tel.span_noted("distsim.fabric.item", i as u64, "steal")
+                                    };
                                     if let Some(FabricFaultKind::Straggler { delay_ms }) = fault {
                                         std::thread::sleep(Duration::from_millis(delay_ms));
                                     }
@@ -504,6 +530,9 @@ where
                                         sched.complete(w);
                                     }
                                     Err(_) => {
+                                        tel.flight("fabric_worker_death", || {
+                                            format!("worker={w} item={i}")
+                                        });
                                         sched.worker_died(w);
                                         break;
                                     }
@@ -673,6 +702,43 @@ mod tests {
         let snap = tel.snapshot();
         let deaths = snap.get("apf_distsim_fabric_deaths_total", &[]).expect("metric registered");
         assert!(deaths.value >= 1.0);
+    }
+
+    #[test]
+    fn worker_spans_join_the_callers_trace_and_panics_flush_truncated() {
+        let tel = Telemetry::enabled();
+        let ctx = tel.new_trace().expect("sampling defaults to on");
+        let _guard = ctx.install();
+        let items: Vec<usize> = (0..16).collect();
+        let plan = FabricFaultPlan::none().with_burst(1, 0, 1, FabricFaultKind::Panic);
+        // Items must outlast thread spawn, or the first worker drains the
+        // whole list before worker 1 ever picks up its faulted item.
+        let (_, stats) = run_ordered(&items, 3, &plan, &tel, |_w, _i, &x| {
+            std::thread::sleep(Duration::from_millis(3));
+            x
+        })
+        .unwrap();
+        assert_eq!(stats.worker_panics, 1);
+
+        let events = tel.trace_events();
+        let item_spans: Vec<_> =
+            events.iter().filter(|e| e.name == "distsim.fabric.item").collect();
+        assert!(item_spans.len() > items.len(), "panicked item retries add a span");
+        // Every worker span crossed the thread spawn with the caller's trace.
+        assert!(item_spans.iter().all(|e| e.trace_id == ctx.trace_id));
+        // The injected panic flushed a partial span marked truncated...
+        let truncated: Vec<_> = item_spans.iter().filter(|e| e.truncated).collect();
+        assert_eq!(truncated.len(), 1);
+        // ...and its retry on a survivor is annotated as moved work.
+        let id = truncated[0].id.expect("item spans carry the item index");
+        assert!(item_spans
+            .iter()
+            .any(|e| e.id == Some(id) && !e.truncated && e.note == Some("steal")));
+        // The death is on the flight recorder with the trace stamped.
+        let deaths: Vec<_> =
+            tel.flight_events().into_iter().filter(|f| f.kind == "fabric_worker_death").collect();
+        assert_eq!(deaths.len(), 1);
+        assert_eq!(deaths[0].trace_id, ctx.trace_id);
     }
 
     #[test]

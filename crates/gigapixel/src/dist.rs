@@ -39,6 +39,7 @@ use apf_distsim::fabric::{
 use apf_imaging::GrayImage;
 use apf_models::checkpoint::{load_with_state, save_with_state, TrainState};
 use apf_models::ParamSet;
+use apf_telemetry::{current_trace_id, TraceContext};
 use apf_tensor::prelude::*;
 
 use crate::cache::TileCache;
@@ -210,6 +211,9 @@ struct StitchSnapshot {
     tile_crcs: Vec<u32>,
     tokens: usize,
     positive: usize,
+    /// Trace id of the drive that wrote the checkpoint (0 = untraced);
+    /// lets a resumed drive link its fresh trace back to the original.
+    trace_id: u64,
 }
 
 fn missing(field: &str) -> GigapixelError {
@@ -235,6 +239,7 @@ impl StitchSnapshot {
             ("stitch.tiles_written".into(), self.tile_crcs.len() as u64),
             ("stitch.tokens".into(), self.tokens as u64),
             ("stitch.positive".into(), self.positive as u64),
+            ("stitch.trace_id".into(), self.trace_id),
         ];
         for (i, &crc) in self.tile_crcs.iter().enumerate() {
             counters.push((format!("out.crc.{i}"), crc as u64));
@@ -319,6 +324,8 @@ impl StitchSnapshot {
             tile_crcs,
             tokens: get("stitch.tokens")? as usize,
             positive: get("stitch.positive")? as usize,
+            // Absent in pre-tracing checkpoints: treat as untraced.
+            trace_id: state.counter("stitch.trace_id").unwrap_or(0),
         })
     }
 }
@@ -434,6 +441,7 @@ impl Progress {
             tile_crcs: self.writer.written_prefix_crcs(),
             tokens: self.tokens,
             positive: self.positive,
+            trace_id: current_trace_id(),
         }
     }
 }
@@ -514,6 +522,15 @@ impl<'m> SlideSegmenter<'m> {
                         Ok(writer) => {
                             resumed_at = Some(snap.merged);
                             resumes_total.inc();
+                            // Link this run's fresh trace back to the drive
+                            // that wrote the checkpoint.
+                            if snap.trace_id != 0 {
+                                let (from, merged) = (snap.trace_id, snap.merged);
+                                self.tel.annotate("gigapixel.resumed_from", Some(from), None);
+                                self.tel.flight("stitch_resume", || {
+                                    format!("from_trace={from:#x} merged={merged}")
+                                });
+                            }
                             restored = Some((snap, writer));
                         }
                         // Unusable partial output (missing temp file, torn
@@ -563,6 +580,23 @@ impl<'m> SlideSegmenter<'m> {
         let mut checkpoint_bytes = 0u64;
         let mut merged_this_run = 0usize;
 
+        // OS threads do not inherit the caller's trace context; hand it to
+        // the stitch workers explicitly so their window spans parent under
+        // the drive span. The dealt-owner mirror of the scheduler's
+        // contiguous deal marks windows executed off their dealt worker
+        // (steals, death re-queues) with a "steal" note.
+        let ctx = TraceContext::current();
+        let deal_base = (windows_total - start_k) / opts.workers;
+        let deal_extra = (windows_total - start_k) % opts.workers;
+        let dealt_owner = move |i: usize| -> usize {
+            let cut = deal_extra * (deal_base + 1);
+            if i < cut {
+                i / (deal_base + 1)
+            } else {
+                deal_extra + (i - cut) / deal_base.max(1)
+            }
+        };
+
         let merge_outcome: Result<(), GigapixelError> = std::thread::scope(|scope| {
             for wi in 0..opts.workers {
                 let tx = res_tx.clone();
@@ -578,6 +612,7 @@ impl<'m> SlideSegmenter<'m> {
                 std::thread::Builder::new()
                     .name(format!("{}-{}", FABRIC_THREAD_PREFIX, wi))
                     .spawn_scoped(scope, move || {
+                        let _ctx_guard = ctx.map(TraceContext::install);
                         let mut nth = 0u64;
                         loop {
                             match sched.next(wi) {
@@ -588,6 +623,18 @@ impl<'m> SlideSegmenter<'m> {
                                     let fault = faults.fault_for(wi, nth);
                                     nth += 1;
                                     let ran = panic::catch_unwind(AssertUnwindSafe(|| {
+                                        // Inside the unwind boundary: a
+                                        // panicking window still flushes its
+                                        // span, marked truncated.
+                                        let _wspan = if dealt_owner(i) == wi {
+                                            self.tel.span_id("gigapixel.window_infer", k as u64)
+                                        } else {
+                                            self.tel.span_noted(
+                                                "gigapixel.window_infer",
+                                                k as u64,
+                                                "steal",
+                                            )
+                                        };
                                         if let Some(FabricFaultKind::Straggler { delay_ms }) = fault
                                         {
                                             // Abort-aware stall: a cancelled
@@ -630,6 +677,9 @@ impl<'m> SlideSegmenter<'m> {
                                         }
                                         Err(_) => {
                                             panics_total.inc();
+                                            self.tel.flight("stitch_worker_panic", || {
+                                                format!("worker={wi} window={k}")
+                                            });
                                             sched.worker_died(wi);
                                             break;
                                         }
@@ -677,7 +727,7 @@ impl<'m> SlideSegmenter<'m> {
                 };
                 pending.insert(msg.k, msg);
                 while let Some(done) = pending.remove(&next_k) {
-                    let _span = self.tel.span("gigapixel.window_merge");
+                    let _span = self.tel.span_id("gigapixel.window_merge", next_k as u64);
                     let (logits, l) = match done.result {
                         Ok(ok) => ok,
                         Err(e) => break 'merge Err(e),
@@ -743,6 +793,10 @@ impl<'m> SlideSegmenter<'m> {
                         checkpoint_bytes += bytes;
                         ckpt_total.inc();
                         ckpt_bytes_total.add(bytes);
+                        let merged_now = progress.merged;
+                        self.tel.flight("stitch_checkpoint", || {
+                            format!("merged={merged_now} bytes={bytes}")
+                        });
                     }
 
                     // Satellite fix: cancellation polled per *completed*

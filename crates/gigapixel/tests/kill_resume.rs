@@ -119,13 +119,16 @@ fn kill_at_window_k_resumes_bit_identically() {
     let _ = std::fs::remove_file(&ckpt);
     let _ = std::fs::remove_file(test_dir().join("kill.ckpt.apf2.prev"));
 
-    // Run 1: checkpoint every 2 windows, killed after merging 5.
+    // Run 1: checkpoint every 2 windows, killed after merging 5. The run
+    // is traced so its checkpoints carry the trace id.
+    let run1 = tel.new_trace().expect("tracing defaults to on");
     let mut opts = DistStitchOptions::new(2).with_checkpoint(&ckpt);
     opts.checkpoint_every = 2;
     opts.faults.kill_after_windows = Some(5);
-    let err = seg
-        .segment_store_distributed(&cache, &out, &res, &opts, || false)
-        .unwrap_err();
+    let err = {
+        let _g = run1.install();
+        seg.segment_store_distributed(&cache, &out, &res, &opts, || false).unwrap_err()
+    };
     match err {
         GigapixelError::InjectedCrash { windows_merged: 5, site: "kill" } => {}
         other => panic!("expected injected kill, got {other:?}"),
@@ -135,13 +138,16 @@ fn kill_at_window_k_resumes_bit_identically() {
     assert_eq!(info.merged, 4, "last periodic checkpoint before the kill");
     assert_eq!(info.resolution, 128);
 
-    // Run 2: resume from the checkpoint, no faults.
+    // Run 2: resume from the checkpoint, no faults, under a fresh trace.
+    let run2 = tel.new_trace().expect("tracing defaults to on");
+    assert_ne!(run1.trace_id, run2.trace_id);
     let mut opts = DistStitchOptions::new(2).with_checkpoint(&ckpt);
     opts.checkpoint_every = 2;
     opts.resume = true;
-    let report = seg
-        .segment_store_distributed(&cache, &out, &res, &opts, || false)
-        .unwrap();
+    let report = {
+        let _g = run2.install();
+        seg.segment_store_distributed(&cache, &out, &res, &opts, || false).unwrap()
+    };
     assert_eq!(report.resumed_at, Some(4));
     assert_eq!(report.stitch.windows, 9, "report covers resumed prefix too");
     assert_eq!(report.stitch.tokens, 9 * SEQ_LEN);
@@ -152,6 +158,21 @@ fn kill_at_window_k_resumes_bit_identically() {
     assert_eq!(snap.get("apf_gigapixel_stitch_resumes_total", &[]).unwrap().value, 1.0);
     assert!(snap.get("apf_gigapixel_stitch_checkpoints_total", &[]).unwrap().value >= 2.0);
     assert!(snap.get("apf_gigapixel_stitch_checkpoint_bytes_total", &[]).unwrap().value > 0.0);
+
+    // The resumed run is a fresh trace, linked to the killed run by a
+    // `resumed_from` annotation carrying the original trace id.
+    let resumed: Vec<_> = tel
+        .trace_events()
+        .into_iter()
+        .filter(|e| e.name == "gigapixel.resumed_from")
+        .collect();
+    assert_eq!(resumed.len(), 1, "exactly one resume annotation");
+    assert_eq!(resumed[0].trace_id, run2.trace_id, "annotation lives in the fresh trace");
+    assert_eq!(resumed[0].id, Some(run1.trace_id), "annotation names the original trace");
+    let flights: Vec<_> =
+        tel.flight_events().into_iter().filter(|f| f.kind == "stitch_resume").collect();
+    assert_eq!(flights.len(), 1);
+    assert!(flights[0].detail.contains(&format!("{:#x}", run1.trace_id)));
 }
 
 #[test]

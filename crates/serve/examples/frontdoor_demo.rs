@@ -1,16 +1,22 @@
 //! Loopback front-door demo: start an engine behind a `WireServer`, serve
-//! two tenants — one generous, one with a deliberately tiny quota — then
-//! drain gracefully. Run with:
+//! two tenants — one generous, one with a deliberately tiny quota — pull
+//! health, metrics, and a Chrome trace of the traced calls over the APFW1
+//! admin plane, then drain gracefully. Run with:
 //!
 //! ```text
 //! cargo run --release -p apf-serve --example frontdoor_demo
 //! ```
+//!
+//! The demo writes `frontdoor_demo_trace.json` to the working directory;
+//! open it in the Chrome trace viewer (`chrome://tracing` or
+//! <https://ui.perfetto.dev>) to see each call's client attempt, wire
+//! server request, and engine worker span stitched under one trace.
 
 use std::sync::Arc;
 
 use apf_serve::wire::{
-    ClientConfig, ClientError, QuotaConfig, QuotaLimit, WireClient, WireConfig, WireRequest,
-    WireServer, WireStatus,
+    AdminRequest, ClientConfig, ClientError, QuotaConfig, QuotaLimit, WireClient, WireConfig,
+    WireRequest, WireServer, WireStatus,
 };
 use apf_serve::{ServeConfig, ServeEngine};
 use apf_telemetry::Telemetry;
@@ -49,7 +55,12 @@ fn main() {
     let addr = server.local_addr();
     println!("front door listening on {addr}");
 
-    let mut rich = WireClient::connect(addr, ClientConfig { tenant: 1, ..ClientConfig::default() });
+    // The rich tenant is traced: each call mints a trace root that the
+    // wire, the server, and the engine workers all join.
+    let mut rich = WireClient::connect(
+        addr,
+        ClientConfig { tenant: 1, telemetry: tel.clone(), ..ClientConfig::default() },
+    );
     // One attempt only, so the over-quota rejection surfaces immediately
     // instead of being retried away.
     let mut poor = WireClient::connect(
@@ -72,6 +83,19 @@ fn main() {
             other => println!("tenant 9 round {round}: {other:?}"),
         }
     }
+
+    // Pull health, metrics, and the stitched trace over the admin plane —
+    // same socket, same quota gate, no second listener.
+    let health = rich.admin(&AdminRequest::Health).expect("admin health");
+    println!("admin health: {}", health.body);
+    let prom = rich.admin(&AdminRequest::MetricsProm).expect("admin metrics");
+    println!("admin metrics: {} lines of Prometheus exposition", prom.body.lines().count());
+    let trace = rich.admin(&AdminRequest::TraceDump).expect("admin trace dump");
+    std::fs::write("frontdoor_demo_trace.json", &trace.body).expect("write trace json");
+    println!(
+        "wrote frontdoor_demo_trace.json ({} bytes) -- open it in chrome://tracing",
+        trace.body.len()
+    );
 
     let report = server.drain();
     println!(

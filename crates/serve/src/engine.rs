@@ -18,7 +18,8 @@
 //! silently, and every response carries the tier it was admitted at.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, Once};
 use std::thread;
@@ -32,7 +33,7 @@ use apf_gigapixel::{
 use apf_models::cancel::CancelToken;
 use apf_models::vit::{ViTConfig, ViTSegmenter};
 use apf_tensor::prelude::*;
-use apf_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use apf_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceContext};
 use serde::Serialize;
 
 use crate::breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
@@ -72,6 +73,10 @@ pub struct ServeConfig {
     /// spans. [`Telemetry::disabled`] keeps the hot path at one branch per
     /// instrumentation point.
     pub telemetry: Telemetry,
+    /// Where the flight recorder dumps its window when a worker panic is
+    /// contained; `None` disables file dumps (events still accumulate in
+    /// the in-memory ring).
+    pub flight_dump_dir: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -91,6 +96,7 @@ impl ServeConfig {
             policy,
             faults: ServeFaultPlan::none(),
             telemetry: Telemetry::disabled(),
+            flight_dump_dir: None,
         }
     }
 }
@@ -228,6 +234,7 @@ impl ServeTel {
             BreakerState::HalfOpen => self.breaker_to_half_open.inc(),
             BreakerState::Closed => self.breaker_to_closed.inc(),
         }
+        self.tel.flight("breaker_transition", || format!("to={to:?}"));
     }
 }
 
@@ -358,12 +365,19 @@ struct QueuedRequest {
     depth_at_admission: usize,
     tier: Tier,
     tx: mpsc::Sender<SegResponse>,
+    // Captured at admission from the submitting thread; the worker that
+    // pops this request installs it so worker-side spans join the trace
+    // that crossed the wire.
+    trace: Option<TraceContext>,
 }
 
 struct Shared {
     queue: BoundedQueue<QueuedRequest>,
     metrics: Mutex<ServeMetrics>,
     submitted: AtomicU64,
+    // Tier handed to the most recent admission (rank), for tier-change
+    // flight events. usize::MAX = nothing admitted yet.
+    last_tier_rank: AtomicUsize,
     tm: ServeTel,
 }
 
@@ -444,6 +458,7 @@ impl ServeEngine {
             queue: BoundedQueue::new(cfg.queue_capacity),
             metrics: Mutex::new(ServeMetrics::default()),
             submitted: AtomicU64::new(0),
+            last_tier_rank: AtomicUsize::new(usize::MAX),
             tm: ServeTel::new(cfg.telemetry.clone()),
         });
         let handles = (0..cfg.workers)
@@ -516,6 +531,12 @@ impl ServeEngine {
         let tier = self.cfg.policy.tier_for_depth(depth, self.cfg.queue_capacity);
         let deadline_ms = deadline_ms.or(self.cfg.default_deadline_ms);
         let now = Instant::now();
+        let id = payload.id();
+        tm.tel.flight("admission", || format!("id={id} tier={tier:?} depth={depth}"));
+        let prev_rank = self.shared.last_tier_rank.swap(tier.rank() as usize, Ordering::Relaxed);
+        if prev_rank != usize::MAX && prev_rank != tier.rank() as usize {
+            tm.tel.flight("tier_change", || format!("from_rank={prev_rank} to={tier:?}"));
+        }
         let q = QueuedRequest {
             payload,
             submitted: now,
@@ -523,6 +544,7 @@ impl ServeEngine {
             depth_at_admission: depth,
             tier,
             tx,
+            trace: TraceContext::current(),
         };
         if let Some(reason) = invalid {
             self.shared.respond(q, Outcome::InvalidInput { reason }, None);
@@ -638,6 +660,9 @@ fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
         };
         shared.tm.queue_wait_s.record(q.submitted.elapsed().as_secs_f64());
         shared.tm.queue_depth.set(shared.queue.len() as f64);
+        // Queue handoff: adopt the trace the submitting thread captured so
+        // this worker's spans are children of the admission-side span.
+        let _ctx_guard = q.trace.map(TraceContext::install);
         let _req_span = shared.tm.tel.span_id("serve.request", q.payload.id());
         // Blown already? Don't waste inference on it — and don't blame the
         // worker: deadline misses never feed the breaker.
@@ -657,7 +682,21 @@ fn worker_loop(idx: usize, shared: &Shared, cfg: &ServeConfig) -> WorkerReport {
                 Payload::Image(_) => run_inference(&model, &q, fault, cfg, &shared.tm),
                 Payload::Slide(req) => run_slide(&model, req, q.deadline, fault, cfg, &shared.tm),
             }))
-            .unwrap_or(Outcome::WorkerFailure { reason: FailureReason::Panicked })
+            .unwrap_or_else(|_| {
+                // The contained panic is exactly what the black box exists
+                // for: record it, then freeze the preceding window to disk.
+                shared
+                    .tm
+                    .tel
+                    .flight("worker_panic", || format!("worker={idx} id={}", q.payload.id()));
+                if let Some(dir) = &cfg.flight_dump_dir {
+                    let _ = shared
+                        .tm
+                        .tel
+                        .dump_flight(dir, &format!("panic_w{idx}_{}", q.payload.id()));
+                }
+                Outcome::WorkerFailure { reason: FailureReason::Panicked }
+            })
         };
         match &outcome {
             Outcome::Completed { .. } | Outcome::SlideCompleted { .. } => breaker.record_success(),

@@ -25,10 +25,14 @@ use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use apf_telemetry::{Telemetry, TraceContext};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use super::frame::{read_frame, write_frame, Frame, FrameKind, WireError, WireRequest, WireStatus};
+use super::frame::{
+    read_frame, write_frame, AdminRequest, AdminResponse, Frame, FrameKind, WireError,
+    WireRequest, WireStatus,
+};
 use super::netfault::{NetFaultKind, NetFaultPlan};
 
 /// Client retry/backoff configuration.
@@ -53,6 +57,10 @@ pub struct ClientConfig {
     pub max_payload: u32,
     /// Seed for backoff jitter (and garbage bytes under fault injection).
     pub seed: u64,
+    /// Client-side telemetry: spans for calls/attempts and the trace roots
+    /// whose contexts ride the wire extension. The default (disabled) sends
+    /// context-free frames, byte-identical to the pre-extension protocol.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ClientConfig {
@@ -67,6 +75,7 @@ impl Default for ClientConfig {
             write_timeout_ms: 1_000,
             max_payload: super::frame::DEFAULT_MAX_PAYLOAD,
             seed: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -176,6 +185,14 @@ impl WireClient {
     /// Sends one request with the full retry loop. On success returns the
     /// terminal successful status (`Ok`/`SlideOk`).
     pub fn call(&mut self, request: &WireRequest) -> Result<WireStatus, ClientError> {
+        // One call = one trace (unless the calling thread is already inside
+        // one, in which case the call joins it). The context installed here
+        // is what each attempt copies into the frame's wire extension, so
+        // retries of one call share a single trace id.
+        let minted =
+            if TraceContext::current().is_none() { self.cfg.telemetry.new_trace() } else { None };
+        let _ctx_guard = minted.map(TraceContext::install);
+        let _call_span = self.cfg.telemetry.span("wire.client.call");
         let started = Instant::now();
         let budget = Duration::from_millis(self.cfg.attempt_budget_ms);
         let mut last_label = String::from("none");
@@ -195,7 +212,14 @@ impl WireClient {
             }
             let nth = self.attempt_counter;
             self.attempt_counter += 1;
-            let outcome = self.attempt(request, nth);
+            let outcome = {
+                let _attempt_span = if attempts > 1 {
+                    self.cfg.telemetry.span_noted("wire.client.attempt", nth, "retry")
+                } else {
+                    self.cfg.telemetry.span_id("wire.client.attempt", nth)
+                };
+                self.attempt(request, nth)
+            };
             let retry_hint = match outcome {
                 Ok(status) => {
                     match &status {
@@ -261,7 +285,8 @@ impl WireClient {
             return Err(self.inject(&stream, fault, request, nth));
         }
 
-        let frame = Frame::new(request.kind(), self.cfg.tenant, nth, request.encode());
+        let frame = Frame::new(request.kind(), self.cfg.tenant, nth, request.encode())
+            .with_trace(TraceContext::current());
         let mut w = &stream;
         write_frame(&mut w, &frame)?;
         let mut r = &stream;
@@ -269,6 +294,38 @@ impl WireClient {
         let _ = stream.shutdown(Shutdown::Both);
         match reply.kind {
             FrameKind::Response | FrameKind::GoAway => WireStatus::decode(&reply.payload),
+            other => Err(WireError::BadKind { found: other.to_u8() }),
+        }
+    }
+
+    /// One admin-plane round trip: no retry loop (admin callers want the
+    /// current state, not an eventually-consistent one). Shares the wire's
+    /// quota and deadline machinery server-side.
+    pub fn admin(&mut self, request: &AdminRequest) -> Result<AdminResponse, WireError> {
+        let minted =
+            if TraceContext::current().is_none() { self.cfg.telemetry.new_trace() } else { None };
+        let _ctx_guard = minted.map(TraceContext::install);
+        let nth = self.attempt_counter;
+        self.attempt_counter += 1;
+        self.stats.attempts += 1;
+        let _span = self.cfg.telemetry.span_id("wire.client.admin", nth);
+        let stream = TcpStream::connect_timeout(
+            &self.addr,
+            Duration::from_millis(self.cfg.write_timeout_ms.max(1)),
+        )
+        .map_err(|e| WireError::Io { kind: format!("{:?}", e.kind()) })?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(self.cfg.read_timeout_ms.max(1))));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(self.cfg.write_timeout_ms.max(1))));
+        let frame = Frame::new(FrameKind::Admin, self.cfg.tenant, nth, request.encode())
+            .with_trace(TraceContext::current());
+        let mut w = &stream;
+        write_frame(&mut w, &frame)?;
+        let mut r = &stream;
+        let reply = read_frame(&mut r, self.cfg.max_payload)?;
+        let _ = stream.shutdown(Shutdown::Both);
+        match reply.kind {
+            FrameKind::Admin => AdminResponse::decode(&reply.payload),
             other => Err(WireError::BadKind { found: other.to_u8() }),
         }
     }

@@ -1,22 +1,33 @@
 //! The `APFW1` framed wire protocol: byte layout, encode/decode, and the
 //! typed [`WireError`] taxonomy.
 //!
-//! A frame is a fixed 32-byte header, a variable payload, and a payload
-//! CRC32 trailer:
+//! A frame is a fixed 32-byte header, an optional trace-context extension,
+//! a variable payload, and a payload CRC32 trailer:
 //!
 //! ```text
 //! offset  size  field
 //!      0     4  magic          b"APFW"
 //!      4     1  version        1
-//!      5     1  frame kind     Segment=1 Slide=2 Response=3 GoAway=4
-//!      6     2  reserved       0 (covered by the header CRC)
+//!      5     1  frame kind     Segment=1 Slide=2 Response=3 GoAway=4 Admin=5
+//!      6     1  flags          bit 0: trace-context extension follows the
+//!                              header (covered by the header CRC)
+//!      7     1  reserved       0 (covered by the header CRC)
 //!      8     8  tenant id      u64 LE (quota key)
 //!     16     8  request id     u64 LE (echoed in the response)
 //!     24     4  payload len    u32 LE (hard-capped by the decoder)
 //!     28     4  header CRC32   over bytes 0..28
-//!     32   len  payload
-//! 32+len     4  payload CRC32  over the payload bytes
+//!    [32    21  trace ext      trace_id u64 | parent span_id u64 |
+//!                              sampled u8 | CRC32 over those 17 bytes]
+//!   then   len  payload
+//!   then     4  payload CRC32  over the payload bytes
 //! ```
+//!
+//! The trace extension is strictly opt-in per frame: when the flags bit is
+//! clear the encoding is byte-identical to the pre-extension protocol, so
+//! peers that never set the bit (old senders) interoperate unchanged, and a
+//! receiver that honors the flags byte (this decoder) accepts both shapes.
+//! Whether to *attach* the extension is negotiated out of band (the client
+//! config); a corrupted extension is a typed error, never a panic.
 //!
 //! Decoding is *total*: every possible byte stream — truncated, bit-flipped,
 //! oversized, stalled, or plain garbage — maps to a typed [`WireError`],
@@ -31,6 +42,7 @@ use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 
 use apf_core::crc32::crc32;
+use apf_telemetry::TraceContext;
 
 /// Protocol magic, first on the wire.
 pub const WIRE_MAGIC: [u8; 4] = *b"APFW";
@@ -41,6 +53,11 @@ pub const HEADER_LEN: usize = 32;
 /// Default hard cap on payload length; decoders refuse larger declarations
 /// before allocating anything.
 pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 22;
+/// Header flags bit: a trace-context extension follows the header.
+pub const FLAG_TRACE_CONTEXT: u8 = 1;
+/// Trace-context extension size: trace_id (8) + parent span (8) +
+/// sampled (1) + CRC32 (4).
+pub const TRACE_EXT_LEN: usize = 21;
 
 /// What a frame is for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +71,10 @@ pub enum FrameKind {
     /// Server -> client: the connection is closing (drain, protocol error,
     /// or connection limit); retry elsewhere/later.
     GoAway,
+    /// Bidirectional admin plane: metrics snapshots, health, live sampling
+    /// control, and flight-recorder dumps, served over the same hardened
+    /// socket (quotas and deadlines apply; never touches the engine).
+    Admin,
 }
 
 impl FrameKind {
@@ -64,6 +85,7 @@ impl FrameKind {
             FrameKind::Slide => 2,
             FrameKind::Response => 3,
             FrameKind::GoAway => 4,
+            FrameKind::Admin => 5,
         }
     }
 
@@ -73,6 +95,7 @@ impl FrameKind {
             2 => Some(FrameKind::Slide),
             3 => Some(FrameKind::Response),
             4 => Some(FrameKind::GoAway),
+            5 => Some(FrameKind::Admin),
             _ => None,
         }
     }
@@ -84,6 +107,7 @@ impl FrameKind {
             FrameKind::Slide => "slide",
             FrameKind::Response => "response",
             FrameKind::GoAway => "goaway",
+            FrameKind::Admin => "admin",
         }
     }
 }
@@ -148,6 +172,22 @@ pub enum WireError {
         /// CRC the trailer claimed.
         claimed: u32,
     },
+    /// Trace-context extension CRC mismatch (torn or bit-flipped extension;
+    /// the rest of the frame is not trusted either — the connection policy
+    /// treats this like any other corruption).
+    BadExtensionCrc {
+        /// CRC computed over the received extension bytes.
+        computed: u32,
+        /// CRC the extension claimed.
+        claimed: u32,
+    },
+    /// The flags byte demanded an extension this decoder cannot frame
+    /// (unknown bits — their length is unknowable, so the stream would
+    /// desync), or the extension body was malformed.
+    BadExtension {
+        /// What the extension decoder objected to.
+        reason: String,
+    },
     /// The frame arrived intact but its payload did not parse as the
     /// declared kind.
     BadPayload {
@@ -174,6 +214,8 @@ impl WireError {
             WireError::BadKind { .. } => "bad_kind",
             WireError::Oversized { .. } => "oversized",
             WireError::BadHeaderCrc { .. } => "bad_header_crc",
+            WireError::BadExtensionCrc { .. } => "bad_extension_crc",
+            WireError::BadExtension { .. } => "bad_extension",
             WireError::BadPayloadCrc { .. } => "bad_payload_crc",
             WireError::BadPayload { .. } => "bad_payload",
             WireError::Io { .. } => "io",
@@ -214,6 +256,13 @@ impl fmt::Display for WireError {
             WireError::BadHeaderCrc { computed, claimed } => {
                 write!(f, "header CRC mismatch: computed {computed:08x}, claimed {claimed:08x}")
             }
+            WireError::BadExtensionCrc { computed, claimed } => {
+                write!(
+                    f,
+                    "trace extension CRC mismatch: computed {computed:08x}, claimed {claimed:08x}"
+                )
+            }
+            WireError::BadExtension { reason } => write!(f, "bad header extension: {reason}"),
             WireError::BadPayloadCrc { computed, claimed } => {
                 write!(f, "payload CRC mismatch: computed {computed:08x}, claimed {claimed:08x}")
             }
@@ -236,27 +285,48 @@ pub struct Frame {
     pub request: u64,
     /// The payload bytes (already CRC-verified).
     pub payload: Vec<u8>,
+    /// Distributed-tracing context carried in the optional header
+    /// extension. `None` encodes byte-identically to the pre-extension
+    /// protocol.
+    pub trace: Option<TraceContext>,
 }
 
 impl Frame {
-    /// Builds a frame.
+    /// Builds a frame without a trace context.
     pub fn new(kind: FrameKind, tenant: u64, request: u64, payload: Vec<u8>) -> Self {
-        Frame { kind, tenant, request, payload }
+        Frame { kind, tenant, request, payload, trace: None }
     }
 
-    /// Encodes the frame to wire bytes (header + payload + trailer CRC).
+    /// Attaches (or clears) the trace-context extension.
+    pub fn with_trace(mut self, trace: Option<TraceContext>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Encodes the frame to wire bytes (header + optional trace extension +
+    /// payload + trailer CRC).
     pub fn encode(&self) -> Vec<u8> {
         let len = self.payload.len() as u32;
-        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + 4);
+        let ext = if self.trace.is_some() { TRACE_EXT_LEN } else { 0 };
+        let mut out = Vec::with_capacity(HEADER_LEN + ext + self.payload.len() + 4);
         out.extend_from_slice(&WIRE_MAGIC);
         out.push(WIRE_VERSION);
         out.push(self.kind.to_u8());
-        out.extend_from_slice(&[0, 0]);
+        out.push(if self.trace.is_some() { FLAG_TRACE_CONTEXT } else { 0 });
+        out.push(0);
         out.extend_from_slice(&self.tenant.to_le_bytes());
         out.extend_from_slice(&self.request.to_le_bytes());
         out.extend_from_slice(&len.to_le_bytes());
         let hcrc = crc32(&out[..28]);
         out.extend_from_slice(&hcrc.to_le_bytes());
+        if let Some(ctx) = &self.trace {
+            let at = out.len();
+            out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+            out.extend_from_slice(&ctx.parent_span.to_le_bytes());
+            out.push(ctx.sampled as u8);
+            let ecrc = crc32(&out[at..at + 17]);
+            out.extend_from_slice(&ecrc.to_le_bytes());
+        }
         out.extend_from_slice(&self.payload);
         out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
         out
@@ -320,16 +390,51 @@ pub fn read_frame(r: &mut impl Read, cap: u32) -> Result<Frame, WireError> {
     }
     let tenant = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
     let request = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let flags = header[6];
+    if flags & !FLAG_TRACE_CONTEXT != 0 {
+        // Unknown flag bits would carry extensions of unknowable length:
+        // reading on would desync the stream, so refuse the frame.
+        return Err(WireError::BadExtension {
+            reason: format!("unknown flag bits {:#04x}", flags & !FLAG_TRACE_CONTEXT),
+        });
+    }
+    let mut read_so_far = HEADER_LEN;
+    let trace = if flags & FLAG_TRACE_CONTEXT != 0 {
+        let mut ext = [0u8; TRACE_EXT_LEN];
+        fill(r, &mut ext, read_so_far)?;
+        read_so_far += TRACE_EXT_LEN;
+        let claimed = u32::from_le_bytes(ext[17..21].try_into().expect("4 bytes"));
+        let computed = crc32(&ext[..17]);
+        if computed != claimed {
+            return Err(WireError::BadExtensionCrc { computed, claimed });
+        }
+        let sampled = match ext[16] {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(WireError::BadExtension {
+                    reason: format!("sampled byte must be 0 or 1, got {other}"),
+                })
+            }
+        };
+        Some(TraceContext {
+            trace_id: u64::from_le_bytes(ext[0..8].try_into().expect("8 bytes")),
+            parent_span: u64::from_le_bytes(ext[8..16].try_into().expect("8 bytes")),
+            sampled,
+        })
+    } else {
+        None
+    };
     let mut payload = vec![0u8; len as usize];
-    fill(r, &mut payload, HEADER_LEN)?;
+    fill(r, &mut payload, read_so_far)?;
     let mut trailer = [0u8; 4];
-    fill(r, &mut trailer, HEADER_LEN + len as usize)?;
+    fill(r, &mut trailer, read_so_far + len as usize)?;
     let claimed = u32::from_le_bytes(trailer);
     let computed = crc32(&payload);
     if computed != claimed {
         return Err(WireError::BadPayloadCrc { computed, claimed });
     }
-    Ok(Frame { kind, tenant, request, payload })
+    Ok(Frame { kind, tenant, request, payload, trace })
 }
 
 /// Writes a frame to `w`, mapping I/O failures into the typed taxonomy.
@@ -714,6 +819,126 @@ impl WireStatus {
     }
 }
 
+/// An admin-plane operation, carried in an [`FrameKind::Admin`] frame from
+/// the client. The server answers with an [`AdminResponse`] in an `Admin`
+/// frame; admin traffic shares the hardened socket (quota gate, deadlines)
+/// and never touches the inference engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminRequest {
+    /// Prometheus text rendering of the server's metrics registry.
+    MetricsProm,
+    /// JSON snapshot of the same registry.
+    MetricsJson,
+    /// Liveness/readiness probe ("serving" / "draining").
+    Health,
+    /// Set the live trace-sampling rate (clamped to `[0, 1]` server-side).
+    SetSampling {
+        /// New sampling rate.
+        rate: f64,
+    },
+    /// Dump the flight recorder; the body is the JSONL window (and the
+    /// server also writes a `flight_*.jsonl` file when configured with a
+    /// dump directory).
+    FlightDump,
+    /// Dump the span ring as one Chrome-trace-viewer-loadable JSON
+    /// document (`{"traceEvents": [...]}`).
+    TraceDump,
+}
+
+impl AdminRequest {
+    /// Stable lowercase label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdminRequest::MetricsProm => "metrics_prom",
+            AdminRequest::MetricsJson => "metrics_json",
+            AdminRequest::Health => "health",
+            AdminRequest::SetSampling { .. } => "set_sampling",
+            AdminRequest::FlightDump => "flight_dump",
+            AdminRequest::TraceDump => "trace_dump",
+        }
+    }
+
+    /// Encodes the payload bytes (header not included).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AdminRequest::MetricsProm => vec![1],
+            AdminRequest::MetricsJson => vec![2],
+            AdminRequest::Health => vec![3],
+            AdminRequest::SetSampling { rate } => {
+                let mut out = vec![4];
+                out.extend_from_slice(&rate.to_le_bytes());
+                out
+            }
+            AdminRequest::FlightDump => vec![5],
+            AdminRequest::TraceDump => vec![6],
+        }
+    }
+
+    /// Decodes an admin request payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let op = c.take(1, "admin op")?[0];
+        let req = match op {
+            1 => AdminRequest::MetricsProm,
+            2 => AdminRequest::MetricsJson,
+            3 => AdminRequest::Health,
+            4 => {
+                let rate = c.f64("sampling rate")?;
+                if !rate.is_finite() {
+                    return Err(WireError::BadPayload {
+                        reason: "sampling rate must be finite".into(),
+                    });
+                }
+                AdminRequest::SetSampling { rate }
+            }
+            5 => AdminRequest::FlightDump,
+            6 => AdminRequest::TraceDump,
+            other => {
+                return Err(WireError::BadPayload { reason: format!("unknown admin op {other}") })
+            }
+        };
+        c.finish("admin request")?;
+        Ok(req)
+    }
+}
+
+/// The server's answer to one [`AdminRequest`], carried in an `Admin` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminResponse {
+    /// True when the operation succeeded; false puts the failure text in
+    /// `body`.
+    pub ok: bool,
+    /// Operation output: Prometheus text, JSON, health word, or an error
+    /// description.
+    pub body: String,
+}
+
+impl AdminResponse {
+    /// Encodes the payload bytes (header not included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.ok as u8];
+        push_string(&mut out, &self.body);
+        out
+    }
+
+    /// Decodes an admin response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cur::new(payload);
+        let ok = match c.take(1, "admin status")?[0] {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(WireError::BadPayload {
+                    reason: format!("admin status must be 0 or 1, got {other}"),
+                })
+            }
+        };
+        let body = c.string("admin body")?;
+        c.finish("admin response")?;
+        Ok(AdminResponse { ok, body })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,12 +949,105 @@ mod tests {
         read_frame(&mut Cursor::new(bytes), DEFAULT_MAX_PAYLOAD).expect("roundtrip decodes")
     }
 
+    fn test_ctx() -> TraceContext {
+        TraceContext { trace_id: 0xDEAD_BEEF_0000_0001, parent_span: 77, sampled: true }
+    }
+
     #[test]
     fn frame_roundtrips_bit_exact() {
         let f = Frame::new(FrameKind::Segment, 42, 7, vec![1, 2, 3, 250]);
         assert_eq!(roundtrip(&f), f);
         let empty = Frame::new(FrameKind::GoAway, 0, 0, vec![]);
         assert_eq!(roundtrip(&empty), empty);
+        let traced = Frame::new(FrameKind::Admin, 1, 9, vec![3]).with_trace(Some(test_ctx()));
+        assert_eq!(roundtrip(&traced), traced);
+    }
+
+    #[test]
+    fn traceless_encoding_is_byte_identical_to_the_pre_extension_layout() {
+        // The old-peer interop property: flags = 0 means the frame must be
+        // indistinguishable from one produced before the extension existed.
+        let f = Frame::new(FrameKind::Segment, 42, 7, vec![1, 2, 3, 250]);
+        let bytes = f.encode();
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&WIRE_MAGIC);
+        legacy.push(WIRE_VERSION);
+        legacy.push(f.kind.to_u8());
+        legacy.extend_from_slice(&[0, 0]);
+        legacy.extend_from_slice(&f.tenant.to_le_bytes());
+        legacy.extend_from_slice(&f.request.to_le_bytes());
+        legacy.extend_from_slice(&(f.payload.len() as u32).to_le_bytes());
+        let crc = crc32(&legacy[..28]);
+        legacy.extend_from_slice(&crc.to_le_bytes());
+        legacy.extend_from_slice(&f.payload);
+        legacy.extend_from_slice(&crc32(&f.payload).to_le_bytes());
+        assert_eq!(bytes, legacy);
+    }
+
+    #[test]
+    fn corrupted_trace_extension_is_typed() {
+        let f = Frame::new(FrameKind::Segment, 1, 1, vec![9]).with_trace(Some(test_ctx()));
+        // Flip a bit inside the extension body: its own CRC catches it.
+        let mut bytes = f.encode();
+        bytes[HEADER_LEN + 4] ^= 0x10;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadExtensionCrc { .. })
+        ));
+        // A sampled byte outside {0,1} with a recomputed CRC is still typed.
+        let mut bytes = f.encode();
+        bytes[HEADER_LEN + 16] = 7;
+        let ecrc = crc32(&bytes[HEADER_LEN..HEADER_LEN + 17]);
+        bytes[HEADER_LEN + 17..HEADER_LEN + 21].copy_from_slice(&ecrc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadExtension { .. })
+        ));
+        // Unknown flag bits (with a consistent header CRC) are refused: the
+        // decoder cannot know how long an unknown extension is.
+        let mut bytes = Frame::new(FrameKind::Segment, 1, 1, vec![9]).encode();
+        bytes[6] = 0x02;
+        let crc = crc32(&bytes[..28]);
+        bytes[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadExtension { .. })
+        ));
+    }
+
+    #[test]
+    fn admin_payloads_roundtrip_and_reject_garbage() {
+        for req in [
+            AdminRequest::MetricsProm,
+            AdminRequest::MetricsJson,
+            AdminRequest::Health,
+            AdminRequest::SetSampling { rate: 0.25 },
+            AdminRequest::FlightDump,
+            AdminRequest::TraceDump,
+        ] {
+            assert_eq!(AdminRequest::decode(&req.encode()).unwrap(), req);
+        }
+        assert!(matches!(
+            AdminRequest::decode(&[99]),
+            Err(WireError::BadPayload { .. })
+        ));
+        assert!(matches!(
+            AdminRequest::decode(&[]),
+            Err(WireError::BadPayload { .. })
+        ));
+        let mut nan = vec![4];
+        nan.extend_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(AdminRequest::decode(&nan), Err(WireError::BadPayload { .. })));
+        for resp in [
+            AdminResponse { ok: true, body: "apf_serve_requests_total 1\n".into() },
+            AdminResponse { ok: false, body: "unknown op".into() },
+        ] {
+            assert_eq!(AdminResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+        assert!(matches!(
+            AdminResponse::decode(&[2, 0, 0, 0, 0]),
+            Err(WireError::BadPayload { .. })
+        ));
     }
 
     #[test]
@@ -809,17 +1127,20 @@ mod tests {
 
     #[test]
     fn truncation_is_typed_at_every_boundary() {
-        let bytes = Frame::new(FrameKind::Slide, 3, 4, vec![1, 2, 3, 4, 5]).encode();
         assert!(matches!(
             read_frame(&mut Cursor::new(&[] as &[u8]), DEFAULT_MAX_PAYLOAD),
             Err(WireError::Disconnected)
         ));
-        for cut in 1..bytes.len() {
-            let r = read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_PAYLOAD);
-            assert!(
-                matches!(r, Err(WireError::Truncated { .. })),
-                "cut at {cut} gave {r:?}"
-            );
+        let plain = Frame::new(FrameKind::Slide, 3, 4, vec![1, 2, 3, 4, 5]);
+        let traced = plain.clone().with_trace(Some(test_ctx()));
+        for bytes in [plain.encode(), traced.encode()] {
+            for cut in 1..bytes.len() {
+                let r = read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_PAYLOAD);
+                assert!(
+                    matches!(r, Err(WireError::Truncated { .. })),
+                    "cut at {cut} gave {r:?}"
+                );
+            }
         }
     }
 

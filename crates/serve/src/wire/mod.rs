@@ -26,10 +26,12 @@ pub mod netfault;
 pub mod quota;
 pub mod server;
 
+pub use apf_telemetry::TraceContext;
 pub use client::{ClientConfig, ClientError, ClientStats, WireClient};
 pub use frame::{
-    read_frame, write_frame, Frame, FrameKind, WireError, WireRequest, WireStatus,
-    DEFAULT_MAX_PAYLOAD, HEADER_LEN, WIRE_MAGIC, WIRE_VERSION,
+    read_frame, write_frame, AdminRequest, AdminResponse, Frame, FrameKind, WireError,
+    WireRequest, WireStatus, DEFAULT_MAX_PAYLOAD, FLAG_TRACE_CONTEXT, HEADER_LEN, TRACE_EXT_LEN,
+    WIRE_MAGIC, WIRE_VERSION,
 };
 pub use netfault::{NetFault, NetFaultKind, NetFaultPlan, NetFaultRates};
 pub use quota::{QuotaConfig, QuotaLimit, TenantAccount, TenantQuotas};
@@ -204,6 +206,134 @@ mod tests {
             }
         }
         Arc::try_unwrap(engine).ok().expect("sole owner").shutdown();
+    }
+
+    /// Strips lines whose metric name starts with `apf_serve_wire_` — the
+    /// admin call itself moves wire counters between the remote render and
+    /// the local one, so parity is asserted on everything else.
+    fn strip_wire_lines(prom: &str) -> String {
+        prom.lines()
+            .filter(|l| !l.contains("apf_serve_wire_"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn admin_plane_serves_metrics_health_sampling_and_flight_dumps() {
+        let tel = Telemetry::enabled();
+        let engine = Arc::new(ServeEngine::start(ServeConfig {
+            queue_capacity: 32,
+            default_deadline_ms: Some(2_000),
+            telemetry: tel.clone(),
+            ..ServeConfig::small()
+        }));
+        let srv = WireServer::start(
+            Arc::clone(&engine),
+            WireConfig {
+                read_timeout_ms: 60,
+                drain_deadline_ms: 10_000,
+                telemetry: tel.clone(),
+                ..WireConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut cli = WireClient::connect(
+            srv.local_addr(),
+            ClientConfig { tenant: 1, telemetry: tel.clone(), ..ClientConfig::default() },
+        );
+        // Move some real metrics first so parity is non-trivial.
+        assert!(matches!(cli.call(&segment_request(16)), Ok(WireStatus::Ok { .. })));
+
+        let health = cli.admin(&AdminRequest::Health).expect("health");
+        assert!(health.ok);
+        assert_eq!(health.body, "serving");
+
+        // The admin metrics snapshot must match the registry the server
+        // itself renders (modulo the wire counters the call perturbs).
+        let remote = cli.admin(&AdminRequest::MetricsProm).expect("metrics");
+        assert!(remote.ok);
+        assert!(remote.body.contains("apf_serve_wire_frames_total"));
+        assert!(remote.body.contains("apf_serve_wire_quota_checked_total"));
+        assert_eq!(strip_wire_lines(&remote.body), strip_wire_lines(&tel.render_prometheus()));
+
+        // JSON flavor parses and carries the same registry.
+        let json = cli.admin(&AdminRequest::MetricsJson).expect("metrics json");
+        assert!(json.ok);
+        apf_telemetry::validate_json(&json.body).expect("valid JSON snapshot");
+        assert!(json.body.contains("apf_serve_requests_total"));
+
+        // Live sampling control round-trips into the registry.
+        let set = cli.admin(&AdminRequest::SetSampling { rate: 0.25 }).expect("set sampling");
+        assert!(set.ok);
+        assert_eq!(tel.trace_sampling(), 0.25);
+        let clamped = cli.admin(&AdminRequest::SetSampling { rate: 7.5 }).expect("clamped");
+        assert!(clamped.ok);
+        assert_eq!(tel.trace_sampling(), 1.0);
+
+        // The flight dump carries the recorder window inline as JSONL,
+        // including the quota/sampling events this test just caused.
+        let dump = cli.admin(&AdminRequest::FlightDump).expect("flight dump");
+        assert!(dump.ok);
+        apf_telemetry::validate_jsonl(&dump.body).expect("valid flight JSONL");
+        assert!(dump.body.contains("sampling_change"));
+
+        let report = srv.drain();
+        assert_eq!(report.conn_panics, 0);
+        Arc::try_unwrap(engine).ok().expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn traced_calls_produce_linked_client_and_server_spans() {
+        let tel = Telemetry::enabled();
+        let engine = Arc::new(ServeEngine::start(ServeConfig {
+            queue_capacity: 32,
+            default_deadline_ms: Some(2_000),
+            telemetry: tel.clone(),
+            ..ServeConfig::small()
+        }));
+        let srv = WireServer::start(
+            Arc::clone(&engine),
+            WireConfig {
+                read_timeout_ms: 60,
+                drain_deadline_ms: 10_000,
+                telemetry: tel.clone(),
+                ..WireConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut cli = WireClient::connect(
+            srv.local_addr(),
+            ClientConfig { tenant: 1, telemetry: tel.clone(), ..ClientConfig::default() },
+        );
+        assert!(matches!(cli.call(&segment_request(16)), Ok(WireStatus::Ok { .. })));
+        let report = srv.drain();
+        assert_eq!(report.conn_panics, 0);
+        Arc::try_unwrap(engine).ok().expect("sole owner").shutdown();
+
+        let events = tel.trace_events();
+        let call = events
+            .iter()
+            .find(|e| e.name == "wire.client.call")
+            .expect("client call span");
+        assert_ne!(call.trace_id, 0, "client call must start a trace");
+        // The server-side request span shares the client's trace id and
+        // hangs under the client's attempt span (the wire handoff parent).
+        let req = events
+            .iter()
+            .find(|e| e.name == "serve.wire.request")
+            .expect("server request span");
+        assert_eq!(req.trace_id, call.trace_id);
+        let attempt = events
+            .iter()
+            .find(|e| e.name == "wire.client.attempt")
+            .expect("attempt span");
+        assert_eq!(req.parent_span, attempt.span_id);
+        // The engine-side spans continue the same trace.
+        let inference = events
+            .iter()
+            .find(|e| e.name == "serve.request")
+            .expect("engine request span");
+        assert_eq!(inference.trace_id, call.trace_id);
     }
 
     #[test]

@@ -92,8 +92,10 @@ pub struct TenantQuotas {
     // authoritative totals live in atomics the exactness gate can trust.
     rejections_total: Counter,
     granted_total: Counter,
+    checked_total: Counter,
     rejected_n: AtomicU64,
     granted_n: AtomicU64,
+    tel: Telemetry,
 }
 
 impl TenantQuotas {
@@ -112,8 +114,13 @@ impl TenantQuotas {
                 "apf_serve_quota_granted_total",
                 "Requests that consumed a tenant quota token at the wire door",
             ),
+            checked_total: tel.counter(
+                "apf_serve_wire_quota_checked_total",
+                "Quota decisions made at the wire door (granted + rejected)",
+            ),
             rejected_n: AtomicU64::new(0),
             granted_n: AtomicU64::new(0),
+            tel: tel.clone(),
         }
     }
 
@@ -152,6 +159,7 @@ impl TenantQuotas {
         bucket.tokens =
             (bucket.tokens + elapsed_us as f64 * 1e-6 * bucket.limit.per_sec).min(bucket.limit.burst);
         bucket.checked += 1;
+        self.checked_total.inc();
         // The refill multiply accumulates ~1e-16 relative error; without
         // the epsilon a bucket refilled for exactly one token stays empty.
         if bucket.tokens >= 1.0 - 1e-9 {
@@ -166,7 +174,10 @@ impl TenantQuotas {
             self.rejections_total.inc();
             let deficit = 1.0 - bucket.tokens;
             let retry_ms = (deficit / bucket.limit.per_sec.max(1e-9) * 1e3).ceil() as u64;
-            Err(retry_ms.max(1))
+            let retry_ms = retry_ms.max(1);
+            self.tel
+                .flight("quota_rejection", || format!("tenant={tenant} retry_ms={retry_ms}"));
+            Err(retry_ms)
         }
     }
 

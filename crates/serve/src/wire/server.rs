@@ -26,6 +26,7 @@
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -38,7 +39,10 @@ use serde::Serialize;
 use crate::engine::ServeEngine;
 use crate::request::{DeadlineStage, FailureReason, Outcome, SegRequest, SegResponse, SlideRequest};
 
-use super::frame::{read_frame, write_frame, Frame, FrameKind, WireError, WireRequest, WireStatus};
+use super::frame::{
+    read_frame, write_frame, AdminRequest, AdminResponse, Frame, FrameKind, WireError,
+    WireRequest, WireStatus,
+};
 use super::quota::{QuotaConfig, TenantAccount, TenantQuotas};
 
 /// Front-door configuration.
@@ -63,6 +67,10 @@ pub struct WireConfig {
     pub quota: QuotaConfig,
     /// Telemetry sink (pass the engine's so one exposition covers both).
     pub telemetry: Telemetry,
+    /// Where flight-recorder dumps land (on drain and on admin trigger);
+    /// `None` disables file dumps (the admin response still carries the
+    /// window inline).
+    pub flight_dump_dir: Option<PathBuf>,
 }
 
 impl Default for WireConfig {
@@ -76,6 +84,7 @@ impl Default for WireConfig {
             drain_deadline_ms: 5_000,
             quota: QuotaConfig::default(),
             telemetry: Telemetry::disabled(),
+            flight_dump_dir: None,
         }
     }
 }
@@ -91,6 +100,10 @@ struct WireTel {
     goaway_total: Counter,
     conn_panics_total: Counter,
     conn_limit_rejections_total: Counter,
+    admin_total: Counter,
+    drains_total: Counter,
+    draining: Gauge,
+    drain_connections: Gauge,
     drain_s: Histogram,
     errors: Vec<(&'static str, Counter)>,
 }
@@ -116,6 +129,8 @@ impl WireTel {
             "bad_kind",
             "oversized",
             "bad_header_crc",
+            "bad_extension_crc",
+            "bad_extension",
             "bad_payload_crc",
             "bad_payload",
             "io",
@@ -142,6 +157,22 @@ impl WireTel {
             conn_limit_rejections_total: tel.counter(
                 "apf_serve_wire_conn_limit_rejections_total",
                 "Connections turned away at the connection cap",
+            ),
+            admin_total: tel.counter(
+                "apf_serve_wire_admin_total",
+                "Admin-plane operations served over the wire",
+            ),
+            drains_total: tel.counter(
+                "apf_serve_wire_drains_total",
+                "Graceful drains performed over the server's lifetime",
+            ),
+            draining: tel.gauge(
+                "apf_serve_wire_draining",
+                "1 while a graceful drain is in progress, else 0",
+            ),
+            drain_connections: tel.gauge(
+                "apf_serve_wire_drain_connections",
+                "Connections that were live when the most recent drain started",
             ),
             drain_s: tel.histogram(
                 "apf_serve_wire_drain_seconds",
@@ -298,6 +329,12 @@ impl WireServer {
     pub fn drain(mut self) -> DrainReport {
         let t0 = Instant::now();
         let connections_at_drain = self.shared.active.load(Ordering::Relaxed);
+        let tel = self.shared.tm.tel.clone();
+        tel.flight("drain_begin", || {
+            format!("port={} live_connections={connections_at_drain}", self.local_addr.port())
+        });
+        self.shared.tm.draining.set(1.0);
+        self.shared.tm.drain_connections.set(connections_at_drain as f64);
         self.shared.draining.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
@@ -321,6 +358,16 @@ impl WireServer {
             .collect();
         let drain_ms = t0.elapsed().as_secs_f64() * 1e3;
         self.shared.tm.drain_s.record(drain_ms / 1e3);
+        self.shared.tm.drains_total.inc();
+        self.shared.tm.draining.set(0.0);
+        tel.flight("drain_end", || {
+            format!("port={} drain_ms={drain_ms:.1}", self.local_addr.port())
+        });
+        // The black-box dump: the drain is the server's natural end of
+        // flight, so archive the recorder window when a dump dir is set.
+        if let Some(dir) = &self.shared.cfg.flight_dump_dir {
+            let _ = tel.dump_flight(dir, &format!("drain_{}", self.local_addr.port()));
+        }
         DrainReport {
             drain_ms,
             drain_deadline_ms: self.shared.cfg.drain_deadline_ms,
@@ -477,9 +524,21 @@ fn serve_connection(conn: u64, shared: &WireShared, stream: TcpStream) -> ConnSu
         };
         shared.tm.frames_in.inc();
         summary.frames_in += 1;
+        // Cross-process trace handoff: the extension (when present) makes
+        // this request's spans children of the client's call span. The
+        // guard scopes the context to this frame only.
+        let _ctx_guard = frame.trace.map(apf_telemetry::TraceContext::install);
         let _req_span = shared.tm.tel.span_id("serve.wire.request", frame.request);
-        let status = respond_to_frame(shared, &frame);
-        let reply = Frame::new(FrameKind::Response, frame.tenant, frame.request, status.encode());
+        // The admin plane answers from the wire layer (behind the quota
+        // gate, never touching the engine) and replies in an Admin frame;
+        // everything else takes the engine path and a Response frame.
+        let reply = if frame.kind == FrameKind::Admin {
+            let resp = respond_to_admin(shared, &frame);
+            Frame::new(FrameKind::Admin, frame.tenant, frame.request, resp.encode())
+        } else {
+            let status = respond_to_frame(shared, &frame);
+            Frame::new(FrameKind::Response, frame.tenant, frame.request, status.encode())
+        };
         let mut w = &stream;
         match write_frame(&mut w, &reply) {
             Ok(()) => {
@@ -495,6 +554,48 @@ fn serve_connection(conn: u64, shared: &WireShared, stream: TcpStream) -> ConnSu
     }
     let _ = stream.shutdown(Shutdown::Both);
     summary
+}
+
+/// The admin plane: decode the op, answer from the wire layer's own state
+/// (metrics registry, flight recorder, sampling knob). The quota gate
+/// applies like any other frame; an over-quota tenant gets a failed
+/// response rather than a metrics dump.
+fn respond_to_admin(shared: &WireShared, frame: &Frame) -> AdminResponse {
+    if let Err(retry_after_ms) = shared.quotas.try_acquire(frame.tenant) {
+        return AdminResponse { ok: false, body: format!("over quota; retry in {retry_after_ms} ms") };
+    }
+    let req = match AdminRequest::decode(&frame.payload) {
+        Ok(r) => r,
+        Err(e) => return AdminResponse { ok: false, body: e.to_string() },
+    };
+    shared.tm.admin_total.inc();
+    let tel = &shared.tm.tel;
+    match req {
+        AdminRequest::MetricsProm => AdminResponse { ok: true, body: tel.render_prometheus() },
+        AdminRequest::MetricsJson => AdminResponse { ok: true, body: tel.snapshot().render_json() },
+        AdminRequest::Health => AdminResponse {
+            ok: true,
+            body: if shared.draining.load(Ordering::SeqCst) { "draining" } else { "serving" }
+                .to_string(),
+        },
+        AdminRequest::SetSampling { rate } => {
+            let clamped = rate.clamp(0.0, 1.0);
+            tel.set_trace_sampling(clamped);
+            tel.flight("sampling_change", || format!("rate={clamped}"));
+            AdminResponse { ok: true, body: format!("sampling={clamped}") }
+        }
+        AdminRequest::FlightDump => {
+            tel.flight("flight_dump", || format!("trigger=admin request={}", frame.request));
+            let body = tel.flight_jsonl();
+            if let Some(dir) = &shared.cfg.flight_dump_dir {
+                if let Some(Err(e)) = tel.dump_flight(dir, &format!("admin_{}", frame.request)) {
+                    return AdminResponse { ok: false, body: format!("dump failed: {e}") };
+                }
+            }
+            AdminResponse { ok: true, body }
+        }
+        AdminRequest::TraceDump => AdminResponse { ok: true, body: tel.chrome_trace_json() },
+    }
 }
 
 /// The frame -> engine -> status pipeline for one request frame.

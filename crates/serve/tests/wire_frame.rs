@@ -9,16 +9,28 @@ use std::io::Cursor;
 use proptest::prelude::*;
 
 use apf_serve::wire::{
-    read_frame, write_frame, Frame, FrameKind, WireError, WireRequest, WireStatus, HEADER_LEN,
+    read_frame, write_frame, AdminRequest, AdminResponse, Frame, FrameKind, TraceContext,
+    WireError, WireRequest, WireStatus, HEADER_LEN, TRACE_EXT_LEN,
 };
 
 /// Picks a frame kind from a generated selector.
 fn kind_from(sel: u8) -> FrameKind {
-    match sel % 4 {
+    match sel % 5 {
         0 => FrameKind::Segment,
         1 => FrameKind::Slide,
         2 => FrameKind::Response,
-        _ => FrameKind::GoAway,
+        3 => FrameKind::GoAway,
+        _ => FrameKind::Admin,
+    }
+}
+
+/// Builds the optional trace context from generated raw parts; `trace_id`
+/// of 0 means "no context attached".
+fn ctx_from(trace_id: u64, parent_span: u64, sampled: bool) -> Option<TraceContext> {
+    if trace_id == 0 {
+        None
+    } else {
+        Some(TraceContext { trace_id, parent_span, sampled })
     }
 }
 
@@ -33,20 +45,57 @@ proptest! {
         let _ = read_frame(&mut cur, 1 << 16);
     }
 
-    /// Well-formed frames roundtrip exactly through encode/read.
+    /// Well-formed frames — with or without the trace-context extension —
+    /// roundtrip exactly through encode/read, and a frame without the
+    /// extension stays byte-identical to the pre-extension layout (the
+    /// old-version-peer interop property).
     #[test]
     fn frames_roundtrip(
-        sel in 0u8..4,
+        sel in 0u8..5,
         tenant in 0u64..u64::MAX,
         request in 0u64..u64::MAX,
         payload in prop::collection::vec(0u16..256, 0..512),
+        trace_id in 0u64..u64::MAX,
+        parent_span in 0u64..u64::MAX,
+        sampled_sel in 0u8..2,
     ) {
         let payload: Vec<u8> = payload.into_iter().map(|b| b as u8).collect();
-        let frame = Frame::new(kind_from(sel), tenant, request, payload);
+        let trace = ctx_from(trace_id, parent_span, sampled_sel == 1);
+        let frame =
+            Frame::new(kind_from(sel), tenant, request, payload).with_trace(trace);
         let bytes = frame.encode();
+        if trace.is_some() {
+            prop_assert_eq!(bytes[6], 1u8);
+        } else {
+            prop_assert_eq!(bytes[6], 0u8);
+            // A context-free frame carries no extension bytes at all.
+            prop_assert_eq!(bytes.len(), HEADER_LEN + frame.payload.len() + 4);
+        }
         let mut cur = Cursor::new(bytes);
         let back = read_frame(&mut cur, 1 << 16).expect("valid frame decodes");
         prop_assert_eq!(back, frame);
+    }
+
+    /// Any single-bit corruption inside the trace extension (body or its
+    /// CRC) yields a typed `WireError` — never a panic, never a frame with
+    /// a silently different context.
+    #[test]
+    fn corrupted_trace_extension_is_typed(
+        parent_span in 0u64..u64::MAX,
+        payload in prop::collection::vec(0u16..256, 0..64),
+        at in 0usize..TRACE_EXT_LEN,
+        bit in 0u8..8,
+    ) {
+        let payload: Vec<u8> = payload.into_iter().map(|b| b as u8).collect();
+        let ctx = TraceContext { trace_id: 0x1234_5678_9ABC_DEF0, parent_span, sampled: true };
+        let frame = Frame::new(FrameKind::Segment, 7, 9, payload).with_trace(Some(ctx));
+        let mut bytes = frame.encode();
+        bytes[HEADER_LEN + at] ^= 1 << bit;
+        let mut cur = Cursor::new(bytes);
+        match read_frame(&mut cur, 1 << 16) {
+            Err(WireError::BadExtensionCrc { .. }) => {}
+            other => prop_assert!(false, "ext flip at {} bit {} gave {:?}", at, bit, other),
+        }
     }
 
     /// Every truncation point of a valid frame yields a typed truncation
@@ -54,12 +103,14 @@ proptest! {
     /// never a panic, never a phantom frame.
     #[test]
     fn truncation_is_always_typed(
-        sel in 0u8..4,
+        sel in 0u8..5,
         payload in prop::collection::vec(0u16..256, 0..256),
         cut_frac in 0.0f64..1.0,
+        trace_id in 0u64..u64::MAX,
     ) {
         let payload: Vec<u8> = payload.into_iter().map(|b| b as u8).collect();
-        let frame = Frame::new(kind_from(sel), 7, 9, payload);
+        let frame = Frame::new(kind_from(sel), 7, 9, payload)
+            .with_trace(ctx_from(trace_id, 3, true));
         let bytes = frame.encode();
         let cut = ((bytes.len() as f64) * cut_frac) as usize; // strictly short
         let mut cur = Cursor::new(bytes[..cut].to_vec());
@@ -75,13 +126,15 @@ proptest! {
     /// trip the payload CRC. No flip may produce a *different* frame.
     #[test]
     fn single_bitflips_never_pass(
-        sel in 0u8..4,
+        sel in 0u8..5,
         payload in prop::collection::vec(0u16..256, 0..256),
         byte_frac in 0.0f64..1.0,
         bit in 0u8..8,
+        trace_id in 0u64..u64::MAX,
     ) {
         let payload: Vec<u8> = payload.into_iter().map(|b| b as u8).collect();
-        let frame = Frame::new(kind_from(sel), 3, 4, payload);
+        let frame = Frame::new(kind_from(sel), 3, 4, payload)
+            .with_trace(ctx_from(trace_id, 5, false));
         let mut bytes = frame.encode();
         let at = (((bytes.len() as f64) * byte_frac) as usize).min(bytes.len() - 1);
         bytes[at] ^= 1 << bit;
@@ -168,6 +221,30 @@ proptest! {
             prop_assert_eq!(decoded.is_retryable(), status.is_retryable());
             prop_assert_eq!(decoded, status);
         }
+    }
+
+    /// Admin requests and responses roundtrip through their payload codecs
+    /// for any finite sampling rate and any body text.
+    #[test]
+    fn admin_payloads_roundtrip(
+        rate in -2.0f64..2.0,
+        ok_sel in 0u8..2,
+        body_chars in prop::collection::vec(0x20u16..0x7F, 0..128),
+    ) {
+        for req in [
+            AdminRequest::MetricsProm,
+            AdminRequest::MetricsJson,
+            AdminRequest::Health,
+            AdminRequest::SetSampling { rate },
+            AdminRequest::FlightDump,
+            AdminRequest::TraceDump,
+        ] {
+            prop_assert_eq!(AdminRequest::decode(&req.encode()).expect("valid admin op"), req);
+        }
+        let body: String =
+            body_chars.into_iter().map(|c| char::from(c as u8)).collect();
+        let resp = AdminResponse { ok: ok_sel == 1, body };
+        prop_assert_eq!(AdminResponse::decode(&resp.encode()).expect("valid admin body"), resp.clone());
     }
 
     /// Trailing garbage after a well-formed request payload is refused as

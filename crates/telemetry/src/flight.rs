@@ -1,0 +1,200 @@
+//! Black-box flight recorder: a bounded ring of recent structured events
+//! (admissions, tier changes, breaker transitions, quota rejections,
+//! worker panics, checkpoint writes, ...) kept alongside the metrics
+//! registry and dumped as JSON lines when something goes wrong — on a
+//! worker panic, a server drain, or an explicit admin trigger.
+//!
+//! The recorder is deliberately lossy and cheap: one short mutex around a
+//! `VecDeque`, fixed capacity, oldest events dropped first (and counted).
+//! It answers "what were the last N interesting things before the crash",
+//! not "everything that ever happened" — that is what metrics and traces
+//! are for.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::span::{current_trace_id, now_us};
+
+/// Default flight-recorder ring capacity (events, not bytes).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// One structured flight-recorder entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Microseconds since the process anchor ([`crate::now_us`]).
+    pub ts_us: u64,
+    /// Event kind, a short static identifier (`"worker_panic"`, ...).
+    pub kind: &'static str,
+    /// Free-form detail, escaped on render.
+    pub detail: String,
+    /// Trace id installed on the recording thread (0 = untraced).
+    pub trace_id: u64,
+}
+
+impl FlightEvent {
+    /// Renders the event as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ts\":{},\"kind\":\"{}\",\"detail\":\"{}\",\"trace_id\":{}}}",
+            self.ts_us,
+            self.kind,
+            escape_json(&self.detail),
+            self.trace_id
+        )
+    }
+}
+
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct FlightRing {
+    events: VecDeque<FlightEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Bounded, shareable flight-recorder ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<FlightRing>>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(FlightRing {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightRing> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records an event, stamping time and the calling thread's trace id.
+    pub fn record(&self, kind: &'static str, detail: String) {
+        let ev = FlightEvent { ts_us: now_us(), kind, detail, trace_id: current_trace_id() };
+        let mut ring = self.lock();
+        if ring.events.len() >= ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped by the capacity bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// The retained window as JSON lines, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.lock().events.iter() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Dumps the retained window to `<dir>/flight_<label>.jsonl` via a
+    /// temp-file + rename so a crash mid-dump never leaves a torn file.
+    /// Returns the final path.
+    pub fn dump_to(&self, dir: &Path, label: &str) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("flight_{label}.jsonl"));
+        let tmp = dir.join(format!(".flight_{label}.jsonl.tmp"));
+        std::fs::write(&tmp, self.to_jsonl())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.record("test_event", format!("n={i}"));
+        }
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        assert_eq!(evs[0].detail, "n=2");
+        assert_eq!(evs[2].detail, "n=4");
+    }
+
+    #[test]
+    fn jsonl_is_valid_and_escapes_detail() {
+        let rec = FlightRecorder::new(8);
+        rec.record("test_event", "quote \" backslash \\ newline \n ctrl \u{1}".to_string());
+        let doc = rec.to_jsonl();
+        assert_eq!(crate::jsonl::validate_jsonl(&doc).unwrap(), 1);
+        assert!(doc.contains("\\\""));
+        assert!(doc.contains("\\n"));
+        assert!(doc.contains("\\u0001"));
+    }
+
+    #[test]
+    fn events_carry_the_installed_trace_id() {
+        let rec = FlightRecorder::new(8);
+        let ctx = crate::TraceContext::new_root(true);
+        {
+            let _g = ctx.install();
+            rec.record("test_event", "traced".to_string());
+        }
+        rec.record("test_event", "untraced".to_string());
+        let evs = rec.events();
+        assert_eq!(evs[0].trace_id, ctx.trace_id);
+        assert_eq!(evs[1].trace_id, 0);
+    }
+
+    #[test]
+    fn dump_writes_a_parseable_file() {
+        let dir = std::env::temp_dir().join("apf_flight_dump_test");
+        let rec = FlightRecorder::new(8);
+        rec.record("test_event", "one".to_string());
+        rec.record("test_event", "two".to_string());
+        let path = rec.dump_to(&dir, "unit").expect("dump");
+        assert!(path.ends_with("flight_unit.jsonl"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::jsonl::validate_jsonl(&body).unwrap(), 2);
+    }
+}

@@ -43,18 +43,23 @@
 //! assert!(tel.trace_jsonl().contains("\"name\":\"demo.request\""));
 //! ```
 
+pub mod flight;
 pub mod histogram;
 pub mod jsonl;
 pub mod registry;
 pub mod span;
 
+pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use histogram::{HistTimer, HistogramSnapshot};
 pub use jsonl::{validate_json, validate_jsonl};
 pub use registry::{
     lint_metric_name, Counter, Gauge, Histogram, Labels, MetricSnapshot, Telemetry,
     TelemetrySnapshot, DEFAULT_TRACE_CAPACITY, HISTOGRAM_UNIT_SUFFIXES,
 };
-pub use span::{current_depth, now_us, SpanGuard, TraceEvent, TraceSink};
+pub use span::{
+    current_depth, current_trace_id, now_us, ContextGuard, SpanGuard, TraceContext, TraceEvent,
+    TraceSink,
+};
 
 /// Times the rest of the enclosing scope into a [`Histogram`] handle
 /// (seconds). Expands to a hidden RAII guard; when the handle is inert the

@@ -20,8 +20,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::Serialize;
 
+use crate::flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 use crate::histogram::{HistTimer, HistogramCore, HistogramSnapshot};
-use crate::span::{SpanGuard, TraceEvent, TraceSink};
+use crate::span::{SpanGuard, TraceContext, TraceEvent, TraceSink};
 
 /// Label set attached to a metric: `(key, value)` pairs, order-significant.
 pub type Labels = Vec<(&'static str, String)>;
@@ -102,6 +103,10 @@ struct MetricEntry {
 struct Inner {
     metrics: Mutex<Vec<MetricEntry>>,
     sink: TraceSink,
+    flight: FlightRecorder,
+    /// Live trace-sampling rate in `[0, 1]`, stored as f64 bits so the
+    /// admin plane can retune it without a lock.
+    sampling_bits: AtomicU64,
 }
 
 impl Inner {
@@ -154,6 +159,8 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 metrics: Mutex::new(Vec::new()),
                 sink: TraceSink::new(capacity),
+                flight: FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY),
+                sampling_bits: AtomicU64::new(1.0f64.to_bits()),
             })),
         }
     }
@@ -292,7 +299,7 @@ impl Telemetry {
     /// when the returned guard drops.
     pub fn span(&self, name: &'static str) -> SpanGuard {
         match &self.inner {
-            Some(inner) => SpanGuard::enter(&inner.sink, name, None),
+            Some(inner) => SpanGuard::enter(&inner.sink, name, None, None),
             None => SpanGuard::noop(),
         }
     }
@@ -301,9 +308,108 @@ impl Telemetry {
     /// request id) so one request's span tree can be picked out of a trace.
     pub fn span_id(&self, name: &'static str, id: u64) -> SpanGuard {
         match &self.inner {
-            Some(inner) => SpanGuard::enter(&inner.sink, name, Some(id)),
+            Some(inner) => SpanGuard::enter(&inner.sink, name, Some(id), None),
             None => SpanGuard::noop(),
         }
+    }
+
+    /// Like [`Telemetry::span_id`] but carrying a short static scheduling
+    /// note (`"steal"`, `"retry"`, ...) rendered into the trace args.
+    pub fn span_noted(&self, name: &'static str, id: u64, note: &'static str) -> SpanGuard {
+        match &self.inner {
+            Some(inner) => SpanGuard::enter(&inner.sink, name, Some(id), Some(note)),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// Records a zero-duration annotation event at the calling thread's
+    /// current trace position (e.g. `resumed_from` links).
+    pub fn annotate(&self, name: &'static str, id: Option<u64>, note: Option<&'static str>) {
+        if let Some(inner) = &self.inner {
+            inner.sink.annotate(name, id, note);
+        }
+    }
+
+    /// Mints a [`TraceContext`] for a brand-new request, applying the live
+    /// sampling rate (deterministically, per trace id). `None` when
+    /// disabled — disabled telemetry originates no traces.
+    pub fn new_trace(&self) -> Option<TraceContext> {
+        let inner = self.inner.as_ref()?;
+        let rate = f64::from_bits(inner.sampling_bits.load(Ordering::Relaxed));
+        let ctx = TraceContext::new_root(true);
+        let sampled = if rate >= 1.0 {
+            true
+        } else if rate <= 0.0 {
+            false
+        } else {
+            // Fibonacci-hash the trace id into [0, 1): the keep/drop
+            // decision is a pure function of the id, so every participant
+            // that sees the id agrees without coordination.
+            let h = ctx.trace_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 11) as f64 / (1u64 << 53) as f64) < rate
+        };
+        Some(TraceContext { sampled, ..ctx })
+    }
+
+    /// Sets the live trace-sampling rate (clamped to `[0, 1]`). Affects
+    /// traces minted by [`Telemetry::new_trace`] from now on.
+    pub fn set_trace_sampling(&self, rate: f64) {
+        if let Some(inner) = &self.inner {
+            let clamped = if rate.is_finite() { rate.clamp(0.0, 1.0) } else { 1.0 };
+            inner.sampling_bits.store(clamped.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The current trace-sampling rate (1.0 when disabled — a disabled
+    /// telemetry has nothing to sample).
+    pub fn trace_sampling(&self) -> f64 {
+        match &self.inner {
+            Some(inner) => f64::from_bits(inner.sampling_bits.load(Ordering::Relaxed)),
+            None => 1.0,
+        }
+    }
+
+    /// Records a structured flight-recorder event. The detail closure is
+    /// only evaluated when the telemetry is enabled, so a disabled handle
+    /// costs one branch.
+    pub fn flight(&self, kind: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(inner) = &self.inner {
+            inner.flight.record(kind, detail());
+        }
+    }
+
+    /// The retained flight-recorder window, oldest first.
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        match &self.inner {
+            Some(inner) => inner.flight.events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The flight-recorder window as JSON lines (empty when disabled).
+    pub fn flight_jsonl(&self) -> String {
+        match &self.inner {
+            Some(inner) => inner.flight.to_jsonl(),
+            None => String::new(),
+        }
+    }
+
+    /// Flight events dropped by the ring bound so far.
+    pub fn flight_dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.flight.dropped(),
+            None => 0,
+        }
+    }
+
+    /// Dumps the flight-recorder window to `<dir>/flight_<label>.jsonl`
+    /// (atomic temp + rename). `None` when disabled.
+    pub fn dump_flight(
+        &self,
+        dir: &std::path::Path,
+        label: &str,
+    ) -> Option<std::io::Result<std::path::PathBuf>> {
+        self.inner.as_ref().map(|i| i.flight.dump_to(dir, label))
     }
 
     /// Completed spans retained by the ring, oldest first.
@@ -320,6 +426,13 @@ impl Telemetry {
             Some(inner) => inner.sink.to_jsonl(),
             None => String::new(),
         }
+    }
+
+    /// Spans as one JSON document the Chrome trace viewer loads directly
+    /// (`{"traceEvents": [...]}`); an empty document when disabled.
+    pub fn chrome_trace_json(&self) -> String {
+        let events: Vec<String> = self.trace_events().iter().map(TraceEvent::to_json).collect();
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
     }
 
     /// Spans evicted from the bounded trace ring so far.
@@ -440,6 +553,56 @@ impl TelemetrySnapshot {
                     .zip(labels)
                     .all(|((k, v), (lk, lv))| k == lk && v == lv)
         })
+    }
+
+    /// The snapshot as one self-contained JSON object (for the admin
+    /// plane's JSON metrics op; validated by [`crate::jsonl::validate_json`]
+    /// in tests). Histograms carry count/sum/quantiles inline.
+    pub fn render_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() { fmt_value(v) } else { "null".to_string() }
+        }
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\"",
+                crate::flight::escape_json(&m.name),
+                m.kind
+            ));
+            if !m.labels.is_empty() {
+                out.push_str(",\"labels\":{");
+                for (j, (k, v)) in m.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\"{}\":\"{}\"",
+                        crate::flight::escape_json(k),
+                        crate::flight::escape_json(v)
+                    ));
+                }
+                out.push('}');
+            }
+            match &m.histogram {
+                None => out.push_str(&format!(",\"value\":{}", num(m.value))),
+                Some(h) => out.push_str(&format!(
+                    ",\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"min\":{},\"max\":{}",
+                    h.count,
+                    num(h.sum),
+                    num(h.quantile(0.5)),
+                    num(h.quantile(0.95)),
+                    num(h.quantile(0.99)),
+                    num(h.min),
+                    num(h.max)
+                )),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Prometheus text exposition of the snapshot.
@@ -705,6 +868,12 @@ mod tests {
             ("apf_gigapixel_tile_read_seconds", true),
             ("apf_gigapixel_tree_build_seconds", true),
             ("apf_gigapixel_window_seconds", true),
+            // The wire door's once-atomic-only counters, registered in PR 8.
+            ("apf_serve_wire_quota_checked_total", false),
+            ("apf_serve_wire_admin_total", false),
+            ("apf_serve_wire_drains_total", false),
+            ("apf_serve_wire_draining", false),
+            ("apf_serve_wire_drain_connections", false),
         ] {
             lint_metric_name(name, is_hist).unwrap_or_else(|e| panic!("{name}: {e}"));
         }

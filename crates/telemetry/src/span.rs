@@ -4,16 +4,24 @@
 //!
 //! Design constraints:
 //!
-//! * **Drop-safe.** The per-thread state is a plain `Cell<usize>` depth
-//!   counter — no `RefCell`, nothing a panic can poison. A panic unwinding
-//!   through a [`SpanGuard`] runs its `Drop`, which restores the depth it
-//!   captured at entry, so the stack is consistent again the moment the
-//!   unwind passes (verified with `catch_unwind` in the crate tests).
+//! * **Drop-safe.** The per-thread state is plain `Cell`s — no `RefCell`,
+//!   nothing a panic can poison. A panic unwinding through a [`SpanGuard`]
+//!   runs its `Drop`, which restores the depth and current-span it captured
+//!   at entry, so the stack is consistent again the moment the unwind
+//!   passes (verified with `catch_unwind` in the crate tests). Spans
+//!   flushed *during* an unwind are marked `truncated` so a trace never
+//!   silently loses a subtree to a worker panic.
 //! * **Bounded.** The sink is a fixed-capacity ring: old events are evicted,
 //!   never the process's memory. Evictions are counted so a report can say
 //!   how much history was lost.
 //! * **Monotonic.** Timestamps are microseconds since a process-wide
 //!   `Instant` anchor, immune to wall-clock steps.
+//! * **Causally linked.** Every recorded span carries a process-unique
+//!   `span_id`, the `parent_span` it nested under, and the `trace_id` of
+//!   the distributed request it belongs to (0 when untraced). Trace
+//!   membership crosses threads and sockets only by *explicit handoff* of a
+//!   [`TraceContext`] — capture with [`TraceContext::current`], re-install
+//!   on the receiving thread with [`TraceContext::install`].
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -45,14 +53,108 @@ fn thread_tid() -> u64 {
     })
 }
 
+/// Process-unique span ids, 1-based; 0 means "no span".
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Fresh trace id: the process id in the high 32 bits, a process-local
+/// counter in the low 32, so ids minted by the client and server sides of a
+/// cross-process request can never collide and 0 (= untraced) is never
+/// produced.
+pub(crate) fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF;
+    ((std::process::id() as u64) << 32) | n.max(1)
+}
+
 thread_local! {
     /// Current span nesting depth on this thread.
     static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Trace id the calling thread is currently inside (0 = untraced).
+    static TRACE: Cell<u64> = const { Cell::new(0) };
+    /// Innermost open span id on this thread (0 = none).
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+    /// Sampling bit of the installed context.
+    static SAMPLED: Cell<bool> = const { Cell::new(true) };
 }
 
 /// Current span nesting depth of the calling thread (tests/diagnostics).
 pub fn current_depth() -> usize {
     DEPTH.with(Cell::get)
+}
+
+/// Trace id installed on the calling thread, 0 when untraced.
+pub fn current_trace_id() -> u64 {
+    TRACE.with(Cell::get)
+}
+
+/// The portable identity of a distributed trace: everything a hop needs to
+/// make its spans children of the hop that spawned it. Copy it across a
+/// thread spawn, a queue, or a socket, then [`TraceContext::install`] it on
+/// the receiving side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identity of the whole distributed request (never 0 for a real trace).
+    pub trace_id: u64,
+    /// Span on the sending side that new spans should hang under (0 = the
+    /// trace root itself).
+    pub parent_span: u64,
+    /// Whether spans of this trace are being recorded. Propagated so every
+    /// hop of one request makes the same keep/drop decision.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Starts a brand-new trace (use [`crate::Telemetry::new_trace`] to
+    /// respect the live sampling rate).
+    pub fn new_root(sampled: bool) -> Self {
+        TraceContext { trace_id: next_trace_id(), parent_span: 0, sampled }
+    }
+
+    /// Captures the calling thread's context for explicit handoff to
+    /// another thread or peer. `None` when the thread is not inside a
+    /// trace — hand nothing off and the receiver stays untraced.
+    pub fn current() -> Option<TraceContext> {
+        let trace_id = TRACE.with(Cell::get);
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            parent_span: CURRENT_SPAN.with(Cell::get),
+            sampled: SAMPLED.with(Cell::get),
+        })
+    }
+
+    /// Installs the context on the calling thread until the guard drops;
+    /// the previous context (if any) is restored. An unsampled context
+    /// installs as untraced: local spans still record, but with
+    /// `trace_id = 0`, and downstream hops receive no context.
+    pub fn install(self) -> ContextGuard {
+        let effective = if self.sampled { self.trace_id } else { 0 };
+        ContextGuard {
+            prev_trace: TRACE.with(|c| c.replace(effective)),
+            prev_span: CURRENT_SPAN.with(|c| c.replace(self.parent_span)),
+            prev_sampled: SAMPLED.with(|c| c.replace(self.sampled)),
+        }
+    }
+}
+
+/// Restores the previously-installed [`TraceContext`] on drop.
+pub struct ContextGuard {
+    prev_trace: u64,
+    prev_span: u64,
+    prev_sampled: bool,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        TRACE.with(|c| c.set(self.prev_trace));
+        CURRENT_SPAN.with(|c| c.set(self.prev_span));
+        SAMPLED.with(|c| c.set(self.prev_sampled));
+    }
 }
 
 /// One completed span, in Chrome `trace_event` "complete event" form.
@@ -70,6 +172,19 @@ pub struct TraceEvent {
     pub depth: usize,
     /// Optional correlation id (e.g. the request id).
     pub id: Option<u64>,
+    /// Distributed trace this span belongs to (0 = untraced/local-only).
+    pub trace_id: u64,
+    /// Process-unique id of this span (0 only in hand-built events).
+    pub span_id: u64,
+    /// Span this one nested under — on this thread or, for the first span
+    /// after a handoff, on the sending side. 0 = root of its trace.
+    pub parent_span: u64,
+    /// True when the span was flushed by a panic unwinding through it: the
+    /// interval ends at the panic, and any children it would still have
+    /// opened are missing by construction.
+    pub truncated: bool,
+    /// Optional short scheduling annotation (`"steal"`, `"retry"`, ...).
+    pub note: Option<&'static str>,
 }
 
 impl TraceEvent {
@@ -79,22 +194,31 @@ impl TraceEvent {
     }
 
     /// Renders the event as one Chrome `trace_event` JSON object (phase
-    /// `"X"`, a complete event). Names are `'static` identifiers chosen in
-    /// code, so no string escaping is required.
+    /// `"X"`, a complete event). Names and notes are `'static` identifiers
+    /// chosen in code, so no string escaping is required.
     pub fn to_json(&self) -> String {
-        let id_arg = match self.id {
-            Some(id) => format!(",\"id\":{id}"),
-            None => String::new(),
-        };
+        let mut args = format!("\"depth\":{}", self.depth);
+        if let Some(id) = self.id {
+            args.push_str(&format!(",\"id\":{id}"));
+        }
+        if self.span_id != 0 {
+            args.push_str(&format!(",\"span_id\":{}", self.span_id));
+        }
+        if self.parent_span != 0 {
+            args.push_str(&format!(",\"parent_span\":{}", self.parent_span));
+        }
+        if self.trace_id != 0 {
+            args.push_str(&format!(",\"trace_id\":{}", self.trace_id));
+        }
+        if self.truncated {
+            args.push_str(",\"truncated\":true");
+        }
+        if let Some(note) = self.note {
+            args.push_str(&format!(",\"note\":\"{note}\""));
+        }
         format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}{}}}}}",
-            self.name,
-            self.category(),
-            self.ts_us,
-            self.dur_us,
-            self.tid,
-            self.depth,
-            id_arg
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+            self.name, self.category(), self.ts_us, self.dur_us, self.tid, args
         )
     }
 }
@@ -137,6 +261,24 @@ impl TraceSink {
             ring.evicted += 1;
         }
         ring.events.push_back(ev);
+    }
+
+    /// Records a zero-duration annotation event at the current position in
+    /// the calling thread's span stack and trace.
+    pub fn annotate(&self, name: &'static str, id: Option<u64>, note: Option<&'static str>) {
+        self.push(TraceEvent {
+            name,
+            ts_us: now_us(),
+            dur_us: 0,
+            tid: thread_tid(),
+            depth: current_depth(),
+            id,
+            trace_id: TRACE.with(Cell::get),
+            span_id: next_span_id(),
+            parent_span: CURRENT_SPAN.with(Cell::get),
+            truncated: false,
+            note,
+        });
     }
 
     /// Copy of the retained events, oldest first.
@@ -183,9 +325,13 @@ struct ActiveSpan {
     sink: TraceSink,
     name: &'static str,
     id: Option<u64>,
+    note: Option<&'static str>,
     start_us: u64,
     tid: u64,
     depth: usize,
+    trace_id: u64,
+    span_id: u64,
+    parent_span: u64,
 }
 
 impl SpanGuard {
@@ -194,31 +340,49 @@ impl SpanGuard {
         SpanGuard { active: None }
     }
 
-    pub(crate) fn enter(sink: &TraceSink, name: &'static str, id: Option<u64>) -> Self {
+    pub(crate) fn enter(
+        sink: &TraceSink,
+        name: &'static str,
+        id: Option<u64>,
+        note: Option<&'static str>,
+    ) -> Self {
         let depth = DEPTH.with(|d| {
             let depth = d.get();
             d.set(depth + 1);
             depth
         });
+        let span_id = next_span_id();
+        let parent_span = CURRENT_SPAN.with(|c| c.replace(span_id));
         SpanGuard {
             active: Some(ActiveSpan {
                 sink: sink.clone(),
                 name,
                 id,
+                note,
                 start_us: now_us(),
                 tid: thread_tid(),
                 depth,
+                trace_id: TRACE.with(Cell::get),
+                span_id,
+                parent_span,
             }),
         }
+    }
+
+    /// The process-unique id of this span, 0 for an inert guard. Use it as
+    /// the `parent_span` of an explicit [`TraceContext`] handoff.
+    pub fn span_id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.span_id)
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(a) = self.active.take() {
-            // Restore the depth captured at entry rather than decrementing:
+            // Restore the state captured at entry rather than decrementing:
             // even if an inner guard somehow leaked, the stack re-converges.
             DEPTH.with(|d| d.set(a.depth));
+            CURRENT_SPAN.with(|c| c.set(a.parent_span));
             a.sink.push(TraceEvent {
                 name: a.name,
                 ts_us: a.start_us,
@@ -226,6 +390,14 @@ impl Drop for SpanGuard {
                 tid: a.tid,
                 depth: a.depth,
                 id: a.id,
+                trace_id: a.trace_id,
+                span_id: a.span_id,
+                parent_span: a.parent_span,
+                // A span closed by an unwinding panic is a partial
+                // measurement: say so instead of silently losing the
+                // subtree the panic cut off.
+                truncated: std::thread::panicking(),
+                note: a.note,
             });
         }
     }
@@ -236,13 +408,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn nested_spans_record_depths_and_containment() {
+    fn nested_spans_record_depths_containment_and_parent_links() {
         let sink = TraceSink::new(16);
         {
-            let _a = SpanGuard::enter(&sink, "test.outer", Some(7));
+            let _a = SpanGuard::enter(&sink, "test.outer", Some(7), None);
             std::thread::sleep(std::time::Duration::from_millis(2));
             {
-                let _b = SpanGuard::enter(&sink, "test.inner", None);
+                let _b = SpanGuard::enter(&sink, "test.inner", None, None);
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         }
@@ -255,9 +427,13 @@ mod tests {
         assert_eq!(evs[1].name, "test.outer");
         assert_eq!(evs[1].depth, 0);
         assert_eq!(evs[1].id, Some(7));
-        // Parent interval contains the child interval.
+        // Parent interval contains the child interval, and the child's
+        // parent link names the outer span.
         assert!(evs[1].ts_us <= evs[0].ts_us);
         assert!(evs[1].ts_us + evs[1].dur_us >= evs[0].ts_us + evs[0].dur_us);
+        assert_eq!(evs[0].parent_span, evs[1].span_id);
+        assert_ne!(evs[0].span_id, evs[1].span_id);
+        assert!(!evs[0].truncated && !evs[1].truncated);
         assert_eq!(evs[0].category(), "test");
     }
 
@@ -265,7 +441,7 @@ mod tests {
     fn ring_evicts_oldest() {
         let sink = TraceSink::new(3);
         for i in 0..5u64 {
-            drop(SpanGuard::enter(&sink, "test.e", Some(i)));
+            drop(SpanGuard::enter(&sink, "test.e", Some(i), None));
         }
         let evs = sink.events();
         assert_eq!(evs.len(), 3);
@@ -283,6 +459,11 @@ mod tests {
             tid: 2,
             depth: 1,
             id: Some(9),
+            trace_id: 77,
+            span_id: 5,
+            parent_span: 4,
+            truncated: true,
+            note: Some("steal"),
         };
         let s = ev.to_json();
         assert!(s.contains("\"ph\":\"X\""));
@@ -290,6 +471,67 @@ mod tests {
         assert!(s.contains("\"ts\":12"));
         assert!(s.contains("\"dur\":34"));
         assert!(s.contains("\"id\":9"));
+        assert!(s.contains("\"trace_id\":77"));
+        assert!(s.contains("\"span_id\":5"));
+        assert!(s.contains("\"parent_span\":4"));
+        assert!(s.contains("\"truncated\":true"));
+        assert!(s.contains("\"note\":\"steal\""));
         crate::jsonl::validate_json(&s).expect("trace event must be valid JSON");
+    }
+
+    #[test]
+    fn context_install_restores_and_links_across_threads() {
+        assert_eq!(TraceContext::current(), None, "fresh thread is untraced");
+        let sink = TraceSink::new(16);
+        let root = TraceContext::new_root(true);
+        assert_ne!(root.trace_id, 0);
+        let handoff = {
+            let _g = root.install();
+            let outer = SpanGuard::enter(&sink, "test.root", None, None);
+            let ctx = TraceContext::current().expect("installed context is visible");
+            assert_eq!(ctx.trace_id, root.trace_id);
+            assert_eq!(ctx.parent_span, outer.span_id());
+            ctx
+        };
+        assert_eq!(TraceContext::current(), None, "guard restored the thread");
+        // Explicit handoff: the spawned thread's span joins the trace.
+        let evs = std::thread::spawn({
+            let sink = sink.clone();
+            move || {
+                let _g = handoff.install();
+                drop(SpanGuard::enter(&sink, "test.remote", None, None));
+                sink.events()
+            }
+        })
+        .join()
+        .unwrap();
+        let remote = evs.iter().find(|e| e.name == "test.remote").unwrap();
+        let root_ev = evs.iter().find(|e| e.name == "test.root").unwrap();
+        assert_eq!(remote.trace_id, root.trace_id);
+        assert_eq!(remote.parent_span, root_ev.span_id);
+        assert_ne!(remote.tid, root_ev.tid);
+    }
+
+    #[test]
+    fn unsampled_context_installs_as_untraced() {
+        let root = TraceContext { sampled: false, ..TraceContext::new_root(true) };
+        let _g = root.install();
+        assert_eq!(current_trace_id(), 0);
+        assert_eq!(TraceContext::current(), None, "unsampled traces do not propagate");
+    }
+
+    #[test]
+    fn panic_unwind_marks_spans_truncated() {
+        let sink = TraceSink::new(16);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = SpanGuard::enter(&sink, "test.dying", Some(3), None);
+            panic!("injected");
+        }));
+        assert!(r.is_err());
+        assert_eq!(current_depth(), 0, "unwind restored the depth stack");
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "test.dying");
+        assert!(evs[0].truncated, "a panic-flushed span must say it is partial");
     }
 }

@@ -23,13 +23,13 @@ for f in results/serve_soak.json results/serve_soak_trace.jsonl results/serve_so
   test -s "$f" || { echo "missing soak artifact: $f" >&2; exit 1; }
 done
 
-echo "==> frontdoor_soak gate (wire protocol, quotas, mid-soak drain under socket faults)"
+echo "==> frontdoor_soak gate (wire protocol, quotas, mid-soak drain, tracing, flight recorder)"
 # The binary asserts every front-door invariant internally (any violation
 # panics), and the archived JSON is re-checked here so a regression that
 # silently weakens the binary's own asserts still fails the gate.
-rm -f results/frontdoor_soak.json results/frontdoor_soak_metrics.prom
+rm -f results/frontdoor_soak.json results/frontdoor_soak_metrics.prom results/frontdoor_trace.json
 cargo run --release -q -p apf-bench --bin frontdoor_soak -- --quick
-for f in results/frontdoor_soak.json results/frontdoor_soak_metrics.prom; do
+for f in results/frontdoor_soak.json results/frontdoor_soak_metrics.prom results/frontdoor_trace.json; do
   test -s "$f" || { echo "missing frontdoor artifact: $f" >&2; exit 1; }
 done
 grep -q '"untyped_client_failures": 0' results/frontdoor_soak.json \
@@ -42,8 +42,24 @@ grep -q '"drain_within_bound": true' results/frontdoor_soak.json \
   || { echo "frontdoor_soak: drain exceeded its bound" >&2; exit 1; }
 grep -q 'apf_serve_quota_rejections_total' results/frontdoor_soak_metrics.prom \
   || { echo "frontdoor_soak: quota metrics missing from exposition" >&2; exit 1; }
+grep -q 'apf_serve_wire_quota_checked_total' results/frontdoor_soak_metrics.prom \
+  || { echo "frontdoor_soak: wire-door counters missing from exposition" >&2; exit 1; }
+# Trace completeness: one probe request must stitch client -> wire server
+# -> engine -> >=2 stitch workers -> merge under a single trace id, with
+# no orphaned parent links, archived as a Chrome trace.
+grep -q '"trace_complete": true' results/frontdoor_soak.json \
+  || { echo "frontdoor_soak: probe trace did not stitch end to end" >&2; exit 1; }
+grep -q '"traceEvents"' results/frontdoor_trace.json \
+  || { echo "frontdoor_soak: archived trace is not Chrome trace JSON" >&2; exit 1; }
+# Admin plane parity + black-box dump from the injected worker panic.
+grep -q '"admin_matches_prom": true' results/frontdoor_soak.json \
+  || { echo "frontdoor_soak: admin metrics diverged from the exposition" >&2; exit 1; }
+grep -q '"flight_dump_ok": true' results/frontdoor_soak.json \
+  || { echo "frontdoor_soak: no flight-recorder dump from the injected panic" >&2; exit 1; }
+ls results/flight_panic_*.jsonl >/dev/null 2>&1 \
+  || { echo "frontdoor_soak: flight dump file missing" >&2; exit 1; }
 
-echo "==> telemetry_overhead gate (disabled hooks < 2%)"
+echo "==> telemetry_overhead gate (disabled hooks, flight recorder included, < 2%)"
 rm -f results/telemetry_overhead.json
 cargo run --release -q -p apf-bench --bin telemetry_overhead
 test -s results/telemetry_overhead.json || { echo "missing telemetry_overhead.json" >&2; exit 1; }
