@@ -37,9 +37,10 @@ impl Linear {
     }
 
     /// Applies the layer followed by GELU as one fused `gelu(xW + b)` node
-    /// (bias-add and activation share a single output buffer). Under
-    /// `APF_NAIVE_KERNELS` this falls back to the unfused
-    /// `badd` + `gelu` pair.
+    /// (bias-add and activation share a single output buffer; the row loop
+    /// routes through the selected SIMD backend and is bit-identical on
+    /// every backend by contract). Under `APF_NAIVE_KERNELS` this falls
+    /// back to the unfused `badd` + `gelu` pair.
     pub fn forward_bias_gelu(&self, g: &mut Graph, bp: &BoundParams, x: Var) -> Var {
         let y = g.matmul(x, bp.var(self.w));
         if apf_tensor::kernels::naive_kernels() {

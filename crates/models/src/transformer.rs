@@ -48,8 +48,11 @@ impl MultiHeadAttention {
     ///
     /// The score computation dispatches on the kernel mode: the default is
     /// the fused streaming kernel (one graph node, no `[B*H, L, L]` score
-    /// tensor); `APF_NAIVE_KERNELS` rebuilds the original materialized
-    /// matmul/softmax subgraph for bisection.
+    /// tensor), whose mini-GEMM tiles and softmax `exp` run on the SIMD
+    /// backend selected by `apf_tensor::kernels::backend` (overridable via
+    /// `APF_KERNEL_BACKEND`); `APF_NAIVE_KERNELS` rebuilds the original
+    /// materialized matmul/softmax subgraph for bisection and never
+    /// consults the backend layer.
     pub fn forward_with_key_mask(
         &self,
         g: &mut Graph,

@@ -22,6 +22,7 @@
 
 use rayon::prelude::*;
 
+use super::backend::{self, MicroKernelBackend};
 use super::stats;
 
 /// Default query-tile height.
@@ -83,10 +84,14 @@ pub fn fused_attention_forward(
     if let Some(cs) = stats::counters() {
         cs.fused_attention.inc();
     }
+    // Resolve the micro-kernel backend once per call, outside the
+    // parallel loop, so every batch-head uses the same implementation.
+    let bk = backend::active();
     let mut per_bh: Vec<(&mut [f32], &mut [f32])> =
         out.chunks_mut(lq * dh).zip(lse.chunks_mut(lq)).collect();
     per_bh.par_iter_mut().enumerate().for_each(|(b, (outb, lseb))| {
         forward_one(
+            bk,
             &q[b * lq * dh..(b + 1) * lq * dh],
             &k[b * lk * dh..(b + 1) * lk * dh],
             &v[b * lk * dh..(b + 1) * lk * dh],
@@ -106,6 +111,7 @@ pub fn fused_attention_forward(
 /// One batch-head of the streaming forward.
 #[allow(clippy::too_many_arguments)]
 fn forward_one(
+    bk: &dyn MicroKernelBackend,
     qb: &[f32],
     kb: &[f32],
     vb: &[f32],
@@ -133,7 +139,7 @@ fn forward_one(
         let mut k0 = 0;
         while k0 < lk {
             let ktb = k_tile.min(lk - k0);
-            score_tile(qb, &kt, bias, q0, k0, qtb, ktb, dh, lk, scale, &mut s);
+            score_tile(bk, qb, &kt, bias, q0, k0, qtb, ktb, dh, lk, scale, &mut s);
             // Online-softmax bookkeeping: turn the score tile into
             // probabilities in place, rescaling running state when a row's
             // max moves.
@@ -146,15 +152,15 @@ fn forward_one(
                 for o in o_run[i * dh..(i + 1) * dh].iter_mut() {
                     *o *= corr;
                 }
-                let mut psum = 0.0f32;
-                for sv in srow.iter_mut() {
-                    *sv = (*sv - m_new).exp();
-                    psum += *sv;
-                }
+                // The hot exp loop goes through the backend (vectorized
+                // polynomial exp on SIMD backends, libm on scalar — both
+                // inside the oracle's attention tolerance).
+                let psum = bk.softmax_exp_row(srow, m_new);
                 l_run[i] = l_run[i] * corr + psum;
                 m_run[i] = m_new;
             }
             accumulate_pv(
+                bk,
                 &s,
                 &vb[k0 * dh..(k0 + ktb) * dh],
                 qtb,
@@ -192,11 +198,20 @@ fn transpose_keys(kb: &[f32], lk: usize, dh: usize) -> Vec<f32> {
 
 /// `o[.., dh] += P · V_tile` for the probability tile `p` (`[qtb, ktb]`)
 /// and value rows `vt` (`[ktb, dh]`), register-blocked the same way as
-/// [`score_tile`]: full `S_MR x S_NR` blocks accumulate in registers over
-/// the whole key tile before touching `o` once; ragged edges run the
-/// plain loops. The per-element sum over `j` stays the ascending-key
-/// order, so the result is independent of the blocking.
-fn accumulate_pv(p: &[f32], vt: &[f32], qtb: usize, ktb: usize, dh: usize, o: &mut [f32]) {
+/// [`score_tile`]: full `S_MR x S_NR` blocks go through the backend's
+/// P·V mini-GEMM, accumulating in registers over the whole key tile
+/// before touching `o` once; ragged edges run the plain loops. The
+/// per-element sum over `j` stays the ascending-key order on every
+/// backend; FMA backends differ from scalar by rounding only.
+fn accumulate_pv(
+    bk: &dyn MicroKernelBackend,
+    p: &[f32],
+    vt: &[f32],
+    qtb: usize,
+    ktb: usize,
+    dh: usize,
+    o: &mut [f32],
+) {
     let mut i0 = 0;
     while i0 < qtb {
         let mr = S_MR.min(qtb - i0);
@@ -205,15 +220,7 @@ fn accumulate_pv(p: &[f32], vt: &[f32], qtb: usize, ktb: usize, dh: usize, o: &m
             let nr = S_NR.min(dh - d0);
             if mr == S_MR && nr == S_NR {
                 let mut acc = [[0.0f32; S_NR]; S_MR];
-                for j in 0..ktb {
-                    let vlane = &vt[j * dh + d0..j * dh + d0 + S_NR];
-                    for (a, lane) in acc.iter_mut().enumerate() {
-                        let pv = p[(i0 + a) * ktb + j];
-                        for (c, &vv) in lane.iter_mut().zip(vlane.iter()) {
-                            *c += pv * vv;
-                        }
-                    }
-                }
+                bk.attn_pv_4x8(&p[i0 * ktb..], ktb, &vt[d0..], dh, &mut acc);
                 for (a, lane) in acc.iter().enumerate() {
                     let orow = &mut o[(i0 + a) * dh + d0..(i0 + a) * dh + d0 + S_NR];
                     for (ov, &av) in orow.iter_mut().zip(lane.iter()) {
@@ -251,13 +258,15 @@ const S_NR: usize = 8;
 /// Fills `s[i*ktb + j] = scale * q_{q0+i} . k_{k0+j} (+ bias_{k0+j})`,
 /// reading keys through the transposed copy from [`transpose_keys`].
 ///
-/// Full `S_MR x S_NR` blocks keep their accumulators in registers (the
-/// same shape as the SGEMM micro-kernel: per `p`, broadcast `S_MR` query
-/// values against one contiguous `S_NR`-wide key lane); ragged edges fall
-/// back to scalar dot products. Either way each element is the plain
-/// `0..dh` sum, so blocking does not change the result bits.
+/// Full `S_MR x S_NR` blocks go through the backend's score mini-GEMM
+/// (per `p`, broadcast `S_MR` query values against one contiguous
+/// `S_NR`-wide key lane — the same shape as the SGEMM micro-kernel);
+/// ragged edges fall back to scalar dot products. Each element is the
+/// plain `0..dh` sum on every backend; FMA backends differ from the
+/// scalar blocks by rounding only.
 #[allow(clippy::too_many_arguments)]
 fn score_tile(
+    bk: &dyn MicroKernelBackend,
     qb: &[f32],
     kt: &[f32],
     bias: Option<&[f32]>,
@@ -278,15 +287,7 @@ fn score_tile(
             let nr = S_NR.min(ktb - j0);
             if mr == S_MR && nr == S_NR {
                 let mut acc = [[0.0f32; S_NR]; S_MR];
-                for p in 0..dh {
-                    let klane = &kt[p * lk + k0 + j0..p * lk + k0 + j0 + S_NR];
-                    for (a, lane) in acc.iter_mut().enumerate() {
-                        let qv = qb[(q0 + i0 + a) * dh + p];
-                        for (c, &kv) in lane.iter_mut().zip(klane.iter()) {
-                            *c += qv * kv;
-                        }
-                    }
-                }
+                bk.attn_score_4x8(&qb[(q0 + i0) * dh..], dh, &kt[k0 + j0..], lk, &mut acc);
                 for (a, lane) in acc.iter().enumerate() {
                     s[(i0 + a) * ktb + j0..(i0 + a) * ktb + j0 + S_NR].copy_from_slice(lane);
                 }
@@ -370,6 +371,7 @@ pub fn fused_attention_backward(
     if bh == 0 || lq == 0 || lk == 0 {
         return;
     }
+    let bk = backend::active();
     #[allow(clippy::type_complexity)]
     let mut per_bh: Vec<((&mut [f32], &mut [f32]), &mut [f32])> = dq
         .chunks_mut(lq * dh)
@@ -381,6 +383,7 @@ pub fn fused_attention_backward(
         .enumerate()
         .for_each(|(b, ((dqb, dkb), dvb))| {
             backward_one(
+                bk,
                 &q[b * lq * dh..(b + 1) * lq * dh],
                 &k[b * lk * dh..(b + 1) * lk * dh],
                 &v[b * lk * dh..(b + 1) * lk * dh],
@@ -404,6 +407,7 @@ pub fn fused_attention_backward(
 /// One batch-head of the tile-recomputing backward.
 #[allow(clippy::too_many_arguments)]
 fn backward_one(
+    bk: &dyn MicroKernelBackend,
     qb: &[f32],
     kb: &[f32],
     vb: &[f32],
@@ -436,7 +440,7 @@ fn backward_one(
         let mut k0 = 0;
         while k0 < lk {
             let ktb = k_tile.min(lk - k0);
-            score_tile(qb, &kt, bias, q0, k0, qtb, ktb, dh, lk, scale, &mut s);
+            score_tile(bk, qb, &kt, bias, q0, k0, qtb, ktb, dh, lk, scale, &mut s);
             for i in 0..qtb {
                 let lse_i = lseb[q0 + i];
                 let di = d_corr[q0 + i];

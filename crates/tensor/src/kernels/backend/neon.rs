@@ -1,0 +1,111 @@
+//! NEON backend (aarch64): 128-bit lanes with fused multiply-add.
+//!
+//! Each 8-wide output lane is a pair of `float32x4_t`s; products go
+//! through `vfmaq_f32` (fused, single rounding), so like AVX2 this backend
+//! differs from the scalar reference by rounding only, inside the
+//! kernel-oracle `1e-5` relative bound.
+//!
+//! This module only compiles on `aarch64` (the dispatch layer reports it
+//! as not-compiled elsewhere) and uses only stable `core::arch::aarch64`
+//! intrinsics: `vld1q_f32` / `vst1q_f32` / `vdupq_n_f32` / `vfmaq_f32`.
+//!
+//! # Safety
+//!
+//! Same two invariants as the x86 backends: instances only exist after
+//! `neon` runtime detection ([`super::BackendKind::instance`]), and every
+//! trait method asserts its slice-length contract before the intrinsic
+//! body, whose pointer offsets stay below those lengths.
+
+use core::arch::aarch64::*;
+
+use super::{BackendKind, MicroKernelBackend};
+
+/// The NEON backend. Zero-sized; constructed only by the dispatch layer
+/// after feature detection.
+pub(crate) struct NeonBackend;
+
+impl MicroKernelBackend for NeonBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Neon
+    }
+
+    fn sgemm_tile(&self, pa: &[f32], pb: &[f32], kc: usize, acc: &mut [f32]) {
+        assert_eq!(acc.len(), 8 * 8, "sgemm_tile: acc size mismatch");
+        assert!(pa.len() >= kc * 8, "sgemm_tile: packed A too short");
+        assert!(pb.len() >= kc * 8, "sgemm_tile: packed B too short");
+        // SAFETY: neon detected (instance invariant); indices < asserted lengths.
+        unsafe { sgemm_tile_8x8(pa.as_ptr(), pb.as_ptr(), kc, acc.as_mut_ptr()) }
+    }
+
+    fn attn_score_4x8(&self, q: &[f32], dh: usize, kt: &[f32], lk: usize, acc: &mut [[f32; 8]; 4]) {
+        assert!(dh >= 1 && q.len() >= 4 * dh, "attn_score: q too short");
+        assert!(kt.len() >= (dh - 1) * lk + 8, "attn_score: kt too short");
+        // SAFETY: neon detected; indices < asserted lengths.
+        unsafe { mini_4x8(q.as_ptr(), dh, kt.as_ptr(), lk, dh, acc.as_mut_ptr().cast()) }
+    }
+
+    fn attn_pv_4x8(&self, p: &[f32], ktb: usize, vt: &[f32], dh: usize, acc: &mut [[f32; 8]; 4]) {
+        assert!(ktb >= 1 && p.len() >= 4 * ktb, "attn_pv: p too short");
+        assert!(vt.len() >= (ktb - 1) * dh + 8, "attn_pv: vt too short");
+        // SAFETY: neon detected; indices < asserted lengths.
+        unsafe { mini_4x8(p.as_ptr(), ktb, vt.as_ptr(), dh, ktb, acc.as_mut_ptr().cast()) }
+    }
+}
+
+/// 8×8 SGEMM micro-tile as sixteen `q`-register accumulators (two per row).
+#[target_feature(enable = "neon")]
+unsafe fn sgemm_tile_8x8(pa: *const f32, pb: *const f32, kc: usize, acc: *mut f32) {
+    let mut lo = [vdupq_n_f32(0.0); 8];
+    let mut hi = [vdupq_n_f32(0.0); 8];
+    for i in 0..8 {
+        lo[i] = vld1q_f32(acc.add(i * 8));
+        hi[i] = vld1q_f32(acc.add(i * 8 + 4));
+    }
+    for p in 0..kc {
+        let blo = vld1q_f32(pb.add(p * 8));
+        let bhi = vld1q_f32(pb.add(p * 8 + 4));
+        let a = pa.add(p * 8);
+        for i in 0..8 {
+            let av = vdupq_n_f32(*a.add(i));
+            lo[i] = vfmaq_f32(lo[i], av, blo);
+            hi[i] = vfmaq_f32(hi[i], av, bhi);
+        }
+    }
+    for i in 0..8 {
+        vst1q_f32(acc.add(i * 8), lo[i]);
+        vst1q_f32(acc.add(i * 8 + 4), hi[i]);
+    }
+}
+
+/// Shared 4×8 mini-GEMM (same index convention as the x86 backends):
+/// `acc[a][0..8] += lhs[a*lhs_stride + s] * rhs[s*rhs_stride ..+8]` over
+/// `s in 0..steps`.
+#[target_feature(enable = "neon")]
+unsafe fn mini_4x8(
+    lhs: *const f32,
+    lhs_stride: usize,
+    rhs: *const f32,
+    rhs_stride: usize,
+    steps: usize,
+    acc: *mut f32,
+) {
+    let mut lo = [vdupq_n_f32(0.0); 4];
+    let mut hi = [vdupq_n_f32(0.0); 4];
+    for a in 0..4 {
+        lo[a] = vld1q_f32(acc.add(a * 8));
+        hi[a] = vld1q_f32(acc.add(a * 8 + 4));
+    }
+    for s in 0..steps {
+        let rlo = vld1q_f32(rhs.add(s * rhs_stride));
+        let rhi = vld1q_f32(rhs.add(s * rhs_stride + 4));
+        for a in 0..4 {
+            let lv = vdupq_n_f32(*lhs.add(a * lhs_stride + s));
+            lo[a] = vfmaq_f32(lo[a], lv, rlo);
+            hi[a] = vfmaq_f32(hi[a], lv, rhi);
+        }
+    }
+    for a in 0..4 {
+        vst1q_f32(acc.add(a * 8), lo[a]);
+        vst1q_f32(acc.add(a * 8 + 4), hi[a]);
+    }
+}

@@ -1,0 +1,112 @@
+//! SSE2 backend: 128-bit lanes, separate multiply + add.
+//!
+//! Each 8-wide output lane is a pair of `__m128`s. SSE2 has no FMA, so
+//! every product is a correctly-rounded `mul` followed by a
+//! correctly-rounded `add` — exactly the scalar op sequence — which makes
+//! this backend **bit-identical** to the scalar reference (the oracle's
+//! `1e-5` bound is satisfied with equality). Its value over "scalar" is
+//! that the vector shape is guaranteed rather than left to the
+//! auto-vectorizer.
+//!
+//! # Safety
+//!
+//! Same two invariants as [`super::avx2`]: instances only exist after
+//! `sse2` runtime detection ([`super::BackendKind::instance`]), and every
+//! trait method asserts its slice-length contract before the intrinsic
+//! body, whose pointer offsets stay below those lengths. (SSE2 is baseline
+//! on `x86_64`, so the detection requirement is vacuous there — kept for
+//! uniformity.)
+
+use core::arch::x86_64::*;
+
+use super::{BackendKind, MicroKernelBackend};
+
+/// The SSE2 backend. Zero-sized; constructed only by the dispatch layer
+/// after feature detection.
+pub(crate) struct Sse2Backend;
+
+impl MicroKernelBackend for Sse2Backend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sse2
+    }
+
+    fn sgemm_tile(&self, pa: &[f32], pb: &[f32], kc: usize, acc: &mut [f32]) {
+        assert_eq!(acc.len(), 8 * 8, "sgemm_tile: acc size mismatch");
+        assert!(pa.len() >= kc * 8, "sgemm_tile: packed A too short");
+        assert!(pb.len() >= kc * 8, "sgemm_tile: packed B too short");
+        // SAFETY: sse2 detected (instance invariant); indices < asserted lengths.
+        unsafe { sgemm_tile_8x8(pa.as_ptr(), pb.as_ptr(), kc, acc.as_mut_ptr()) }
+    }
+
+    fn attn_score_4x8(&self, q: &[f32], dh: usize, kt: &[f32], lk: usize, acc: &mut [[f32; 8]; 4]) {
+        assert!(dh >= 1 && q.len() >= 4 * dh, "attn_score: q too short");
+        assert!(kt.len() >= (dh - 1) * lk + 8, "attn_score: kt too short");
+        // SAFETY: sse2 detected; indices < asserted lengths.
+        unsafe { mini_4x8(q.as_ptr(), dh, kt.as_ptr(), lk, dh, acc.as_mut_ptr().cast()) }
+    }
+
+    fn attn_pv_4x8(&self, p: &[f32], ktb: usize, vt: &[f32], dh: usize, acc: &mut [[f32; 8]; 4]) {
+        assert!(ktb >= 1 && p.len() >= 4 * ktb, "attn_pv: p too short");
+        assert!(vt.len() >= (ktb - 1) * dh + 8, "attn_pv: vt too short");
+        // SAFETY: sse2 detected; indices < asserted lengths.
+        unsafe { mini_4x8(p.as_ptr(), ktb, vt.as_ptr(), dh, ktb, acc.as_mut_ptr().cast()) }
+    }
+}
+
+/// 8×8 SGEMM micro-tile as sixteen `xmm` accumulators (two per row).
+#[target_feature(enable = "sse2")]
+unsafe fn sgemm_tile_8x8(pa: *const f32, pb: *const f32, kc: usize, acc: *mut f32) {
+    let mut lo = [_mm_setzero_ps(); 8];
+    let mut hi = [_mm_setzero_ps(); 8];
+    for i in 0..8 {
+        lo[i] = _mm_loadu_ps(acc.add(i * 8));
+        hi[i] = _mm_loadu_ps(acc.add(i * 8 + 4));
+    }
+    for p in 0..kc {
+        let blo = _mm_loadu_ps(pb.add(p * 8));
+        let bhi = _mm_loadu_ps(pb.add(p * 8 + 4));
+        let a = pa.add(p * 8);
+        for i in 0..8 {
+            let av = _mm_set1_ps(*a.add(i));
+            lo[i] = _mm_add_ps(lo[i], _mm_mul_ps(av, blo));
+            hi[i] = _mm_add_ps(hi[i], _mm_mul_ps(av, bhi));
+        }
+    }
+    for i in 0..8 {
+        _mm_storeu_ps(acc.add(i * 8), lo[i]);
+        _mm_storeu_ps(acc.add(i * 8 + 4), hi[i]);
+    }
+}
+
+/// Shared 4×8 mini-GEMM (see [`super::avx2::mini_4x8`]'s doc for the
+/// index convention): `acc[a][0..8] += lhs[a*lhs_stride + s] *
+/// rhs[s*rhs_stride ..+8]` over `s in 0..steps`.
+#[target_feature(enable = "sse2")]
+unsafe fn mini_4x8(
+    lhs: *const f32,
+    lhs_stride: usize,
+    rhs: *const f32,
+    rhs_stride: usize,
+    steps: usize,
+    acc: *mut f32,
+) {
+    let mut lo = [_mm_setzero_ps(); 4];
+    let mut hi = [_mm_setzero_ps(); 4];
+    for a in 0..4 {
+        lo[a] = _mm_loadu_ps(acc.add(a * 8));
+        hi[a] = _mm_loadu_ps(acc.add(a * 8 + 4));
+    }
+    for s in 0..steps {
+        let rlo = _mm_loadu_ps(rhs.add(s * rhs_stride));
+        let rhi = _mm_loadu_ps(rhs.add(s * rhs_stride + 4));
+        for a in 0..4 {
+            let lv = _mm_set1_ps(*lhs.add(a * lhs_stride + s));
+            lo[a] = _mm_add_ps(lo[a], _mm_mul_ps(lv, rlo));
+            hi[a] = _mm_add_ps(hi[a], _mm_mul_ps(lv, rhi));
+        }
+    }
+    for a in 0..4 {
+        _mm_storeu_ps(acc.add(a * 8), lo[a]);
+        _mm_storeu_ps(acc.add(a * 8 + 4), hi[a]);
+    }
+}

@@ -1,12 +1,22 @@
 //! 2D convolution kernels (NCHW) via im2col / col2im.
 //!
 //! `conv2d` lowers each image to a column matrix and multiplies by the
-//! flattened weights — one GEMM per batch element, parallel over the batch.
+//! flattened weights — one GEMM per batch element, parallel over the
+//! batch, so the convolution rides the packed-SGEMM fast path (and with
+//! it the SIMD micro-kernel backends). Output-channel counts below the
+//! packed kernel's `m >= 4` dispatch floor (segmentation heads with few
+//! classes) are lowered through the transposed product
+//! `out^T = col^T · W^T` instead, whose `m` is the large spatial extent —
+//! so small-`Cout` head convs stop bypassing the tuned kernels.
 //! `conv_transpose2d` is the adjoint: a GEMM followed by `col2im`.
+//!
+//! [`conv2d_direct`] is the textbook quadruple-loop reference: the
+//! differential oracle's ground truth for the im2col lowering, and the
+//! path `conv2d` takes in naive kernel mode (`APF_NAIVE_KERNELS`).
 
 use rayon::prelude::*;
 
-use crate::kernels::gemm::gemm;
+use crate::kernels::gemm::{gemm, gemm_packed, PACK_FLOPS};
 use crate::tensor::Tensor;
 
 /// Geometry of one conv: `out = (in + 2*pad - kernel) / stride + 1`.
@@ -100,7 +110,14 @@ pub fn col2im(cols_mat: &[f32], c: usize, h: usize, w: usize, g: ConvGeom, img: 
 }
 
 /// Forward conv2d: `x [B,Cin,H,W] * w [Cout,Cin,K,K] + b [Cout]` -> `[B,Cout,Ho,Wo]`.
+///
+/// Fast mode lowers via im2col + SGEMM (see [`conv_gemm`] for the
+/// small-`Cout` transposed variant); naive kernel mode takes
+/// [`conv2d_direct`].
 pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, g: ConvGeom) -> Tensor {
+    if crate::kernels::naive_kernels() {
+        return conv2d_direct(x, weight, bias, g);
+    }
     let [b, cin, h, w] = dims4(x);
     let wd = weight.dims();
     assert_eq!(wd.len(), 4, "conv2d weight must be [Cout,Cin,K,K]");
@@ -120,11 +137,84 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, g: ConvGeom) -
     out.par_chunks_mut(out_len).enumerate().for_each(|(i, ob)| {
         let mut col = vec![0.0f32; col_rows * cols];
         im2col(&x.data()[i * img_len..(i + 1) * img_len], cin, h, w, g, &mut col);
-        gemm(weight.data(), &col, ob, cout, col_rows, cols);
+        conv_gemm(weight.data(), &col, ob, cout, col_rows, cols);
         if let Some(bias) = bias {
             for (co, &bv) in bias.data().iter().enumerate().take(cout) {
                 for v in &mut ob[co * cols..(co + 1) * cols] {
                     *v += bv;
+                }
+            }
+        }
+    });
+    Tensor::new([b, cout, ho, wo], out)
+}
+
+/// The `out = W · col` product of the im2col lowering, with a transposed
+/// escape hatch: when `Cout` is below the packed kernel's `m >= 4`
+/// dispatch floor but the problem is big enough to want packing, compute
+/// `out^T = col^T · W^T` instead — there `m` is the spatial extent
+/// (`cols`), so the packed path applies. The O(k·n + m·n) transposes are
+/// noise next to the O(m·k·n) product at these sizes. Summation stays
+/// ascending over `k` either way (the packed kernel's KC-order), so the
+/// result agrees with the plain product within the usual reassociation
+/// bound.
+fn conv_gemm(w: &[f32], col: &[f32], ob: &mut [f32], m: usize, k: usize, n: usize) {
+    if m < 4 && m * k * n >= PACK_FLOPS && m > 0 {
+        let mut colt = vec![0.0f32; k * n];
+        transpose(col, k, n, &mut colt);
+        let mut wt = vec![0.0f32; m * k];
+        transpose(w, m, k, &mut wt);
+        let mut obt = vec![0.0f32; m * n];
+        gemm_packed(&colt, &wt, &mut obt, n, k, m);
+        transpose(&obt, n, m, ob);
+    } else {
+        gemm(w, col, ob, m, k, n);
+    }
+}
+
+/// Direct (quadruple-loop) convolution — the im2col lowering's
+/// differential ground truth and the naive-mode dispatch target. Same
+/// accumulation order as the lowered product (channels, then kernel rows,
+/// then kernel columns, ascending; bias added last), so the two agree
+/// within reassociation rounding.
+pub fn conv2d_direct(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, g: ConvGeom) -> Tensor {
+    let [b, cin, h, w] = dims4(x);
+    let wd = weight.dims();
+    assert_eq!(wd.len(), 4, "conv2d weight must be [Cout,Cin,K,K]");
+    let (cout, wcin, k) = (wd[0], wd[1], wd[2]);
+    assert_eq!(wcin, cin, "conv2d channel mismatch");
+    assert_eq!(wd[3], k, "conv2d kernel must be square");
+    assert_eq!(k, g.kernel);
+    let ho = g.out_extent(h);
+    let wo = g.out_extent(w);
+    let img_len = cin * h * w;
+    let out_len = cout * ho * wo;
+    let mut out = vec![0.0f32; b * out_len];
+    out.par_chunks_mut(out_len).enumerate().for_each(|(bi, ob)| {
+        let img = &x.data()[bi * img_len..(bi + 1) * img_len];
+        for co in 0..cout {
+            let wgt = &weight.data()[co * cin * k * k..(co + 1) * cin * k * k];
+            let bv = bias.map_or(0.0, |bb| bb.data()[co]);
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut s = 0.0f32;
+                    for ci in 0..cin {
+                        for ky in 0..k {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                s += img[(ci * h + iy as usize) * w + ix as usize]
+                                    * wgt[(ci * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                    ob[(co * ho + oy) * wo + ox] = s + bv;
                 }
             }
         }
@@ -329,38 +419,9 @@ fn dims4(t: &Tensor) -> [usize; 4] {
 mod tests {
     use super::*;
 
-    /// Direct (quadruple-loop) conv for verification.
+    /// Direct conv for verification — the promoted public reference.
     fn conv_naive(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, g: ConvGeom) -> Tensor {
-        let [b, cin, h, wdt] = dims4(x);
-        let cout = w.dims()[0];
-        let k = g.kernel;
-        let ho = g.out_extent(h);
-        let wo = g.out_extent(wdt);
-        let mut out = vec![0.0f32; b * cout * ho * wo];
-        for bi in 0..b {
-            for co in 0..cout {
-                for oy in 0..ho {
-                    for ox in 0..wo {
-                        let mut s = bias.map_or(0.0, |bb| bb.data()[co]);
-                        for ci in 0..cin {
-                            for ky in 0..k {
-                                for kx in 0..k {
-                                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= wdt as isize {
-                                        continue;
-                                    }
-                                    s += x.at(&[bi, ci, iy as usize, ix as usize])
-                                        * w.at(&[co, ci, ky, kx]);
-                                }
-                            }
-                        }
-                        out[((bi * cout + co) * ho + oy) * wo + ox] = s;
-                    }
-                }
-            }
-        }
-        Tensor::new([b, cout, ho, wo], out)
+        conv2d_direct(x, w, bias, g)
     }
 
     fn close(a: &Tensor, b: &Tensor, tol: f32) {
@@ -394,6 +455,36 @@ mod tests {
         let x = Tensor::rand_uniform([1, 2, 8, 8], -1.0, 1.0, 4);
         let w = Tensor::rand_uniform([3, 2, 2, 2], -1.0, 1.0, 5);
         close(&conv2d(&x, &w, None, g), &conv_naive(&x, &w, None, g), 1e-4);
+    }
+
+    #[test]
+    fn small_cout_head_conv_takes_transposed_packed_path() {
+        // cout=2 < 4 with work >= PACK_FLOPS: conv_gemm must route through
+        // the transposed packed product and still match the direct conv.
+        // (2 * 27 * 256 = 13824 >= 8192.)
+        let g = ConvGeom { kernel: 3, stride: 1, pad: 1 };
+        let x = Tensor::rand_uniform([1, 3, 16, 16], -1.0, 1.0, 11);
+        let w = Tensor::rand_uniform([2, 3, 3, 3], -1.0, 1.0, 12);
+        let b = Tensor::rand_uniform([2], -0.5, 0.5, 13);
+        close(&conv2d(&x, &w, Some(&b), g), &conv2d_direct(&x, &w, Some(&b), g), 1e-4);
+    }
+
+    #[test]
+    fn naive_mode_dispatches_to_direct() {
+        // In naive mode conv2d must produce conv2d_direct's exact bits
+        // (it *is* conv2d_direct), proving SIMD cannot leak into a
+        // naive-mode run through the conv path.
+        let g = ConvGeom { kernel: 2, stride: 2, pad: 0 };
+        let x = Tensor::rand_uniform([2, 2, 8, 8], -1.0, 1.0, 14);
+        let w = Tensor::rand_uniform([3, 2, 2, 2], -1.0, 1.0, 15);
+        crate::kernels::force_kernel_mode(Some(crate::kernels::KernelMode::Naive));
+        let got = conv2d(&x, &w, None, g);
+        crate::kernels::force_kernel_mode(None);
+        let want = conv2d_direct(&x, &w, None, g);
+        assert_eq!(
+            got.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -8,9 +8,18 @@
 //! is identical to the unfused form, so outputs are **bit-identical** to
 //! the naive references (the oracle asserts exact equality, not a
 //! tolerance).
+//!
+//! The bit-exactness contract extends through the [`super::backend`]
+//! layer: the layernorm affine loop and the bias+GELU loop route through
+//! [`MicroKernelBackend::ln_affine_row`] /
+//! [`MicroKernelBackend::bias_gelu_row`], whose trait contract forbids
+//! FMA contraction or reordering — a vectorized override must produce the
+//! exact scalar bits. The mean/variance reductions stay in scalar
+//! summation order here, outside the backend, for the same reason.
 
 use rayon::prelude::*;
 
+use super::backend;
 use super::stats;
 
 pub(crate) const SQRT_2_OVER_PI: f32 = 0.797_884_6;
@@ -45,11 +54,9 @@ pub fn bias_gelu_forward(x: &[f32], bias: &[f32], out: &mut [f32]) {
     if let Some(cs) = stats::counters() {
         cs.fused_bias_gelu.inc();
     }
+    let bk = backend::active();
     out.par_chunks_mut(tile).enumerate().for_each(|(r, orow)| {
-        let xrow = &x[r * tile..(r + 1) * tile];
-        for ((o, &xv), &bv) in orow.iter_mut().zip(xrow.iter()).zip(bias.iter()) {
-            *o = gelu_fwd(xv + bv);
-        }
+        bk.bias_gelu_row(&x[r * tile..(r + 1) * tile], bias, orow);
     });
 }
 
@@ -106,6 +113,7 @@ pub fn layernorm_forward(
     if let Some(cs) = stats::counters() {
         cs.fused_layernorm.inc();
     }
+    let bk = backend::active();
     let mut per_row: Vec<((&mut [f32], &mut f32), &mut f32)> = out
         .chunks_mut(d)
         .zip(mean.iter_mut())
@@ -113,7 +121,8 @@ pub fn layernorm_forward(
         .collect();
     per_row.par_iter_mut().enumerate().for_each(|(r, ((orow, m), inv))| {
         let row = &x[r * d..(r + 1) * d];
-        (**m, **inv) = norm_row(row, gamma, beta, eps, orow);
+        (**m, **inv) = row_moments(row, eps);
+        bk.ln_affine_row(row, **m, **inv, gamma, beta, orow);
     });
 }
 
@@ -145,13 +154,22 @@ pub fn layernorm_naive(
     }
 }
 
-/// Normalizes one row, returning `(mean, invstd)`.
+/// One row's `(mean, invstd)` in plain left-to-right summation order —
+/// shared by the fast and naive paths so the statistics are bit-identical
+/// regardless of which affine loop follows.
 #[inline]
-fn norm_row(row: &[f32], gamma: &[f32], beta: &[f32], eps: f32, out: &mut [f32]) -> (f32, f32) {
+fn row_moments(row: &[f32], eps: f32) -> (f32, f32) {
     let d = row.len() as f32;
     let mean = row.iter().sum::<f32>() / d;
     let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
-    let inv = 1.0 / (var + eps).sqrt();
+    (mean, 1.0 / (var + eps).sqrt())
+}
+
+/// Normalizes one row with pure scalar code, returning `(mean, invstd)` —
+/// the naive path's reference form.
+#[inline]
+fn norm_row(row: &[f32], gamma: &[f32], beta: &[f32], eps: f32, out: &mut [f32]) -> (f32, f32) {
+    let (mean, inv) = row_moments(row, eps);
     for (((o, &v), &g), &b) in out.iter_mut().zip(row.iter()).zip(gamma.iter()).zip(beta.iter()) {
         *o = (v - mean) * inv * g + b;
     }

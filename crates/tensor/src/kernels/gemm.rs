@@ -2,13 +2,15 @@
 //!
 //! The fast path ([`gemm_packed`]) is a GotoBLAS-style blocked SGEMM:
 //! B is packed into contiguous `NR`-wide panels per `(KC, NC)` block, A
-//! into `MR`-wide panels per `(MC, KC)` block, and an `MR x NR` register
-//! micro-kernel accumulates the product with all `MR*NR` partial sums held
-//! in registers (the inner loops have constant trip counts, so LLVM fully
-//! unrolls and vectorizes them). Parallelism is over `MC`-row macro-tiles,
-//! each writing a disjoint slice of C; a packed B-panel is reused by every
-//! macro-tile, which is what the `apf_tensor_packed_panel_reuse_total`
-//! counter measures.
+//! into `mr`-wide panels per `(MC, KC)` block, and an `mr x NR` register
+//! micro-kernel accumulates the product with all `mr*NR` partial sums held
+//! in registers. The micro-kernel itself is supplied by the active
+//! [`MicroKernelBackend`] (explicit AVX2/SSE2/NEON intrinsics or the
+//! scalar reference — see [`super::backend`]), which also chooses `mr`
+//! (8 or 16). Parallelism is over `MC`-row macro-tiles, each writing a
+//! disjoint slice of C; a packed B-panel is reused by every macro-tile,
+//! which is what the `apf_tensor_packed_panel_reuse_total` counter
+//! measures.
 //!
 //! The reference ([`gemm_naive`]) is the original row-streaming loop: one
 //! pass over all of B per output row. It is kept as the differential
@@ -22,13 +24,15 @@ use rayon::prelude::*;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
+use super::backend::{self, MicroKernelBackend, MAX_MR};
 use super::stats;
 
 /// Minimum FLOP count before the naive kernel spawns rayon tasks.
 const PAR_FLOPS: usize = 1 << 16;
 /// Below this FLOP count packing costs more than it saves; dispatch to the
-/// naive kernel instead.
-const PACK_FLOPS: usize = 1 << 13;
+/// naive kernel instead. Shared with the conv lowering, which uses it to
+/// decide when a transposed product is worth the extra transposes.
+pub(crate) const PACK_FLOPS: usize = 1 << 13;
 
 /// Rows of A per macro-tile (keeps the packed A block L2-resident).
 pub const MC: usize = 64;
@@ -36,9 +40,11 @@ pub const MC: usize = 64;
 pub const KC: usize = 256;
 /// Columns of B per packed panel group.
 pub const NC: usize = 256;
-/// Micro-kernel rows (register-tiled).
+/// Default micro-kernel rows (register-tiled); the active backend may
+/// widen this to 16 via [`MicroKernelBackend::mr`].
 pub const MR: usize = 8;
-/// Micro-kernel columns (register-tiled).
+/// Micro-kernel columns (register-tiled; fixed — every backend produces
+/// 8-wide lanes, see [`backend::LANES`]).
 pub const NR: usize = 8;
 
 /// `C[m,n] = A[m,k] * B[k,n]` over raw slices, dispatching between
@@ -94,18 +100,37 @@ fn gemm_row(arow: &[f32], b: &[f32], crow: &mut [f32], k: usize, n: usize) {
     }
 }
 
-/// Blocked, packed SGEMM (see the module docs for the blocking scheme).
+/// Blocked, packed SGEMM through the active [`backend`] (see the module
+/// docs for the blocking scheme).
 ///
-/// Deterministic: for a given shape the reduction tree is fixed (KC-blocks
-/// accumulate in order, micro-kernel sums in register order), so repeated
-/// calls are bit-identical.
+/// Deterministic **per backend**: for a given shape the reduction tree is
+/// fixed (KC-blocks accumulate in order, micro-kernel sums in depth
+/// order), so repeated calls on the same backend are bit-identical.
+/// Backends that use FMA (avx2, neon) differ from scalar/sse2 by rounding
+/// only, within the kernel-oracle bound.
 ///
 /// # Panics
 /// Panics if slice lengths do not match the given dims.
 pub fn gemm_packed(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_packed_with(backend::active(), a, b, c, m, k, n);
+}
+
+/// [`gemm_packed`] with an explicit micro-kernel backend — the
+/// per-backend oracle tests and the 16-row-tile test drive this directly.
+pub fn gemm_packed_with(
+    bk: &dyn MicroKernelBackend,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), m * k, "gemm: A size mismatch");
     assert_eq!(b.len(), k * n, "gemm: B size mismatch");
     assert_eq!(c.len(), m * n, "gemm: C size mismatch");
+    let mr = bk.mr();
+    assert!(mr == 8 || mr == 16, "gemm: backend mr must be 8 or 16, got {mr}");
     c.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -133,9 +158,9 @@ pub fn gemm_packed(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
             c.par_chunks_mut(MC * n).enumerate().for_each(|(bi, cb)| {
                 let ic = bi * MC;
                 let mcb = MC.min(m - ic);
-                let mut packed_a = vec![0.0f32; mcb.div_ceil(MR) * MR * kcb];
-                pack_a(a, k, ic, pc, mcb, kcb, &mut packed_a);
-                macro_tile(&packed_a, pb, cb, mcb, kcb, ncb, n, jc);
+                let mut packed_a = vec![0.0f32; mcb.div_ceil(mr) * mr * kcb];
+                pack_a(a, k, ic, pc, mcb, kcb, mr, &mut packed_a);
+                macro_tile(bk, &packed_a, pb, cb, mcb, kcb, ncb, n, jc, mr);
             });
             pc += KC;
         }
@@ -160,16 +185,26 @@ fn pack_b(b: &[f32], n: usize, pc: usize, jc: usize, kcb: usize, ncb: usize, pac
     }
 }
 
-/// Packs the `mcb x kcb` block of A at `(ic, pc)` into `MR`-wide panels:
-/// `packed[(ip*kcb + p)*MR + i] = A[ic + ip*MR + i, pc+p]`, zero-padded in
-/// the ragged last panel.
-fn pack_a(a: &[f32], k: usize, ic: usize, pc: usize, mcb: usize, kcb: usize, packed: &mut [f32]) {
-    for ip in 0..mcb.div_ceil(MR) {
-        let i0 = ip * MR;
-        let iw = MR.min(mcb - i0);
-        let panel = &mut packed[ip * kcb * MR..(ip + 1) * kcb * MR];
+/// Packs the `mcb x kcb` block of A at `(ic, pc)` into `mr`-wide panels:
+/// `packed[(ip*kcb + p)*mr + i] = A[ic + ip*mr + i, pc+p]`, zero-padded in
+/// the ragged last panel. `mr` comes from the active backend.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: &[f32],
+    k: usize,
+    ic: usize,
+    pc: usize,
+    mcb: usize,
+    kcb: usize,
+    mr: usize,
+    packed: &mut [f32],
+) {
+    for ip in 0..mcb.div_ceil(mr) {
+        let i0 = ip * mr;
+        let iw = mr.min(mcb - i0);
+        let panel = &mut packed[ip * kcb * mr..(ip + 1) * kcb * mr];
         for p in 0..kcb {
-            let dst = &mut panel[p * MR..(p + 1) * MR];
+            let dst = &mut panel[p * mr..(p + 1) * mr];
             for (i, d) in dst.iter_mut().enumerate().take(iw) {
                 *d = a[(ic + i0 + i) * k + pc + p];
             }
@@ -178,11 +213,12 @@ fn pack_a(a: &[f32], k: usize, ic: usize, pc: usize, mcb: usize, kcb: usize, pac
     }
 }
 
-/// One macro-tile: all `MR x NR` micro-tiles of a `mcb x ncb` C block,
+/// One macro-tile: all `mr x NR` micro-tiles of a `mcb x ncb` C block,
 /// accumulating `packed_a * packed_b` into `cb` (a `<=MC`-row slice of C
-/// starting at column `jc`).
+/// starting at column `jc`) through the backend's register micro-kernel.
 #[allow(clippy::too_many_arguments)]
 fn macro_tile(
+    bk: &dyn MicroKernelBackend,
     packed_a: &[f32],
     packed_b: &[f32],
     cb: &mut [f32],
@@ -191,37 +227,25 @@ fn macro_tile(
     ncb: usize,
     n: usize,
     jc: usize,
+    mr: usize,
 ) {
+    let mut acc_buf = [0.0f32; MAX_MR * NR];
     for jp in 0..ncb.div_ceil(NR) {
         let j0 = jp * NR;
         let jw = NR.min(ncb - j0);
         let pb = &packed_b[jp * kcb * NR..(jp + 1) * kcb * NR];
-        for ip in 0..mcb.div_ceil(MR) {
-            let i0 = ip * MR;
-            let iw = MR.min(mcb - i0);
-            let pa = &packed_a[ip * kcb * MR..(ip + 1) * kcb * MR];
-            let mut acc = [[0.0f32; NR]; MR];
-            micro_kernel(pa, pb, &mut acc);
+        for ip in 0..mcb.div_ceil(mr) {
+            let i0 = ip * mr;
+            let iw = mr.min(mcb - i0);
+            let pa = &packed_a[ip * kcb * mr..(ip + 1) * kcb * mr];
+            let acc = &mut acc_buf[..mr * NR];
+            acc.fill(0.0);
+            bk.sgemm_tile(pa, pb, kcb, acc);
             for i in 0..iw {
                 let crow = &mut cb[(i0 + i) * n + jc + j0..(i0 + i) * n + jc + j0 + jw];
-                for (cv, av) in crow.iter_mut().zip(acc[i].iter()) {
+                for (cv, av) in crow.iter_mut().zip(acc[i * NR..(i + 1) * NR].iter()) {
                     *cv += av;
                 }
-            }
-        }
-    }
-}
-
-/// The register micro-kernel: `acc[MR][NR] += pa_panel^T * pb_panel` over
-/// the shared depth. Constant `MR`/`NR` trip counts let LLVM keep `acc` in
-/// registers and vectorize the `NR`-wide inner loop.
-#[inline]
-fn micro_kernel(pa: &[f32], pb: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (ar, br) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
-        for (i, accrow) in acc.iter_mut().enumerate() {
-            let av = ar[i];
-            for (j, accv) in accrow.iter_mut().enumerate() {
-                *accv += av * br[j];
             }
         }
     }
@@ -402,6 +426,38 @@ mod tests {
             c1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             c2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn wide16_micro_tile_matches_reference() {
+        // Drive the packed path through a 16-row micro-tile backend: both
+        // MC blocks ragged against mr=16 (MC=64 -> 4 tiles; m=70 leaves a
+        // 6-row tail) plus ragged n and multi-KC depth.
+        let (m, k, n) = (70, KC + 3, 37);
+        let a: Vec<f32> = (0..m * k).map(|x| ((x * 31) % 19) as f32 * 0.25 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|x| ((x * 57) % 13) as f32 * 0.125 - 0.75).collect();
+        let mut c = vec![f32::NAN; m * n];
+        gemm_packed_with(&backend::testing::Wide16, &a, &b, &mut c, m, k, n);
+        let expect = naive(&a, &b, m, k, n);
+        for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
+            assert!((x - y).abs() < 2e-3, "elem {}: {} vs {}", i, x, y);
+        }
+    }
+
+    #[test]
+    fn every_detected_backend_matches_reference() {
+        for kind in backend::BackendKind::detected() {
+            let bk = kind.instance().unwrap();
+            let (m, k, n) = (67, 33, 129);
+            let a: Vec<f32> = (0..m * k).map(|x| ((x * 31) % 17) as f32 * 0.25 - 2.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|x| ((x * 57) % 23) as f32 * 0.125 - 1.5).collect();
+            let mut c = vec![f32::NAN; m * n];
+            gemm_packed_with(bk, &a, &b, &mut c, m, k, n);
+            let expect = naive(&a, &b, m, k, n);
+            for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
+                assert!((x - y).abs() < 1e-3, "{:?} elem {}: {} vs {}", kind, i, x, y);
+            }
+        }
     }
 
     #[test]

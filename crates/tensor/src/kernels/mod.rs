@@ -21,17 +21,32 @@
 //!    in one flag flip.
 //!
 //! Error-bound policy: fast kernels may reassociate sums (blocking changes
-//! the reduction tree), so agreement with the naive reference is asserted
+//! the reduction tree) and may contract multiply+add to FMA (the avx2/neon
+//! [`backend`]s do), so agreement with the naive reference is asserted
 //! elementwise within `REL_TOL * |a|·|b| + ABS_TOL` where `|a|·|b|` is the
 //! same product computed over absolute values — a bound that scales with
 //! the condition of the dot product rather than its (possibly cancelled)
 //! value. Kernels that do *not* reassociate (bias+GELU, layernorm) must
-//! match bit-for-bit.
+//! match bit-for-bit on every backend.
+//!
+//! ## Mode vs backend precedence
+//!
+//! Two independent axes control dispatch, reconciled in this order:
+//!
+//! 1. **Kernel mode** (this module): [`force_kernel_mode`] beats
+//!    `APF_NAIVE_KERNELS` beats the fast default. In naive mode every
+//!    dispatch site takes the textbook reference loops and the SIMD
+//!    backend layer is never entered — a naive-mode test cannot
+//!    accidentally run vectorized code.
+//! 2. **Backend** ([`backend`]), consulted only in fast mode:
+//!    [`backend::force_backend`] beats `APF_KERNEL_BACKEND` beats the
+//!    best runtime-detected backend.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 pub mod attention;
+pub mod backend;
 pub mod conv;
 pub mod fused;
 pub mod gemm;

@@ -6,9 +6,12 @@
 //! call site costs one relaxed atomic load and records nothing — the
 //! kernels stay pure and dependency-light.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
-use apf_telemetry::{Counter, Telemetry};
+use apf_telemetry::{Counter, Gauge, Telemetry};
+
+use super::backend::BackendKind;
 
 /// Lazily-registered counter handles for the fast-kernel dispatch sites.
 pub(crate) struct KernelCounters {
@@ -65,4 +68,78 @@ pub(crate) fn counters() -> Option<&'static KernelCounters> {
     }
     let tel = Telemetry::global()?;
     Some(COUNTERS.get_or_init(|| KernelCounters::register(tel)))
+}
+
+/// Per-backend dispatch telemetry (`apf_tensor_backend_*`), one labeled
+/// series per [`BackendKind`], indexed by the kind's position in
+/// [`BackendKind::ALL`].
+pub(crate) struct BackendStats {
+    /// Fast-kernel dispatches routed to each backend.
+    dispatch: [Counter; 4],
+    /// 0/1 selection gauge: exactly one backend reads 1 once any fast
+    /// kernel has dispatched.
+    active: [Gauge; 4],
+    /// Dispatches that fell back because `APF_KERNEL_BACKEND` named an
+    /// unknown or unavailable backend.
+    invalid_override: Counter,
+}
+
+static BACKEND_STATS: OnceLock<BackendStats> = OnceLock::new();
+/// Last backend recorded in the `active` gauges (`u8::MAX` = none yet),
+/// so steady-state dispatches cost one counter bump + one atomic compare.
+static LAST_ACTIVE: AtomicU8 = AtomicU8::new(u8::MAX);
+
+impl BackendStats {
+    fn register(tel: &Telemetry) -> Self {
+        let series = |kind: BackendKind| vec![("backend", kind.name().to_string())];
+        BackendStats {
+            dispatch: BackendKind::ALL.map(|kind| {
+                tel.counter_with(
+                    "apf_tensor_backend_dispatch_total",
+                    series(kind),
+                    "Fast-kernel dispatches per micro-kernel backend",
+                )
+            }),
+            active: BackendKind::ALL.map(|kind| {
+                tel.gauge_with(
+                    "apf_tensor_backend_active",
+                    series(kind),
+                    "1 for the currently selected micro-kernel backend, else 0",
+                )
+            }),
+            invalid_override: tel.counter(
+                "apf_tensor_backend_override_invalid_total",
+                "Dispatches that ignored an invalid APF_KERNEL_BACKEND override",
+            ),
+        }
+    }
+}
+
+fn backend_stats() -> Option<&'static BackendStats> {
+    if let Some(s) = BACKEND_STATS.get() {
+        return Some(s);
+    }
+    let tel = Telemetry::global()?;
+    Some(BACKEND_STATS.get_or_init(|| BackendStats::register(tel)))
+}
+
+/// Records one fast-kernel dispatch to `kind`, refreshing the selection
+/// gauges when the active backend changes (first dispatch, or a test
+/// forcing a different backend mid-process).
+pub(crate) fn record_backend_dispatch(kind: BackendKind) {
+    let Some(stats) = backend_stats() else { return };
+    let idx = BackendKind::ALL.iter().position(|&k| k == kind).unwrap();
+    stats.dispatch[idx].inc();
+    if LAST_ACTIVE.swap(idx as u8, Ordering::Relaxed) != idx as u8 {
+        for (i, gauge) in stats.active.iter().enumerate() {
+            gauge.set(if i == idx { 1.0 } else { 0.0 });
+        }
+    }
+}
+
+/// Records a dispatch that had to ignore an invalid `APF_KERNEL_BACKEND`.
+pub(crate) fn record_invalid_override() {
+    if let Some(stats) = backend_stats() {
+        stats.invalid_override.inc();
+    }
 }

@@ -357,6 +357,34 @@ fn grad_conv2d_all_inputs() {
     });
 }
 
+/// Gradcheck for the conv fast path at a shape large enough to clear the
+/// packed-SGEMM dispatch floor with `cout < 4` — this exercises the
+/// transposed im2col lowering (`out^T = col^T . W^T`) rather than the
+/// small-problem `gemm` fallback the shapes above take.
+#[test]
+fn grad_conv2d_fast_path_small_cout() {
+    let geom = ConvGeom { kernel: 3, stride: 1, pad: 1 };
+    // m=2 (cout), k=27, n=256: 2*27*256 = 13824 >= PACK_FLOPS, m < 4.
+    let wt = Tensor::rand_uniform([2, 3, 3, 3], -0.5, 0.5, 151);
+    check_gradient(&wt, tol(), |g, t| {
+        let x = g.constant(Tensor::rand_uniform([1, 3, 16, 16], -1.0, 1.0, 152));
+        let w = g.leaf(t);
+        let b = g.constant(Tensor::rand_uniform([2], -0.1, 0.1, 153));
+        let y = g.conv2d(x, w, b, geom);
+        let l = g.mean_all(y);
+        (w, l)
+    });
+    let x = Tensor::rand_uniform([1, 3, 16, 16], -1.0, 1.0, 154);
+    check_gradient(&x, tol(), |g, t| {
+        let a = g.leaf(t);
+        let w = g.constant(Tensor::rand_uniform([2, 3, 3, 3], -0.5, 0.5, 155));
+        let b = g.constant(Tensor::rand_uniform([2], -0.1, 0.1, 156));
+        let y = g.conv2d(a, w, b, geom);
+        let l = g.mean_all(y);
+        (a, l)
+    });
+}
+
 #[test]
 fn grad_conv_transpose2d() {
     let geom = ConvGeom { kernel: 2, stride: 2, pad: 0 };

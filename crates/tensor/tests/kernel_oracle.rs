@@ -1,25 +1,34 @@
 //! Differential kernel-oracle suite: every fast-path kernel is checked
-//! against its naive reference over ragged shapes and adversarial values.
+//! against its naive reference over ragged shapes and adversarial values,
+//! and every property runs once per compiled-and-detected SIMD backend
+//! via forced dispatch (the per-backend matrix at the bottom).
 //!
 //! # Error-bound policy
 //!
 //! - **SGEMM** (`gemm_packed` vs `gemm_naive`): blocking reassociates the
-//!   k-reduction, so results may differ by rounding. The bound is
-//!   per-element: `|fast - naive| <= REL_TOL * absprod + ABS_TOL`, where
-//!   `absprod = |A| . |B|` (the same contraction over absolute values) is
-//!   the natural magnitude scale of the dot product. With f32 and k <= 1024
-//!   the reassociation error is far below `REL_TOL = 1e-5`.
+//!   k-reduction and FMA backends contract multiply+add, so results may
+//!   differ by rounding. The bound is per-element: `|fast - naive| <=
+//!   REL_TOL * absprod + ABS_TOL`, where `absprod = |A| . |B|` (the same
+//!   contraction over absolute values) is the natural magnitude scale of
+//!   the dot product. With f32 and k <= 1024 the reassociation + FMA
+//!   error is far below `REL_TOL = 1e-5`.
 //! - **Fused attention** vs the materialized reference: online softmax
 //!   reassociates both the max/denominator scan and the value accumulation;
 //!   outputs are convex combinations of `v` rows, so an absolute tolerance
 //!   of `1e-5` at unit-scale inputs is ample.
+//! - **im2col conv** vs the direct quadruple loop: same contraction-shaped
+//!   bound as SGEMM, with the magnitude scale computed by running the
+//!   direct conv over absolute values.
 //! - **Fused bias+GELU and layernorm** fuse traversals, not arithmetic:
-//!   the oracle demands **bit-identical** outputs.
+//!   the oracle demands **bit-identical** outputs on *every* backend (the
+//!   trait contract forbids FMA in these loops).
 //! - Non-finite values must never be silently laundered: wherever the naive
 //!   kernel produces NaN/inf, the fast kernel must produce a non-finite
 //!   value too (and vice versa).
 
 use apf_tensor::kernels::attention::{attention_naive, fused_attention_forward};
+use apf_tensor::kernels::backend::{force_backend, kernel_backend, BackendKind};
+use apf_tensor::kernels::conv::{conv2d, conv2d_direct, ConvGeom};
 use apf_tensor::kernels::fused::{
     bias_gelu_forward, gelu_fwd, layernorm_forward, layernorm_naive,
 };
@@ -95,142 +104,152 @@ fn check_gemm_pair(m: usize, k: usize, n: usize, seed: u64) {
     assert_gemm_close(&fast, &naive, &absprod);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn gemm_packed_matches_naive(m in 1usize..70, k in 1usize..70, n in 1usize..70, seed in 0u64..1_000_000) {
-        check_gemm_pair(m, k, n, seed);
-    }
-
-    #[test]
-    fn gemm_degenerate_dims(dim in prop_oneof![Just(1usize), Just(2usize)], which in 0usize..3, seed in 0u64..1_000_000) {
-        // Pin one of m/k/n to 1 or 2 while the others stay ragged.
-        let (mut m, mut k, mut n) = (17, 23, 19);
-        match which { 0 => m = dim, 1 => k = dim, _ => n = dim }
-        check_gemm_pair(m, k, n, seed);
-    }
-
-    #[test]
-    fn attention_fused_matches_naive(
-        bh in 1usize..4,
-        lq in 1usize..24,
-        lk in 1usize..24,
-        dh in 1usize..9,
-        q_tile in 1usize..8,
-        k_tile in 1usize..8,
-        masked in prop_oneof![Just(false), Just(true)],
-        seed in 0u64..1_000_000,
-    ) {
-        let q = Tensor::rand_uniform([bh, lq, dh], -1.5, 1.5, seed).to_vec();
-        let k = Tensor::rand_uniform([bh, lk, dh], -1.5, 1.5, seed ^ 1).to_vec();
-        let v = Tensor::rand_uniform([bh, lk, dh], -1.5, 1.5, seed ^ 2).to_vec();
-        // Key bias: the padding mask as used by the transformer (-1e9 on
-        // masked keys), never masking key 0 so every row has a survivor.
-        let bias: Option<Vec<f32>> = if masked {
-            let mut b = vec![0.0f32; bh * lk];
-            let mut state = seed | 1;
-            for (i, slot) in b.iter_mut().enumerate() {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                if i % lk != 0 && state % 3 == 0 {
-                    *slot = -1e9;
-                }
+/// Runs fused vs materialized attention and checks the 1e-5 bound.
+#[allow(clippy::too_many_arguments)]
+fn check_attention_pair(
+    bh: usize,
+    lq: usize,
+    lk: usize,
+    dh: usize,
+    q_tile: usize,
+    k_tile: usize,
+    masked: bool,
+    seed: u64,
+) {
+    let q = Tensor::rand_uniform([bh, lq, dh], -1.5, 1.5, seed).to_vec();
+    let k = Tensor::rand_uniform([bh, lk, dh], -1.5, 1.5, seed ^ 1).to_vec();
+    let v = Tensor::rand_uniform([bh, lk, dh], -1.5, 1.5, seed ^ 2).to_vec();
+    // Key bias: the padding mask as used by the transformer (-1e9 on
+    // masked keys), never masking key 0 so every row has a survivor.
+    let bias: Option<Vec<f32>> = if masked {
+        let mut b = vec![0.0f32; bh * lk];
+        let mut state = seed | 1;
+        for (i, slot) in b.iter_mut().enumerate() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if i % lk != 0 && state.is_multiple_of(3) {
+                *slot = -1e9;
             }
-            Some(b)
-        } else {
-            None
-        };
-        let scale = 1.0 / (dh as f32).sqrt();
-
-        let mut fast = vec![f32::NAN; bh * lq * dh];
-        let mut lse = vec![f32::NAN; bh * lq];
-        fused_attention_forward(
-            &q, &k, &v, bias.as_deref(), bh, lq, lk, dh, scale, q_tile, k_tile, &mut fast, &mut lse,
-        );
-        let mut naive = vec![0.0f32; bh * lq * dh];
-        attention_naive(&q, &k, &v, bias.as_deref(), bh, lq, lk, dh, scale, &mut naive);
-
-        for (i, (&f, &n)) in fast.iter().zip(naive.iter()).enumerate() {
-            prop_assert!((f - n).abs() < 1e-5, "elem {}: fused {} vs naive {}", i, f, n);
         }
-        prop_assert!(lse.iter().all(|l| l.is_finite()));
-    }
+        Some(b)
+    } else {
+        None
+    };
+    let scale = 1.0 / (dh as f32).sqrt();
 
-    #[test]
-    fn bias_gelu_is_bit_identical_to_unfused(rows in 1usize..12, d in 1usize..24, seed in 0u64..1_000_000) {
-        let mut x = Tensor::rand_uniform([rows, d], -4.0, 4.0, seed).to_vec();
-        let mut b = Tensor::rand_uniform([d], -1.0, 1.0, seed ^ 7).to_vec();
-        inject_specials(&mut x, seed ^ 0x11);
-        inject_specials(&mut b, seed ^ 0x22);
-        let mut fused = vec![0.0f32; rows * d];
-        bias_gelu_forward(&x, &b, &mut fused);
-        for (i, &f) in fused.iter().enumerate() {
-            let reference = gelu_fwd(x[i] + b[i % d]);
-            prop_assert_eq!(reference.to_bits(), f.to_bits(), "elem {}", i);
-        }
-    }
+    let mut fast = vec![f32::NAN; bh * lq * dh];
+    let mut lse = vec![f32::NAN; bh * lq];
+    fused_attention_forward(
+        &q, &k, &v, bias.as_deref(), bh, lq, lk, dh, scale, q_tile, k_tile, &mut fast, &mut lse,
+    );
+    let mut naive = vec![0.0f32; bh * lq * dh];
+    attention_naive(&q, &k, &v, bias.as_deref(), bh, lq, lk, dh, scale, &mut naive);
 
-    #[test]
-    fn layernorm_is_bit_identical_to_naive(rows in 1usize..12, d in 1usize..24, seed in 0u64..1_000_000) {
-        let mut x = Tensor::rand_uniform([rows, d], -3.0, 3.0, seed).to_vec();
-        inject_specials(&mut x, seed ^ 0x33);
-        let gamma = Tensor::rand_uniform([d], 0.5, 1.5, seed ^ 8).to_vec();
-        let beta = Tensor::rand_uniform([d], -0.5, 0.5, seed ^ 9).to_vec();
-        let mut of = vec![0.0f32; rows * d];
-        let mut mf = vec![0.0f32; rows];
-        let mut sf = vec![0.0f32; rows];
-        layernorm_forward(&x, &gamma, &beta, 1e-5, rows, d, &mut of, &mut mf, &mut sf);
-        let mut on = vec![0.0f32; rows * d];
-        let mut mn = vec![0.0f32; rows];
-        let mut sn = vec![0.0f32; rows];
-        layernorm_naive(&x, &gamma, &beta, 1e-5, rows, d, &mut on, &mut mn, &mut sn);
-        prop_assert_eq!(
-            of.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            on.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
-        );
-        prop_assert_eq!(
-            mf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            mn.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
-        );
-        prop_assert_eq!(
-            sf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            sn.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    for (i, (&f, &n)) in fast.iter().zip(naive.iter()).enumerate() {
+        assert!((f - n).abs() < 1e-5, "elem {}: fused {} vs naive {}", i, f, n);
+    }
+    assert!(lse.iter().all(|l| l.is_finite()));
+}
+
+/// Fused bias+GELU must match the unfused scalar form bit-for-bit.
+fn check_bias_gelu_bits(rows: usize, d: usize, seed: u64) {
+    let mut x = Tensor::rand_uniform([rows, d], -4.0, 4.0, seed).to_vec();
+    let mut b = Tensor::rand_uniform([d], -1.0, 1.0, seed ^ 7).to_vec();
+    inject_specials(&mut x, seed ^ 0x11);
+    inject_specials(&mut b, seed ^ 0x22);
+    let mut fused = vec![0.0f32; rows * d];
+    bias_gelu_forward(&x, &b, &mut fused);
+    for (i, &f) in fused.iter().enumerate() {
+        let reference = gelu_fwd(x[i] + b[i % d]);
+        assert_eq!(reference.to_bits(), f.to_bits(), "elem {}", i);
+    }
+}
+
+/// Fast layernorm must match the naive reference bit-for-bit.
+fn check_layernorm_bits(rows: usize, d: usize, seed: u64) {
+    let mut x = Tensor::rand_uniform([rows, d], -3.0, 3.0, seed).to_vec();
+    inject_specials(&mut x, seed ^ 0x33);
+    let gamma = Tensor::rand_uniform([d], 0.5, 1.5, seed ^ 8).to_vec();
+    let beta = Tensor::rand_uniform([d], -0.5, 0.5, seed ^ 9).to_vec();
+    let mut of = vec![0.0f32; rows * d];
+    let mut mf = vec![0.0f32; rows];
+    let mut sf = vec![0.0f32; rows];
+    layernorm_forward(&x, &gamma, &beta, 1e-5, rows, d, &mut of, &mut mf, &mut sf);
+    let mut on = vec![0.0f32; rows * d];
+    let mut mn = vec![0.0f32; rows];
+    let mut sn = vec![0.0f32; rows];
+    layernorm_naive(&x, &gamma, &beta, 1e-5, rows, d, &mut on, &mut mn, &mut sn);
+    assert_eq!(
+        of.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        on.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        mf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        mn.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        sf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        sn.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+/// im2col+SGEMM conv vs the direct quadruple loop, bounded by the
+/// contraction over absolute values (the conv analogue of the GEMM
+/// absprod bound).
+#[allow(clippy::too_many_arguments)]
+fn check_conv_pair(
+    b: usize,
+    cin: usize,
+    cout: usize,
+    h: usize,
+    w: usize,
+    g: ConvGeom,
+    with_bias: bool,
+    seed: u64,
+) {
+    let x = Tensor::rand_uniform([b, cin, h, w], -1.5, 1.5, seed);
+    let wt = Tensor::rand_uniform([cout, cin, g.kernel, g.kernel], -1.0, 1.0, seed ^ 0x51);
+    let bias = with_bias.then(|| Tensor::rand_uniform([cout], -0.5, 0.5, seed ^ 0x52));
+
+    let fast = conv2d(&x, &wt, bias.as_ref(), g);
+    let slow = conv2d_direct(&x, &wt, bias.as_ref(), g);
+    assert_eq!(fast.dims(), slow.dims());
+
+    // Magnitude scale: the same conv over |x|, |w|, |bias|.
+    let xa = Tensor::new(x.shape().clone(), x.data().iter().map(|v| v.abs()).collect::<Vec<_>>());
+    let wa = Tensor::new(
+        wt.shape().clone(),
+        wt.data().iter().map(|v| v.abs()).collect::<Vec<_>>(),
+    );
+    let ba = bias
+        .as_ref()
+        .map(|bb| Tensor::new([cout], bb.data().iter().map(|v| v.abs()).collect::<Vec<_>>()));
+    let absconv = conv2d_direct(&xa, &wa, ba.as_ref(), g);
+
+    for (i, ((&f, &n), &ap)) in fast
+        .data()
+        .iter()
+        .zip(slow.data().iter())
+        .zip(absconv.data().iter())
+        .enumerate()
+    {
+        let tol = REL_TOL * ap + ABS_TOL;
+        assert!(
+            (f - n).abs() <= tol,
+            "conv elem {}: fast {} vs direct {} (tol {}, geom {:?})",
+            i,
+            f,
+            n,
+            tol,
+            g
         );
     }
 }
 
-#[test]
-fn gemm_zero_sized_dims_are_consistent() {
-    // k == 0: both must zero the output (empty contraction).
-    let mut fast = vec![f32::NAN; 6];
-    let mut naive = vec![f32::NAN; 6];
-    gemm_packed(&[], &[], &mut fast, 2, 0, 3);
-    gemm_naive(&[], &[], &mut naive, 2, 0, 3);
-    assert!(fast.iter().all(|&v| v == 0.0));
-    assert!(naive.iter().all(|&v| v == 0.0));
-
-    // m == 0 and n == 0: no output at all, must not panic.
-    gemm_packed(&[], &[1.0, 2.0], &mut [], 0, 1, 2);
-    gemm_naive(&[], &[1.0, 2.0], &mut [], 0, 1, 2);
-    gemm_packed(&[1.0, 2.0], &[], &mut [], 2, 1, 0);
-    gemm_naive(&[1.0, 2.0], &[], &mut [], 2, 1, 0);
-}
-
-#[test]
-fn attention_zero_batch_is_a_no_op() {
-    let mut out: Vec<f32> = vec![];
-    let mut lse: Vec<f32> = vec![];
-    fused_attention_forward(&[], &[], &[], None, 0, 3, 4, 2, 1.0, 4, 4, &mut out, &mut lse);
-    attention_naive(&[], &[], &[], None, 0, 3, 4, 2, 1.0, &mut []);
-}
-
-/// Regression for the old `gemm_row` zero-skip branch: `if av == 0.0 {
-/// continue }` silently turned `0.0 * NaN` and `0.0 * inf` into `0.0`.
-/// Both kernels must propagate NaN through a zero row.
-#[test]
-fn zero_times_nonfinite_propagates_nan() {
+/// The 0·NaN / 0·inf laundering regression, parameterized so the
+/// per-backend matrix can re-run it under forced dispatch.
+fn check_zero_times_nonfinite() {
     let m = 3;
     let k = 4;
     let n = 5;
@@ -271,10 +290,8 @@ fn zero_times_nonfinite_propagates_nan() {
     assert!(c[0].is_nan() && c[1].is_nan());
 }
 
-/// Attention must not launder NaN queries: a NaN in `q` poisons the whole
-/// output row in both implementations.
-#[test]
-fn attention_propagates_nan_query() {
+/// NaN-query propagation, parameterized for the per-backend matrix.
+fn check_attention_nan_query() {
     let (bh, lq, lk, dh) = (1usize, 3usize, 5usize, 2usize);
     let mut q = Tensor::rand_uniform([bh, lq, dh], -1.0, 1.0, 77).to_vec();
     let k = Tensor::rand_uniform([bh, lk, dh], -1.0, 1.0, 78).to_vec();
@@ -294,4 +311,167 @@ fn attention_propagates_nan_query() {
         assert!((fast[i] - naive[i]).abs() < 1e-5);
         assert!((fast[2 * dh + i] - naive[2 * dh + i]).abs() < 1e-5);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_packed_matches_naive(m in 1usize..70, k in 1usize..70, n in 1usize..70, seed in 0u64..1_000_000) {
+        check_gemm_pair(m, k, n, seed);
+    }
+
+    #[test]
+    fn gemm_degenerate_dims(dim in prop_oneof![Just(1usize), Just(2usize)], which in 0usize..3, seed in 0u64..1_000_000) {
+        // Pin one of m/k/n to 1 or 2 while the others stay ragged.
+        let (mut m, mut k, mut n) = (17, 23, 19);
+        match which { 0 => m = dim, 1 => k = dim, _ => n = dim }
+        check_gemm_pair(m, k, n, seed);
+    }
+
+    #[test]
+    fn attention_fused_matches_naive(
+        bh in 1usize..4,
+        lq in 1usize..24,
+        lk in 1usize..24,
+        dh in 1usize..9,
+        q_tile in 1usize..8,
+        k_tile in 1usize..8,
+        masked in prop_oneof![Just(false), Just(true)],
+        seed in 0u64..1_000_000,
+    ) {
+        check_attention_pair(bh, lq, lk, dh, q_tile, k_tile, masked, seed);
+    }
+
+    #[test]
+    fn bias_gelu_is_bit_identical_to_unfused(rows in 1usize..12, d in 1usize..24, seed in 0u64..1_000_000) {
+        check_bias_gelu_bits(rows, d, seed);
+    }
+
+    #[test]
+    fn layernorm_is_bit_identical_to_naive(rows in 1usize..12, d in 1usize..24, seed in 0u64..1_000_000) {
+        check_layernorm_bits(rows, d, seed);
+    }
+
+    #[test]
+    fn conv_im2col_matches_direct(
+        b in 1usize..3,
+        cin in 1usize..4,
+        cout in 1usize..6,
+        kernel in 1usize..5,
+        stride in 1usize..4,
+        pad in 0usize..3,
+        extra in 0usize..8,
+        with_bias in prop_oneof![Just(false), Just(true)],
+        seed in 0u64..1_000_000,
+    ) {
+        // h, w >= kernel so the geometry is always valid, even at pad 0.
+        let g = ConvGeom { kernel, stride, pad };
+        let h = kernel + extra;
+        let w = kernel + extra / 2;
+        check_conv_pair(b, cin, cout, h, w, g, with_bias, seed);
+    }
+}
+
+#[test]
+fn gemm_zero_sized_dims_are_consistent() {
+    // k == 0: both must zero the output (empty contraction).
+    let mut fast = vec![f32::NAN; 6];
+    let mut naive = vec![f32::NAN; 6];
+    gemm_packed(&[], &[], &mut fast, 2, 0, 3);
+    gemm_naive(&[], &[], &mut naive, 2, 0, 3);
+    assert!(fast.iter().all(|&v| v == 0.0));
+    assert!(naive.iter().all(|&v| v == 0.0));
+
+    // m == 0 and n == 0: no output at all, must not panic.
+    gemm_packed(&[], &[1.0, 2.0], &mut [], 0, 1, 2);
+    gemm_naive(&[], &[1.0, 2.0], &mut [], 0, 1, 2);
+    gemm_packed(&[1.0, 2.0], &[], &mut [], 2, 1, 0);
+    gemm_naive(&[1.0, 2.0], &[], &mut [], 2, 1, 0);
+}
+
+#[test]
+fn attention_zero_batch_is_a_no_op() {
+    let mut out: Vec<f32> = vec![];
+    let mut lse: Vec<f32> = vec![];
+    fused_attention_forward(&[], &[], &[], None, 0, 3, 4, 2, 1.0, 4, 4, &mut out, &mut lse);
+    attention_naive(&[], &[], &[], None, 0, 3, 4, 2, 1.0, &mut []);
+}
+
+/// Regression for the old `gemm_row` zero-skip branch: `if av == 0.0 {
+/// continue }` silently turned `0.0 * NaN` and `0.0 * inf` into `0.0`.
+/// Both kernels must propagate NaN through a zero row.
+#[test]
+fn zero_times_nonfinite_propagates_nan() {
+    check_zero_times_nonfinite();
+}
+
+/// Attention must not launder NaN queries: a NaN in `q` poisons the whole
+/// output row in both implementations.
+#[test]
+fn attention_propagates_nan_query() {
+    check_attention_nan_query();
+}
+
+/// One-cut conv edge cases the proptest strategy reaches rarely:
+/// 1x1 kernels (pure channel mix), single-channel in/out, kernel == image.
+#[test]
+fn conv_edge_geometries_match_direct() {
+    // 1x1 kernel, stride 2.
+    check_conv_pair(2, 3, 4, 7, 7, ConvGeom { kernel: 1, stride: 2, pad: 0 }, true, 0xA1);
+    // Single input and output channel.
+    check_conv_pair(1, 1, 1, 9, 6, ConvGeom { kernel: 3, stride: 1, pad: 1 }, false, 0xA2);
+    // Kernel covering the whole (padded) image: one output pixel.
+    check_conv_pair(1, 2, 3, 5, 5, ConvGeom { kernel: 5, stride: 1, pad: 0 }, true, 0xA3);
+    // Pad larger than half the kernel, stride 3.
+    check_conv_pair(1, 2, 2, 6, 8, ConvGeom { kernel: 3, stride: 3, pad: 2 }, false, 0xA4);
+    // Small-cout head shape big enough for the transposed packed path.
+    check_conv_pair(1, 3, 2, 16, 16, ConvGeom { kernel: 3, stride: 1, pad: 1 }, true, 0xA5);
+}
+
+/// The per-backend differential matrix (the tentpole's lock): every
+/// oracle property above re-runs once per compiled-and-detected backend
+/// with dispatch forced to it. Forcing is process-global, so all backends
+/// run inside this single `#[test]`, sequentially; concurrent tests in
+/// this binary stay correct because every backend must satisfy the exact
+/// same bounds these assertions encode.
+#[test]
+fn per_backend_differential_matrix() {
+    let detected = BackendKind::detected();
+    assert!(detected.contains(&BackendKind::Scalar), "scalar must always be detected");
+    for &kind in &detected {
+        force_backend(Some(kind)).unwrap();
+        assert_eq!(kernel_backend().unwrap(), kind, "forced backend must be selected");
+
+        // SGEMM: ragged, degenerate, below-dispatch-floor, multi-KC-deep.
+        for &(m, k, n, seed) in &[
+            (67usize, 33usize, 129usize, 1u64), // every ragged edge
+            (8, 8, 8, 2),                       // exactly one micro-tile
+            (1, 17, 9, 3),                      // m = 1 degenerate
+            (23, 1, 8, 4),                      // k = 1 degenerate
+            (16, 300, 24, 5),                   // k > KC: multi-block depth
+            (70, 40, 70, 6),                    // multi-MC rows
+        ] {
+            check_gemm_pair(m, k, n, seed);
+        }
+        check_zero_times_nonfinite();
+
+        // Attention: ragged tiles, single key, bias mask, full tiles.
+        check_attention_pair(2, 7, 7, 3, 4, 4, false, 21);
+        check_attention_pair(3, 9, 1, 4, 2, 1, false, 22);
+        check_attention_pair(2, 6, 6, 4, 3, 2, true, 23);
+        check_attention_pair(2, 33, 17, 8, 8, 8, true, 24);
+        check_attention_nan_query();
+
+        // Traversal-only fusions: exact bits on every backend.
+        check_bias_gelu_bits(9, 13, 31);
+        check_bias_gelu_bits(3, 37, 32); // d > one vector width, ragged tail
+        check_layernorm_bits(9, 13, 33);
+        check_layernorm_bits(4, 67, 34); // ragged tail after 8-wide lanes
+
+        // Conv lowering, including the small-cout transposed path.
+        check_conv_pair(1, 2, 3, 8, 8, ConvGeom { kernel: 3, stride: 1, pad: 1 }, true, 41);
+        check_conv_pair(1, 3, 2, 16, 16, ConvGeom { kernel: 3, stride: 1, pad: 1 }, false, 42);
+    }
+    force_backend(None).unwrap();
 }

@@ -65,9 +65,17 @@ cargo run --release -q -p apf-bench --bin telemetry_overhead
 test -s results/telemetry_overhead.json || { echo "missing telemetry_overhead.json" >&2; exit 1; }
 
 echo "==> kernel-oracle differential suite (release: exercises the vectorized paths)"
+# Twice: once under the best-detected SIMD backend (the default), once with
+# dispatch pinned to the scalar reference backend — so a backend bug cannot
+# hide behind the matrix test's own forcing, and the forced-env path itself
+# stays exercised.
 cargo test --release -q -p apf-tensor --test kernel_oracle
+APF_KERNEL_BACKEND=scalar cargo test --release -q -p apf-tensor --test kernel_oracle
 
-echo "==> kernel_bench gate (packed SGEMM >= 2x, fused attention beats materialized)"
+echo "==> backend dispatch-layer tests (detection order, overrides, telemetry)"
+cargo test --release -q -p apf-tensor --test backend_dispatch
+
+echo "==> kernel_bench gate (per backend; best: packed SGEMM >= 2x, fused attention >= 1.05x)"
 rm -f results/kernel_bench.json
 cargo run --release -q -p apf-bench --bin kernel_bench
 test -s results/kernel_bench.json || { echo "missing kernel_bench.json" >&2; exit 1; }
