@@ -21,6 +21,14 @@
 //!
 //! Usage: `cargo run --release -p apf-bench --bin frontdoor_soak
 //!         [--clients 6] [--requests 18] [--seed 7] [--quick]`
+//!
+//! `--scale` switches to the high-volume batched mode: >= 10^5 clean
+//! requests from a small repeated-slide pool against a continuous-batching
+//! engine, gating that every request completes, the preprocessing cache
+//! lands >= 90% hits, batches actually form (mean occupancy > 1), and no
+//! engine response slot is orphaned. Archived separately as
+//! `results/frontdoor_soak_scale.json` so the faulted soak's artifacts
+//! stay untouched.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,8 +42,9 @@ use apf_serve::wire::{
     WireStatus, DEFAULT_MAX_PAYLOAD,
 };
 use apf_serve::{
-    BreakerConfig, DegradationPolicy, InferenceFault, InferenceFaultKind, ServeConfig, ServeEngine,
-    ServeFaultPlan, ServeFaultRates, ServeMetrics, WorkerReport,
+    BatchConfig, BatchStatsSnapshot, BreakerConfig, CacheStats, DegradationPolicy, InferenceFault,
+    InferenceFaultKind, ServeConfig, ServeEngine, ServeFaultPlan, ServeFaultRates, ServeMetrics,
+    WorkerReport,
 };
 use apf_telemetry::{Telemetry, TelemetrySnapshot};
 use rand::{Rng, SeedableRng};
@@ -179,8 +188,239 @@ fn draw_request(
     }
 }
 
+/// Archived verdicts of the `--scale` mode. Every boolean is also asserted
+/// in-process; the JSON lets `check.sh` gate on the same facts.
+#[derive(Serialize)]
+struct ScaleReport {
+    clients: usize,
+    requests_per_client: u64,
+    requests_total: u64,
+    seed: u64,
+    max_batch: usize,
+    batch_linger_ms: u64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    calls_ok: u64,
+    typed_client_failures: u64,
+    untyped_client_failures: u64,
+    engine_submitted: u64,
+    engine_responses: u64,
+    no_orphaned_worker_slots: bool,
+    batch: BatchStatsSnapshot,
+    batching_active: bool,
+    cache: CacheStats,
+    cache_hit_rate: f64,
+    cache_hit_rate_ok: bool,
+    server_panics: u64,
+    engine_metrics: ServeMetrics,
+}
+
+/// The `--scale` soak: a clean high-volume workload (no injected faults,
+/// no starved tenant, no mid-soak drain) that exists to prove the batched
+/// front door holds up at >= 10^5 requests.
+fn run_scale_soak(args: &Args) {
+    let quick = args.flag("quick");
+    let clients = args.get("clients", 16usize);
+    let requests = args.get("requests", if quick { 256u64 } else { 6_400 });
+    let seed = args.get("seed", 7u64);
+    let total = clients as u64 * requests;
+    if !quick {
+        assert!(total >= 100_000, "scale soak must cover >= 1e5 requests, got {total}");
+    }
+    let max_batch = 16usize;
+    let batch_linger_ms = 2u64;
+
+    let tel = Telemetry::enabled();
+    let policy = DegradationPolicy::default();
+    let engine = Arc::new(ServeEngine::start(ServeConfig {
+        workers: 2,
+        // Deep enough that 16 in-flight clients never cross the
+        // degradation thresholds: one tier means one cache variant per
+        // slide in the pool.
+        queue_capacity: 256,
+        patch_size: 4,
+        model: apf_models::vit::ViTConfig::tiny(16, policy.full_len),
+        model_seed: seed,
+        default_deadline_ms: None,
+        retry_after_ms: 25,
+        poll_ms: 1,
+        breaker: BreakerConfig::default(),
+        policy,
+        faults: ServeFaultPlan::none(),
+        batch: BatchConfig::enabled(max_batch, batch_linger_ms),
+        telemetry: tel.clone(),
+        flight_dump_dir: None,
+    }));
+    let server = WireServer::start(
+        Arc::clone(&engine),
+        WireConfig {
+            read_timeout_ms: 50,
+            write_timeout_ms: 5_000,
+            max_connections: clients * 2,
+            drain_deadline_ms: 30_000,
+            quota: QuotaConfig {
+                default_limit: QuotaLimit { burst: 1e9, per_sec: 1e9 },
+                overrides: vec![],
+            },
+            telemetry: tel.clone(),
+            flight_dump_dir: None,
+            ..WireConfig::default()
+        },
+    )
+    .expect("bind loopback front door");
+    let addr = server.local_addr();
+    println!(
+        "frontdoor_soak --scale: {clients} clients x {requests} requests ({total} total), \
+         batching {max_batch}x{batch_linger_ms}ms, server {addr}"
+    );
+
+    // A pool of 8 repeated slides: every request re-sends one of these 8
+    // pixel buffers, so after 8 builds the preprocessing cache should
+    // answer everything (hit rate ~ 1 - 8/total).
+    let pool: Arc<Vec<Vec<f32>>> = Arc::new(
+        (0..8u64)
+            .map(|s| {
+                (0..32 * 32)
+                    .map(|i| {
+                        let (x, y) = (i % 32, i / 32);
+                        (((x * (3 + s as usize)) ^ (y * (5 + s as usize))) % 97) as f32 / 96.0
+                    })
+                    .collect()
+            })
+            .collect(),
+    );
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let pool = Arc::clone(&pool);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("scale-client-{c}"))
+                .spawn(move || {
+                    let mut cli = WireClient::connect(
+                        addr,
+                        ClientConfig {
+                            tenant: c as u64,
+                            seed: 0x5ca1e ^ c as u64,
+                            max_attempts: 6,
+                            base_backoff_ms: 2,
+                            max_backoff_ms: 200,
+                            attempt_budget_ms: 60_000,
+                            read_timeout_ms: 60_000,
+                            ..ClientConfig::default()
+                        },
+                    );
+                    let (mut ok, mut failed) = (0u64, 0u64);
+                    for k in 0..requests {
+                        let pixels = pool[(c as u64 + k) as usize % pool.len()].clone();
+                        match cli.call(&WireRequest::Segment {
+                            deadline_ms: 0,
+                            width: 32,
+                            height: 32,
+                            pixels,
+                        }) {
+                            Ok(WireStatus::Ok { .. }) => ok += 1,
+                            _ => failed += 1,
+                        }
+                    }
+                    (ok, failed)
+                })
+                .expect("spawn scale client"),
+        );
+    }
+    let mut calls_ok = 0u64;
+    let mut typed_client_failures = 0u64;
+    let mut untyped_client_failures = 0u64;
+    for h in handles {
+        match h.join() {
+            Ok((ok, failed)) => {
+                calls_ok += ok;
+                typed_client_failures += failed;
+            }
+            Err(_) => untyped_client_failures += 1,
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let drain = server.drain();
+    let engine = Arc::try_unwrap(engine).ok().expect("engine still shared after drain");
+    let report = engine.shutdown();
+    let batch = report.batch.clone().expect("batched engine reports batch stats");
+    let cache = report.cache.clone().expect("batched engine reports cache stats");
+
+    // ---- Gates (asserted here, archived for check.sh) ----------------
+    assert_eq!(untyped_client_failures, 0, "client thread(s) panicked");
+    assert_eq!(
+        calls_ok, total,
+        "a clean workload must complete every request ({typed_client_failures} failed)"
+    );
+    let no_orphaned_worker_slots = report.metrics.responses() == report.metrics.submitted;
+    assert!(
+        no_orphaned_worker_slots,
+        "orphaned worker slots: {} submitted, {} answered",
+        report.metrics.submitted,
+        report.metrics.responses()
+    );
+    assert_eq!(drain.conn_panics, 0, "connection handlers panicked");
+    let cache_hit_rate = cache.hit_rate();
+    let cache_hit_rate_ok = cache_hit_rate >= 0.90;
+    assert!(
+        cache_hit_rate_ok,
+        "repeated-slide pool must land >= 90% cache hits, got {cache_hit_rate:.4}"
+    );
+    let batching_active = batch.mean_occupancy > 1.0 && batch.batches < batch.batched_requests;
+    assert!(
+        batching_active,
+        "batches never formed under 16 concurrent clients: {batch:?}"
+    );
+
+    let scale = ScaleReport {
+        clients,
+        requests_per_client: requests,
+        requests_total: total,
+        seed,
+        max_batch,
+        batch_linger_ms,
+        elapsed_s,
+        throughput_rps: total as f64 / elapsed_s,
+        calls_ok,
+        typed_client_failures,
+        untyped_client_failures,
+        engine_submitted: report.metrics.submitted,
+        engine_responses: report.metrics.responses(),
+        no_orphaned_worker_slots,
+        batching_active,
+        batch,
+        cache_hit_rate,
+        cache_hit_rate_ok,
+        cache,
+        server_panics: drain.conn_panics,
+        engine_metrics: report.metrics.clone(),
+    };
+    print_table(
+        "front door scale soak",
+        &["metric", "value"],
+        &[
+            vec!["requests".into(), scale.requests_total.to_string()],
+            vec!["ok".into(), scale.calls_ok.to_string()],
+            vec!["elapsed s".into(), format!("{:.1}", scale.elapsed_s)],
+            vec!["throughput rps".into(), format!("{:.0}", scale.throughput_rps)],
+            vec!["batches".into(), scale.batch.batches.to_string()],
+            vec!["mean occupancy".into(), format!("{:.2}", scale.batch.mean_occupancy)],
+            vec!["cache hit rate".into(), format!("{:.4}", scale.cache_hit_rate)],
+        ],
+    );
+    save_json("frontdoor_soak_scale", &scale);
+    println!("frontdoor_soak --scale: all scale invariants held");
+}
+
 fn main() {
     let args = Args::parse();
+    if args.flag("scale") {
+        run_scale_soak(&args);
+        return;
+    }
     let quick = args.flag("quick");
     let clients = args.get("clients", if quick { 4usize } else { 6 });
     let requests = args.get("requests", if quick { 12u64 } else { 18 });
@@ -236,6 +476,7 @@ fn main() {
         breaker: BreakerConfig { failure_threshold: 3, cooldown_polls: 4, half_open_successes: 2 },
         policy,
         faults: engine_faults,
+        batch: BatchConfig::disabled(),
         telemetry: tel.clone(),
         flight_dump_dir: Some(dump_dir.clone()),
     }));

@@ -21,9 +21,9 @@
 use apf_bench::{print_table, save_atomic, save_json, Args};
 use apf_imaging::GrayImage;
 use apf_serve::{
-    BreakerConfig, BreakerState, DegradationPolicy, InferenceFault, InferenceFaultKind, Outcome,
-    SegRequest, SegResponse, ServeConfig, ServeEngine, ServeFaultPlan, ServeFaultRates,
-    ServeMetrics, ServeReport, SlideRequest, Tier, Ticket, WorkerReport,
+    BatchConfig, BreakerConfig, BreakerState, DegradationPolicy, InferenceFault,
+    InferenceFaultKind, Outcome, SegRequest, SegResponse, ServeConfig, ServeEngine, ServeFaultPlan,
+    ServeFaultRates, ServeMetrics, ServeReport, SlideRequest, Tier, Ticket, WorkerReport,
 };
 use apf_telemetry::{validate_jsonl, HistogramSnapshot, Telemetry, TelemetrySnapshot};
 use rand::{Rng, SeedableRng};
@@ -178,6 +178,7 @@ fn main() {
         breaker,
         policy,
         faults: plan,
+        batch: BatchConfig::disabled(),
         telemetry: tel.clone(),
         flight_dump_dir: None,
     };

@@ -149,8 +149,21 @@ impl EncoderBlock {
 
     /// Applies the block.
     pub fn forward(&self, g: &mut Graph, bp: &BoundParams, x: Var) -> Var {
+        self.forward_with_key_mask(g, bp, x, None)
+    }
+
+    /// Applies the block with an optional key-padding mask on the attention
+    /// (LayerNorm and the MLP are per-token, so only attention needs it).
+    /// With `None` this is byte-for-byte the unmasked [`EncoderBlock::forward`].
+    pub fn forward_with_key_mask(
+        &self,
+        g: &mut Graph,
+        bp: &BoundParams,
+        x: Var,
+        key_mask: Option<&[Vec<bool>]>,
+    ) -> Var {
         let h = self.ln1.forward(g, bp, x);
-        let h = self.attn.forward(g, bp, h);
+        let h = self.attn.forward_with_key_mask(g, bp, h, key_mask);
         let x = g.add(x, h);
         let h = self.ln2.forward(g, bp, x);
         let h = self.mlp.forward(g, bp, h);
@@ -206,6 +219,27 @@ impl TransformerEncoder {
     /// Runs the stack, returning only the final hidden state.
     pub fn forward(&self, g: &mut Graph, bp: &BoundParams, x: Var) -> Var {
         self.forward_with_skips(g, bp, x).0
+    }
+
+    /// Runs the stack with a per-sample key-padding mask applied to every
+    /// block's attention — the multi-request batched serving path, where
+    /// ragged sequences are zero-padded to a common length and the mask
+    /// keeps each sample's padding out of its own attention keys. Batch
+    /// samples never mix (attention is block-diagonal per sample), so each
+    /// row of the output equals the corresponding solo forward. `None`
+    /// reproduces [`TransformerEncoder::forward`] exactly.
+    pub fn forward_with_key_mask(
+        &self,
+        g: &mut Graph,
+        bp: &BoundParams,
+        x: Var,
+        key_mask: Option<&[Vec<bool>]>,
+    ) -> Var {
+        let mut h = x;
+        for blk in &self.blocks {
+            h = blk.forward_with_key_mask(g, bp, h, key_mask);
+        }
+        self.final_ln.forward(g, bp, h)
     }
 
     /// Runs the stack with a cooperative cancellation check *between*

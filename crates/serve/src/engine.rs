@@ -36,6 +36,8 @@ use apf_tensor::prelude::*;
 use apf_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceContext};
 use serde::Serialize;
 
+use crate::batch::scheduler::{batch_worker_loop, BatchStats, BatchTel};
+use crate::batch::{batch_aware_retry_after, BatchConfig, BatchStatsSnapshot, CacheStats, PatchCache};
 use crate::breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 use crate::degrade::{coarse_uniform_sequence, DegradationPolicy, Tier};
 use crate::fault::{InferenceFaultKind, ServeFaultPlan};
@@ -69,6 +71,9 @@ pub struct ServeConfig {
     pub policy: DegradationPolicy,
     /// Injected fault schedule (empty in production use).
     pub faults: ServeFaultPlan,
+    /// Continuous-batching scheduler + preprocessing-cache knobs. Disabled
+    /// by default: workers then run the one-request-at-a-time loop.
+    pub batch: BatchConfig,
     /// Telemetry sink for the engine's gauges, histograms, counters, and
     /// spans. [`Telemetry::disabled`] keeps the hot path at one branch per
     /// instrumentation point.
@@ -95,24 +100,31 @@ impl ServeConfig {
             breaker: BreakerConfig::default(),
             policy,
             faults: ServeFaultPlan::none(),
+            batch: BatchConfig::disabled(),
             telemetry: Telemetry::disabled(),
             flight_dump_dir: None,
         }
+    }
+
+    /// [`ServeConfig::small`] with continuous batching switched on — the
+    /// test/bench shorthand for the batched engine.
+    pub fn small_batched(max_batch: usize, batch_linger_ms: u64) -> Self {
+        ServeConfig { batch: BatchConfig::enabled(max_batch, batch_linger_ms), ..Self::small() }
     }
 }
 
 /// Registry handles for the serving hot path; all inert when the engine was
 /// configured with a disabled [`Telemetry`].
 #[derive(Clone)]
-struct ServeTel {
-    tel: Telemetry,
-    queue_depth: Gauge,
+pub(crate) struct ServeTel {
+    pub(crate) tel: Telemetry,
+    pub(crate) queue_depth: Gauge,
     admission_s: Histogram,
-    queue_wait_s: Histogram,
-    inference_s: Histogram,
+    pub(crate) queue_wait_s: Histogram,
+    pub(crate) inference_s: Histogram,
     request_s: Histogram,
     requests_total: Counter,
-    faults_injected: Counter,
+    pub(crate) faults_injected: Counter,
     tier_full: Counter,
     tier_reduced: Counter,
     tier_coarse: Counter,
@@ -121,6 +133,7 @@ struct ServeTel {
     outcome_rejected: Counter,
     outcome_invalid: Counter,
     outcome_deadline_queued: Counter,
+    outcome_deadline_batching: Counter,
     outcome_deadline_inference: Counter,
     outcome_deadline_stitching: Counter,
     outcome_worker_panic: Counter,
@@ -187,6 +200,7 @@ impl ServeTel {
             outcome_rejected: outcome("rejected"),
             outcome_invalid: outcome("invalid_input"),
             outcome_deadline_queued: outcome("deadline_queued"),
+            outcome_deadline_batching: outcome("deadline_batching"),
             outcome_deadline_inference: outcome("deadline_inference"),
             outcome_deadline_stitching: outcome("deadline_stitching"),
             outcome_worker_panic: outcome("worker_panic"),
@@ -213,6 +227,9 @@ impl ServeTel {
             Outcome::DeadlineExceeded { stage: DeadlineStage::Queued } => {
                 self.outcome_deadline_queued.inc()
             }
+            Outcome::DeadlineExceeded { stage: DeadlineStage::Batching } => {
+                self.outcome_deadline_batching.inc()
+            }
             Outcome::DeadlineExceeded { stage: DeadlineStage::Inference { .. } } => {
                 self.outcome_deadline_inference.inc()
             }
@@ -228,7 +245,7 @@ impl ServeTel {
         }
     }
 
-    fn record_breaker_transition(&self, to: BreakerState) {
+    pub(crate) fn record_breaker_transition(&self, to: BreakerState) {
         match to {
             BreakerState::Open => self.breaker_to_open.inc(),
             BreakerState::HalfOpen => self.breaker_to_half_open.inc(),
@@ -253,6 +270,8 @@ pub struct ServeMetrics {
     pub invalid_input: u64,
     /// Deadlines blown while queued.
     pub deadline_queued: u64,
+    /// Deadlines blown while a batch was forming (evicted before forward).
+    pub deadline_batching: u64,
     /// Deadlines blown mid-forward (cooperative cancellation).
     pub deadline_inference: u64,
     /// Deadlines blown between stitching windows of a slide request.
@@ -279,6 +298,9 @@ impl ServeMetrics {
             Outcome::DeadlineExceeded { stage: DeadlineStage::Queued } => {
                 self.deadline_queued += 1
             }
+            Outcome::DeadlineExceeded { stage: DeadlineStage::Batching } => {
+                self.deadline_batching += 1
+            }
             Outcome::DeadlineExceeded { stage: DeadlineStage::Inference { .. } } => {
                 self.deadline_inference += 1
             }
@@ -304,6 +326,7 @@ impl ServeMetrics {
             + self.rejected
             + self.invalid_input
             + self.deadline_queued
+            + self.deadline_batching
             + self.deadline_inference
             + self.deadline_stitching
             + self.worker_panics
@@ -339,18 +362,22 @@ pub struct ServeReport {
     pub max_queue_depth: usize,
     /// The configured bound `max_queue_depth` must respect.
     pub queue_capacity: usize,
+    /// Batch scheduler counters; `None` when batching was disabled.
+    pub batch: Option<BatchStatsSnapshot>,
+    /// Preprocessing-cache counters; `None` when batching was disabled.
+    pub cache: Option<CacheStats>,
 }
 
 /// What a queue slot carries: an in-memory image request or an on-disk
 /// whole-slide request. Both flow through the same admission control,
 /// tiering, deadline handling, breaker, and response bookkeeping.
-enum Payload {
+pub(crate) enum Payload {
     Image(SegRequest),
     Slide(SlideRequest),
 }
 
 impl Payload {
-    fn id(&self) -> u64 {
+    pub(crate) fn id(&self) -> u64 {
         match self {
             Payload::Image(r) => r.id,
             Payload::Slide(r) => r.id,
@@ -358,27 +385,27 @@ impl Payload {
     }
 }
 
-struct QueuedRequest {
-    payload: Payload,
-    submitted: Instant,
-    deadline: Option<Instant>,
+pub(crate) struct QueuedRequest {
+    pub(crate) payload: Payload,
+    pub(crate) submitted: Instant,
+    pub(crate) deadline: Option<Instant>,
     depth_at_admission: usize,
-    tier: Tier,
+    pub(crate) tier: Tier,
     tx: mpsc::Sender<SegResponse>,
     // Captured at admission from the submitting thread; the worker that
     // pops this request installs it so worker-side spans join the trace
     // that crossed the wire.
-    trace: Option<TraceContext>,
+    pub(crate) trace: Option<TraceContext>,
 }
 
-struct Shared {
-    queue: BoundedQueue<QueuedRequest>,
+pub(crate) struct Shared {
+    pub(crate) queue: BoundedQueue<QueuedRequest>,
     metrics: Mutex<ServeMetrics>,
     submitted: AtomicU64,
     // Tier handed to the most recent admission (rank), for tier-change
     // flight events. usize::MAX = nothing admitted yet.
     last_tier_rank: AtomicUsize,
-    tm: ServeTel,
+    pub(crate) tm: ServeTel,
 }
 
 impl Shared {
@@ -398,7 +425,7 @@ impl Shared {
         m
     }
 
-    fn respond(&self, q: QueuedRequest, outcome: Outcome, worker: Option<usize>) {
+    pub(crate) fn respond(&self, q: QueuedRequest, outcome: Outcome, worker: Option<usize>) {
         let resp = SegResponse {
             id: q.payload.id(),
             tier: q.tier,
@@ -438,6 +465,10 @@ pub struct ServeEngine {
     shared: Arc<Shared>,
     cfg: ServeConfig,
     handles: Vec<thread::JoinHandle<WorkerReport>>,
+    // Present only when batching is enabled: the shared preprocessing cache
+    // and the exact batch counters, surfaced through the report.
+    cache: Option<Arc<PatchCache>>,
+    batch_stats: Option<Arc<BatchStats>>,
 }
 
 impl ServeEngine {
@@ -461,17 +492,34 @@ impl ServeEngine {
             last_tier_rank: AtomicUsize::new(usize::MAX),
             tm: ServeTel::new(cfg.telemetry.clone()),
         });
+        let (cache, batch_stats, batch_tel) = if cfg.batch.enabled {
+            (
+                Some(Arc::new(PatchCache::new(cfg.batch.cache_budget_bytes, &cfg.telemetry))),
+                Some(Arc::new(BatchStats::default())),
+                Some(BatchTel::new(&cfg.telemetry)),
+            )
+        } else {
+            (None, None, None)
+        };
         let handles = (0..cfg.workers)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
                 let cfg = cfg.clone();
+                let cache = cache.clone();
+                let stats = batch_stats.clone();
+                let btel = batch_tel.clone();
                 thread::Builder::new()
                     .name(format!("apf-serve-worker-{idx}"))
-                    .spawn(move || worker_loop(idx, &shared, &cfg))
+                    .spawn(move || match (cache, stats, btel) {
+                        (Some(cache), Some(stats), Some(btel)) => {
+                            batch_worker_loop(idx, &shared, &cfg, &cache, &btel, &stats)
+                        }
+                        _ => worker_loop(idx, &shared, &cfg),
+                    })
                     .expect("spawn worker")
             })
             .collect();
-        ServeEngine { shared, cfg, handles }
+        ServeEngine { shared, cfg, handles, cache, batch_stats }
     }
 
     /// Submits a request. Never blocks: validation failures and queue-full
@@ -573,12 +621,38 @@ impl ServeEngine {
     /// queue currently is, so backoff-honoring clients spread their retries
     /// instead of reconverging on an already-drowning engine. Front doors
     /// reuse this hint for their own refusals (quota, drain `GoAway`).
+    ///
+    /// Under batching the hint additionally accounts for the linger window
+    /// and batch-queue occupancy: a retry that lands before the current
+    /// backlog's batches have even closed is wasted, so the hint grows by
+    /// one linger per `max_batch` of queued work (plus the window the
+    /// retry itself will sit in).
     pub fn retry_after_hint(&self) -> u64 {
-        load_aware_retry_after(
+        let base = load_aware_retry_after(
             self.cfg.retry_after_ms,
             self.shared.queue.len(),
             self.shared.queue.capacity(),
-        )
+        );
+        if self.cfg.batch.enabled {
+            batch_aware_retry_after(
+                base,
+                self.shared.queue.len(),
+                self.cfg.batch.max_batch,
+                self.cfg.batch.batch_linger_ms,
+            )
+        } else {
+            base
+        }
+    }
+
+    /// Preprocessing-cache counters, when batching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Batch scheduler counters, when batching is enabled.
+    pub fn batch_stats(&self) -> Option<BatchStatsSnapshot> {
+        self.batch_stats.as_ref().map(|s| s.snapshot())
     }
 
     /// Snapshot of the aggregate counters.
@@ -608,6 +682,8 @@ impl ServeEngine {
             workers,
             max_queue_depth: self.shared.queue.max_depth(),
             queue_capacity: self.shared.queue.capacity(),
+            batch: self.batch_stats.as_ref().map(|s| s.snapshot()),
+            cache: self.cache.as_ref().map(|c| c.stats()),
         }
     }
 }
@@ -811,7 +887,7 @@ fn run_inference(
 /// worker's unwind barrier like [`run_inference`]; the deadline is polled
 /// between windows, so a blown deadline abandons the drive cooperatively
 /// (and the unfinished output container is removed, never half-written).
-fn run_slide(
+pub(crate) fn run_slide(
     model: &ViTSegmenter,
     req: &SlideRequest,
     deadline: Option<Instant>,

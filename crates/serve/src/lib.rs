@@ -26,6 +26,11 @@
 //!   over TCP with per-connection deadlines, per-tenant token-bucket
 //!   quotas, graceful drain with terminal `GoAway`s, and a retrying
 //!   backoff-aware client ([`wire`]).
+//! * **Continuous batching + content-addressed caching** — workers drain
+//!   the queue into padded multi-request forwards (per-request key-padding
+//!   masks keep every answer numerically equivalent to its solo forward),
+//!   and a byte-budgeted cache keyed by image content memoizes quadtree
+//!   builds across repeated slides with single-flight dedup ([`batch`]).
 //!
 //! ```
 //! use apf_imaging::GrayImage;
@@ -40,6 +45,7 @@
 //! assert_eq!(report.metrics.completed, 1);
 //! ```
 
+pub mod batch;
 pub mod breaker;
 pub mod degrade;
 pub mod engine;
@@ -48,6 +54,10 @@ pub mod queue;
 pub mod request;
 pub mod wire;
 
+pub use batch::{
+    batch_aware_retry_after, BatchConfig, BatchStatsSnapshot, CacheKey, CacheOutcome, CacheStats,
+    ContentKey, PatchCache, VariantKey,
+};
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 pub use degrade::{coarse_uniform_sequence, DegradationPolicy, Tier};
 pub use engine::{ServeConfig, ServeEngine, ServeMetrics, ServeReport, WorkerReport};

@@ -84,6 +84,11 @@ impl SlideRequest {
 pub enum DeadlineStage {
     /// Expired while still queued; no inference work was spent on it.
     Queued,
+    /// Expired while a batch was forming: the request joined a batch inside
+    /// its deadline but the linger window outlived it, so the scheduler
+    /// evicted it before the forward rather than let one stale request ride
+    /// (and tax) a fresh batch.
+    Batching,
     /// Expired mid-forward-pass; the encoder abandoned the stack
     /// cooperatively after this many completed blocks.
     Inference {

@@ -23,6 +23,7 @@
 //!    every live connection a terminal `GoAway{retry_after_ms}`, and joins
 //!    every thread; the report says whether that finished inside the bound.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -241,7 +242,9 @@ pub struct DrainReport {
     pub conn_panics: u64,
     /// Connections turned away at the cap.
     pub conn_limit_rejections: u64,
-    /// Per-connection summaries.
+    /// Per-connection summaries: at most [`REAPED_SUMMARIES_KEPT`] of the
+    /// most recently closed connections, plus every connection live at
+    /// drain time.
     pub connections: Vec<ConnSummary>,
     /// Per-tenant quota ledgers (exact by construction).
     pub quota_accounts: Vec<TenantAccount>,
@@ -269,7 +272,13 @@ pub struct WireServer {
     local_addr: SocketAddr,
     accept_handle: Option<thread::JoinHandle<()>>,
     conn_handles: Arc<Mutex<Vec<thread::JoinHandle<ConnSummary>>>>,
+    reaped: Arc<Mutex<VecDeque<ConnSummary>>>,
 }
+
+/// Closed-connection summaries retained for the drain report. Older ones
+/// are dropped first; the bound is what lets a one-connection-per-request
+/// workload run indefinitely without accumulating per-connection state.
+const REAPED_SUMMARIES_KEPT: usize = 4096;
 
 impl WireServer {
     /// Binds the listener and starts the accept loop.
@@ -293,17 +302,20 @@ impl WireServer {
         });
         let conn_handles: Arc<Mutex<Vec<thread::JoinHandle<ConnSummary>>>> =
             Arc::new(Mutex::new(Vec::new()));
+        let reaped: Arc<Mutex<VecDeque<ConnSummary>>> = Arc::new(Mutex::new(VecDeque::new()));
         let accept_shared = Arc::clone(&shared);
         let accept_conns = Arc::clone(&conn_handles);
+        let accept_reaped = Arc::clone(&reaped);
         let accept_handle = thread::Builder::new()
             .name("apf-wire-accept".to_string())
-            .spawn(move || accept_loop(listener, &accept_shared, &accept_conns))
+            .spawn(move || accept_loop(listener, &accept_shared, &accept_conns, &accept_reaped))
             .expect("spawn accept thread");
         Ok(WireServer {
             shared,
             local_addr,
             accept_handle: Some(accept_handle),
             conn_handles,
+            reaped,
         })
     }
 
@@ -343,19 +355,24 @@ impl WireServer {
             let mut guard = self.conn_handles.lock().unwrap_or_else(|e| e.into_inner());
             guard.drain(..).collect()
         };
-        let connections: Vec<ConnSummary> = handles
-            .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| ConnSummary {
-                    conn: u64::MAX,
-                    frames_in: 0,
-                    responses: 0,
-                    goaway_sent: false,
-                    close_cause: "join_failed".to_string(),
-                    panicked: true,
-                })
-            })
+        // Summaries reaped mid-run (bounded, oldest dropped) come first;
+        // connections still live at drain time are joined here and follow.
+        let mut connections: Vec<ConnSummary> = self
+            .reaped
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
             .collect();
+        connections.extend(handles.into_iter().map(|h| {
+            h.join().unwrap_or_else(|_| ConnSummary {
+                conn: u64::MAX,
+                frames_in: 0,
+                responses: 0,
+                goaway_sent: false,
+                close_cause: "join_failed".to_string(),
+                panicked: true,
+            })
+        }));
         let drain_ms = t0.elapsed().as_secs_f64() * 1e3;
         self.shared.tm.drain_s.record(drain_ms / 1e3);
         self.shared.tm.drains_total.inc();
@@ -406,10 +423,33 @@ fn accept_loop(
     listener: TcpListener,
     shared: &Arc<WireShared>,
     conns: &Arc<Mutex<Vec<thread::JoinHandle<ConnSummary>>>>,
+    reaped: &Arc<Mutex<VecDeque<ConnSummary>>>,
 ) {
     let poll = Duration::from_millis(5);
     let mut conn_seq: u64 = 0;
     while !shared.draining.load(Ordering::SeqCst) {
+        // Reap finished connection threads before accepting more: an
+        // unjoined finished thread keeps its stack mapped, and a
+        // connection-per-request client fleet (10^5+ connections) would
+        // exhaust thread spawn long before the drain ever joined them.
+        {
+            let mut guard = conns.lock().unwrap_or_else(|e| e.into_inner());
+            let mut i = 0;
+            while i < guard.len() {
+                if guard[i].is_finished() {
+                    let handle = guard.swap_remove(i);
+                    if let Ok(summary) = handle.join() {
+                        let mut done = reaped.lock().unwrap_or_else(|e| e.into_inner());
+                        if done.len() >= REAPED_SUMMARIES_KEPT {
+                            done.pop_front();
+                        }
+                        done.push_back(summary);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 conn_seq += 1;
@@ -601,8 +641,14 @@ fn respond_to_admin(shared: &WireShared, frame: &Frame) -> AdminResponse {
 /// The frame -> engine -> status pipeline for one request frame.
 fn respond_to_frame(shared: &WireShared, frame: &Frame) -> WireStatus {
     // Quota first: over-quota tenants must not cost the engine anything.
-    if let Err(retry_after_ms) = shared.quotas.try_acquire(frame.tenant) {
-        return WireStatus::OverQuota { retry_after_ms };
+    // The hint is the *max* of the bucket's refill time and the engine's
+    // load/batch-aware backoff: retrying the moment tokens refill is
+    // useless if the retry would only sit through the backlog's linger
+    // windows anyway.
+    if let Err(quota_ms) = shared.quotas.try_acquire(frame.tenant) {
+        return WireStatus::OverQuota {
+            retry_after_ms: quota_ms.max(shared.engine.retry_after_hint()),
+        };
     }
     let request = match WireRequest::decode(frame.kind, &frame.payload) {
         Ok(r) => r,
@@ -673,6 +719,7 @@ pub fn status_for_response(resp: &SegResponse) -> WireStatus {
                 DeadlineStage::Queued => 0,
                 DeadlineStage::Inference { .. } => 1,
                 DeadlineStage::Stitching { .. } => 2,
+                DeadlineStage::Batching => 3,
             },
         },
         Outcome::WorkerFailure { reason } => WireStatus::WorkerFailure {

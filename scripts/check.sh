@@ -59,6 +59,36 @@ grep -q '"flight_dump_ok": true' results/frontdoor_soak.json \
 ls results/flight_panic_*.jsonl >/dev/null 2>&1 \
   || { echo "frontdoor_soak: flight dump file missing" >&2; exit 1; }
 
+echo "==> batch_bench gate (batched == solo within 1e-5, >= 2x throughput at concurrency 16, >= 90% cache hits)"
+# The binary asserts its gates internally; the archived JSON is re-checked
+# so a silently weakened assert still fails here.
+rm -f results/batch_bench.json
+cargo run --release -q -p apf-bench --bin batch_bench
+test -s results/batch_bench.json || { echo "missing batch_bench.json" >&2; exit 1; }
+grep -q '"equivalence_ok": true' results/batch_bench.json \
+  || { echo "batch_bench: batched forward diverged from solo" >&2; exit 1; }
+grep -q '"bit_exact_ok": true' results/batch_bench.json \
+  || { echo "batch_bench: batch of one not bit-exact" >&2; exit 1; }
+grep -q '"speedup_ok": true' results/batch_bench.json \
+  || { echo "batch_bench: batched throughput below 2x baseline" >&2; exit 1; }
+grep -q '"cache_hit_rate_ok": true' results/batch_bench.json \
+  || { echo "batch_bench: cache hit rate below 90%" >&2; exit 1; }
+
+echo "==> frontdoor_soak --scale gate (>= 1e5 batched requests, zero failures, >= 90% cache hits)"
+rm -f results/frontdoor_soak_scale.json
+cargo run --release -q -p apf-bench --bin frontdoor_soak -- --scale
+test -s results/frontdoor_soak_scale.json || { echo "missing frontdoor_soak_scale.json" >&2; exit 1; }
+grep -q '"untyped_client_failures": 0' results/frontdoor_soak_scale.json \
+  || { echo "frontdoor_soak --scale: client thread panicked" >&2; exit 1; }
+grep -q '"typed_client_failures": 0' results/frontdoor_soak_scale.json \
+  || { echo "frontdoor_soak --scale: requests failed" >&2; exit 1; }
+grep -q '"no_orphaned_worker_slots": true' results/frontdoor_soak_scale.json \
+  || { echo "frontdoor_soak --scale: orphaned worker slots" >&2; exit 1; }
+grep -q '"batching_active": true' results/frontdoor_soak_scale.json \
+  || { echo "frontdoor_soak --scale: batches never formed" >&2; exit 1; }
+grep -q '"cache_hit_rate_ok": true' results/frontdoor_soak_scale.json \
+  || { echo "frontdoor_soak --scale: cache hit rate below 90%" >&2; exit 1; }
+
 echo "==> telemetry_overhead gate (disabled hooks, flight recorder included, < 2%)"
 rm -f results/telemetry_overhead.json
 cargo run --release -q -p apf-bench --bin telemetry_overhead
